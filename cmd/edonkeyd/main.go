@@ -1,0 +1,70 @@
+// Command edonkeyd runs a real-TCP eDonkey directory server: the
+// substrate honeypots sit on. It speaks the same protocol implementation
+// the simulated campaigns use, over the operating system's TCP stack.
+//
+// Usage:
+//
+//	edonkeyd [-ip 127.0.0.1] [-port 4661] [-name my-server] [-status 30s]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/netip"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/livenet"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.Ltime)
+	log.SetPrefix("edonkeyd: ")
+	var (
+		ip       = flag.String("ip", "127.0.0.1", "address to bind")
+		port     = flag.Uint("port", 4661, "TCP port")
+		name     = flag.String("name", "repro-server", "server display name")
+		statusIv = flag.Duration("status", 30*time.Second, "status log interval (0 disables)")
+		noProbe  = flag.Bool("no-probe", false, "assign high IDs without the callback probe")
+	)
+	flag.Parse()
+
+	addr, err := netip.ParseAddr(*ip)
+	if err != nil {
+		log.Fatalf("bad -ip: %v", err)
+	}
+	host := livenet.NewHost(addr, time.Now().UnixNano())
+	defer host.Close()
+
+	cfg := server.DefaultConfig(*name)
+	cfg.Port = uint16(*port)
+	cfg.ProbeCallback = !*noProbe
+	srv := server.New(host, cfg)
+
+	errCh := make(chan error, 1)
+	host.Post(func() {
+		errCh <- srv.Start()
+	})
+	if err := <-errCh; err != nil {
+		log.Fatalf("start: %v", err)
+	}
+	log.Printf("listening on %s", srv.Addr())
+
+	if *statusIv > 0 {
+		var tick func()
+		tick = func() {
+			st := srv.Stats()
+			log.Printf("users=%d files=%d logins=%d getsources=%d searches=%d",
+				srv.Users(), srv.FilesIndexed(), st.Logins, st.GetSources, st.Searches)
+			host.After(*statusIv, tick)
+		}
+		host.Post(func() { host.After(*statusIv, tick) })
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("shutting down")
+}

@@ -1,0 +1,100 @@
+// Command honeypotd runs one real-TCP honeypot, remotely driven by the
+// manager (cmd/hpmanager) over the control protocol: the manager tells it
+// which directory server to join and which files to claim, polls its
+// status, and periodically drains its (already anonymized) log.
+//
+// Usage:
+//
+//	honeypotd -id hp-00 [-ip 127.0.0.1] [-peer-port 4662] [-control-port 4700]
+//	          [-strategy random|none] -secret campaign-secret [-browse]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/netip"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/honeypot"
+	"repro/internal/livenet"
+)
+
+func main() {
+	log.SetFlags(log.Ltime)
+	log.SetPrefix("honeypotd: ")
+	var (
+		id       = flag.String("id", "hp-00", "honeypot identifier in logs")
+		ip       = flag.String("ip", "127.0.0.1", "address to bind")
+		peerPort = flag.Uint("peer-port", 4662, "eDonkey peer port")
+		ctlPort  = flag.Uint("control-port", control.DefaultPort, "manager control port")
+		strategy = flag.String("strategy", "none", "part-request strategy: random or none")
+		secret   = flag.String("secret", "", "campaign anonymization secret (required)")
+		browse   = flag.Bool("browse", true, "retrieve shared lists of contacting peers")
+		statusIv = flag.Duration("status", time.Minute, "status log interval (0 disables)")
+	)
+	flag.Parse()
+
+	if *secret == "" {
+		log.Fatal("-secret is required: honeypots never log raw addresses")
+	}
+	addr, err := netip.ParseAddr(*ip)
+	if err != nil {
+		log.Fatalf("bad -ip: %v", err)
+	}
+	var strat honeypot.Strategy
+	switch *strategy {
+	case "random":
+		strat = honeypot.RandomContent
+	case "none":
+		strat = honeypot.NoContent
+	default:
+		log.Fatalf("unknown -strategy %q (want random or none)", *strategy)
+	}
+
+	host := livenet.NewHost(addr, time.Now().UnixNano())
+	defer host.Close()
+
+	errCh := make(chan error, 1)
+	host.Post(func() {
+		hp := honeypot.New(host, honeypot.Config{
+			ID:             *id,
+			Strategy:       strat,
+			Port:           uint16(*peerPort),
+			Secret:         []byte(*secret),
+			BrowseContacts: *browse,
+		})
+		if err := hp.Client().Listen(); err != nil {
+			errCh <- err
+			return
+		}
+		if _, err := control.NewAgent(host, hp, uint16(*ctlPort)); err != nil {
+			errCh <- err
+			return
+		}
+		if *statusIv > 0 {
+			var tick func()
+			tick = func() {
+				st := hp.Status()
+				log.Printf("connected=%v id=%d records=%d advertised=%d hello=%d start-upload=%d request-part=%d",
+					st.Connected, st.ClientID, st.Records, st.Advertised,
+					st.Stats.Hello, st.Stats.StartUpload, st.Stats.RequestParts)
+				host.After(*statusIv, tick)
+			}
+			host.After(*statusIv, tick)
+		}
+		errCh <- nil
+	})
+	if err := <-errCh; err != nil {
+		log.Fatalf("start: %v", err)
+	}
+	log.Printf("%s (%s) listening: peers on %s:%d, control on %s:%d",
+		*id, strat, *ip, *peerPort, *ip, *ctlPort)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("shutting down")
+}

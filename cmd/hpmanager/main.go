@@ -1,0 +1,194 @@
+// Command hpmanager is the measurement manager for real-TCP honeypots
+// (cmd/honeypotd): it connects to their control ports, assigns them to a
+// directory server, tells them which files to advertise, monitors their
+// health, periodically collects their logs, and at the end of the
+// campaign merges and unifies everything — running the step-2
+// anonymization and the audit — into a JSONL dataset.
+//
+// Usage:
+//
+//	hpmanager -honeypots 127.0.0.1:4700,127.0.0.1:4701 \
+//	          -server 127.0.0.1:4661 \
+//	          -links links.txt -duration 2m -out dataset.jsonl
+//
+// links.txt holds one ed2k://|file|name|size|hash|/ link per line: the
+// files the fleet will claim to have. Without -links, four synthetic bait
+// files are generated.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/control"
+	"repro/internal/ed2k"
+	"repro/internal/livenet"
+	"repro/internal/logging"
+	"repro/internal/manager"
+)
+
+func main() {
+	log.SetFlags(log.Ltime)
+	log.SetPrefix("hpmanager: ")
+	var (
+		hpList   = flag.String("honeypots", "", "comma-separated control endpoints (required)")
+		srvAddr  = flag.String("server", "127.0.0.1:4661", "directory server for the fleet")
+		linkFile = flag.String("links", "", "file of ed2k links to advertise (optional)")
+		duration = flag.Duration("duration", time.Minute, "measurement duration")
+		collect  = flag.Duration("collect-every", 10*time.Second, "log collection period")
+		health   = flag.Duration("health-every", 5*time.Second, "status poll period")
+		out      = flag.String("out", "dataset.jsonl", "output JSONL dataset")
+		ip       = flag.String("ip", "127.0.0.1", "address to bind the manager")
+	)
+	flag.Parse()
+
+	if *hpList == "" {
+		log.Fatal("-honeypots is required")
+	}
+	server, err := netip.ParseAddrPort(*srvAddr)
+	if err != nil {
+		log.Fatalf("bad -server: %v", err)
+	}
+	mgrAddr, err := netip.ParseAddr(*ip)
+	if err != nil {
+		log.Fatalf("bad -ip: %v", err)
+	}
+	files, err := loadFiles(*linkFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("advertising %d files", len(files))
+
+	host := livenet.NewHost(mgrAddr, time.Now().UnixNano())
+	defer host.Close()
+
+	cfg := manager.DefaultConfig()
+	cfg.CollectEvery = *collect
+	cfg.HealthEvery = *health
+	mgr := manager.New(host, cfg)
+
+	// Dial every honeypot's control port and register it.
+	endpoints := strings.Split(*hpList, ",")
+	type dialResult struct {
+		link *control.Link
+		err  error
+		addr string
+	}
+	results := make(chan dialResult, len(endpoints))
+	host.Post(func() {
+		for i, ep := range endpoints {
+			ep = strings.TrimSpace(ep)
+			ap, err := netip.ParseAddrPort(ep)
+			if err != nil {
+				results <- dialResult{err: fmt.Errorf("bad endpoint %q: %v", ep, err), addr: ep}
+				continue
+			}
+			id := fmt.Sprintf("hp-%02d", i)
+			control.Dial(host, id, ap, func(l *control.Link, err error) {
+				results <- dialResult{link: l, err: err, addr: ep}
+			})
+		}
+	})
+	links := make([]*control.Link, 0, len(endpoints))
+	for range endpoints {
+		r := <-results
+		if r.err != nil {
+			log.Fatalf("connecting to honeypot %s: %v", r.addr, r.err)
+		}
+		log.Printf("connected to honeypot at %s", r.addr)
+		links = append(links, r.link)
+	}
+
+	assignments := manager.SameServer(server, files, len(links))
+	host.Post(func() {
+		for i, l := range links {
+			mgr.Add(l, assignments[i])
+		}
+		mgr.Start()
+	})
+
+	log.Printf("measuring for %v ...", *duration)
+	time.Sleep(*duration)
+
+	type finResult struct {
+		ds  *manager.Dataset
+		err error
+	}
+	fin := make(chan finResult, 1)
+	host.Post(func() {
+		mgr.Finalize(func(ds *manager.Dataset, err error) {
+			fin <- finResult{ds, err}
+		})
+	})
+	res := <-fin
+	if res.err != nil {
+		log.Fatalf("finalize: %v", res.err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatalf("creating %s: %v", *out, err)
+	}
+	defer f.Close()
+	if err := logging.WriteJSONL(f, res.ds.Records); err != nil {
+		log.Fatalf("writing %s: %v", *out, err)
+	}
+	log.Printf("wrote %d records (%d distinct peers) to %s",
+		len(res.ds.Records), res.ds.DistinctPeers, *out)
+	for id, n := range res.ds.PerHoneypot {
+		log.Printf("  %s contributed %d records", id, n)
+	}
+}
+
+// loadFiles reads ed2k links or fabricates bait files.
+func loadFiles(path string) ([]client.SharedFile, error) {
+	if path == "" {
+		names := []string{
+			"some.popular.movie.2008.avi",
+			"hit.song.mp3",
+			"linux.distribution.iso",
+			"interesting.text.pdf",
+		}
+		sizes := []int64{734003200, 5242880, 734003200, 1048576}
+		types := []string{"Video", "Audio", "Pro", "Doc"}
+		out := make([]client.SharedFile, 4)
+		for i := range out {
+			out[i] = client.SharedFile{
+				Hash: ed2k.SyntheticHash("bait/" + names[i]),
+				Name: names[i], Size: sizes[i], Type: types[i],
+			}
+		}
+		return out, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening -links: %w", err)
+	}
+	defer f.Close()
+	var out []client.SharedFile
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		l, err := ed2k.ParseLink(line)
+		if err != nil {
+			return nil, fmt.Errorf("bad link %q: %w", line, err)
+		}
+		out = append(out, client.SharedFile{Hash: l.Hash, Name: l.Name, Size: l.Size})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no links in %s", path)
+	}
+	return out, nil
+}

@@ -1,0 +1,276 @@
+// Command measure runs the paper's two measurement campaigns in the
+// simulated world and regenerates every table and figure of the
+// evaluation section: Table I and Figures 2 through 12.
+//
+// Usage:
+//
+//	measure [-scale 0.1] [-campaign both|distributed|greedy] [-out dir] [-seed 1]
+//
+// Terminal output summarizes each artifact; with -out, the raw series
+// are written as CSV files (fig02.csv ... fig12.csv, table1.txt) that
+// plot directly with gnuplot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+	"repro/internal/analysis"
+	"repro/internal/logging"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("measure: ")
+	var (
+		scale    = flag.Float64("scale", 0.1, "arrival intensity scale (1.0 = paper magnitudes)")
+		campaign = flag.String("campaign", "both", "campaign to run: distributed, greedy or both")
+		outDir   = flag.String("out", "", "directory for CSV series (optional)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		jsonl    = flag.Bool("jsonl", false, "also dump the anonymized dataset as JSONL into -out")
+		servers  = flag.Int("servers", 1, "directory servers for the distributed campaign (1 = paper setup)")
+	)
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatalf("creating %s: %v", *outDir, err)
+		}
+	}
+
+	runD := *campaign == "both" || *campaign == "distributed"
+	runG := *campaign == "both" || *campaign == "greedy"
+	if !runD && !runG {
+		log.Fatalf("unknown campaign %q", *campaign)
+	}
+
+	if runD {
+		cfg := repro.ScaledDistributed(*scale)
+		cfg.Seed = *seed
+		cfg.Servers = *servers
+		fmt.Printf("=== distributed campaign (24 honeypots, %d days, scale %g, %d server(s)) ===\n",
+			cfg.Days, *scale, *servers)
+		start := time.Now()
+		res, err := repro.RunDistributed(cfg)
+		if err != nil {
+			log.Fatalf("distributed: %v", err)
+		}
+		fmt.Printf("simulated %d events in %v; %d records, %d distinct peers\n\n",
+			res.Events, time.Since(start).Round(time.Millisecond),
+			len(res.Dataset.Records), res.Dataset.DistinctPeers)
+		rep := repro.Analyze(res)
+		printDistributed(res, rep)
+		if *outDir != "" {
+			writeDistributed(*outDir, res, rep, *jsonl)
+		}
+	}
+
+	if runG {
+		cfg := repro.ScaledGreedy(*scale)
+		cfg.Seed = *seed + 1
+		fmt.Printf("=== greedy campaign (1 honeypot, %d days, scale %g) ===\n", cfg.Days, *scale)
+		start := time.Now()
+		res, err := repro.RunGreedy(cfg)
+		if err != nil {
+			log.Fatalf("greedy: %v", err)
+		}
+		fmt.Printf("simulated %d events in %v; %d records, %d distinct peers\n\n",
+			res.Events, time.Since(start).Round(time.Millisecond),
+			len(res.Dataset.Records), res.Dataset.DistinctPeers)
+		rep := repro.Analyze(res)
+		printGreedy(res, rep)
+		if *outDir != "" {
+			writeGreedy(*outDir, res, rep, *jsonl)
+		}
+	}
+}
+
+func printDistributed(res *repro.Result, rep *repro.Report) {
+	fmt.Println("--- Table I (distributed column) ---")
+	fmt.Println(rep.TableI)
+
+	fmt.Println("\n--- Fig 2: distinct peers over time ---")
+	g := rep.PeerGrowth
+	last := len(g.Cumulative) - 1
+	fmt.Printf("total peers: %d; new on last day: %d\n", g.Cumulative[last], g.New[last])
+	fmt.Printf("new/day: %s\n", analysis.Sparkline(g.New))
+
+	fmt.Println("\n--- Fig 4: HELLO per hour, first week ---")
+	fmt.Printf("%s\n", analysis.Sparkline(rep.HourlyHello))
+	fmt.Printf("peak %d/hour, total %d HELLOs in the window\n",
+		maxInt(rep.HourlyHello), sumInt(rep.HourlyHello))
+
+	fmt.Println("\n--- Fig 5/6: distinct peers by strategy group ---")
+	printGroupFinal("HELLO", rep.HelloPeersByGroup)
+	printGroupFinal("START-UPLOAD", rep.StartUploadPeersByGroup)
+
+	fmt.Println("\n--- Fig 7: REQUEST-PART messages by group ---")
+	printGroupFinal("REQUEST-PART", rep.RequestPartsByGroup)
+
+	fmt.Printf("\n--- Fig 8/9: busiest peer (#%s, %d queries) ---\n", rep.TopPeer, rep.TopPeerQueries)
+	printGroupFinal("top-peer START-UPLOAD", rep.TopPeerStartUpload)
+	printGroupFinal("top-peer REQUEST-PART", rep.TopPeerRequestParts)
+
+	fmt.Println("\n--- Fig 10: peers vs number of honeypots (100 subsets) ---")
+	u := rep.HoneypotSubsets
+	for _, n := range []int{1, len(res.HoneypotIDs) / 2, len(res.HoneypotIDs)} {
+		if i := indexOfN(u, n); i >= 0 {
+			fmt.Printf("n=%2d: avg %.0f  min %d  max %d\n", n, u.Avg[i], u.Min[i], u.Max[i])
+		}
+	}
+	fmt.Println()
+}
+
+func printGreedy(res *repro.Result, rep *repro.Report) {
+	fmt.Println("--- Table I (greedy column) ---")
+	fmt.Println(rep.TableI)
+
+	fmt.Println("\n--- Fig 3: distinct peers over time ---")
+	g := rep.PeerGrowth
+	last := len(g.Cumulative) - 1
+	fmt.Printf("total peers: %d; new on last day: %d (day 1 = init: %d)\n",
+		g.Cumulative[last], g.New[last], g.New[0])
+	fmt.Printf("new/day: %s\n", analysis.Sparkline(g.New))
+
+	fmt.Println("\n--- Fig 11: peers vs number of random files ---")
+	printSubsetSummary(rep.RandomFileSubsets)
+	fmt.Println("\n--- Fig 12: peers vs number of popular files ---")
+	printSubsetSummary(rep.PopularFileSubsets)
+
+	ci := rep.CoInterest
+	fmt.Println("\n--- Co-interest graph (paper §V future work) ---")
+	fmt.Printf("peers %d, files %d, edges %d; %.1f files/peer, %.1f peers/file\n",
+		ci.Peers, ci.Files, ci.Edges, ci.MeanFilesPerPeer, ci.MeanPeersPerFile)
+	fmt.Printf("components %d, largest spans %d vertices (%.0f%% of the graph)\n",
+		ci.Components, ci.LargestComponent,
+		100*float64(ci.LargestComponent)/float64(ci.Peers+ci.Files))
+	fmt.Println()
+}
+
+func printGroupFinal(label string, gs analysis.GroupSeries) {
+	for _, g := range []string{"random-content", "no-content"} {
+		if xs, ok := gs.Groups[g]; ok && len(xs) > 0 {
+			fmt.Printf("%-24s %-15s final: %d\n", label, g+":", xs[len(xs)-1])
+		}
+	}
+}
+
+func printSubsetSummary(u stats.SubsetUnion) {
+	if len(u.N) == 0 {
+		fmt.Println("(no data)")
+		return
+	}
+	for _, n := range []int{1, len(u.N) / 2, len(u.N)} {
+		if i := indexOfN(u, n); i >= 0 {
+			fmt.Printf("n=%3d: avg %.0f  min %d  max %d\n", u.N[i], u.Avg[i], u.Min[i], u.Max[i])
+		}
+	}
+	lastAvg := u.Avg[len(u.Avg)-1]
+	fmt.Printf("≈ %.0f new peers per additional file\n", lastAvg/float64(u.N[len(u.N)-1]))
+}
+
+func indexOfN(u stats.SubsetUnion, n int) int {
+	for i, v := range u.N {
+		if v == n {
+			return i
+		}
+	}
+	return -1
+}
+
+func writeDistributed(dir string, res *repro.Result, rep *repro.Report, jsonl bool) {
+	mustWrite(dir, "table1_distributed.txt", func(f *os.File) error {
+		_, err := fmt.Fprintln(f, rep.TableI)
+		return err
+	})
+	mustWrite(dir, "fig02_peer_growth.csv", func(f *os.File) error {
+		return analysis.GrowthCSV(f, rep.PeerGrowth)
+	})
+	mustWrite(dir, "fig04_hourly_hello.csv", func(f *os.File) error {
+		rows := make([][]string, len(rep.HourlyHello))
+		for i, v := range rep.HourlyHello {
+			rows[i] = []string{fmt.Sprint(i), fmt.Sprint(v)}
+		}
+		return analysis.WriteCSV(f, []string{"hour", "hello"}, rows)
+	})
+	mustWrite(dir, "fig05_hello_peers_by_group.csv", func(f *os.File) error {
+		return analysis.GroupCSV(f, rep.HelloPeersByGroup)
+	})
+	mustWrite(dir, "fig06_startupload_peers_by_group.csv", func(f *os.File) error {
+		return analysis.GroupCSV(f, rep.StartUploadPeersByGroup)
+	})
+	mustWrite(dir, "fig07_requestpart_by_group.csv", func(f *os.File) error {
+		return analysis.GroupCSV(f, rep.RequestPartsByGroup)
+	})
+	mustWrite(dir, "fig08_toppeer_startupload.csv", func(f *os.File) error {
+		return analysis.GroupCSV(f, rep.TopPeerStartUpload)
+	})
+	mustWrite(dir, "fig09_toppeer_requestpart.csv", func(f *os.File) error {
+		return analysis.GroupCSV(f, rep.TopPeerRequestParts)
+	})
+	mustWrite(dir, "fig10_honeypot_subsets.csv", func(f *os.File) error {
+		return analysis.SubsetCSV(f, rep.HoneypotSubsets)
+	})
+	if jsonl {
+		mustWrite(dir, "distributed_dataset.jsonl", func(f *os.File) error {
+			return logging.WriteJSONL(f, res.Dataset.Records)
+		})
+	}
+}
+
+func writeGreedy(dir string, res *repro.Result, rep *repro.Report, jsonl bool) {
+	mustWrite(dir, "table1_greedy.txt", func(f *os.File) error {
+		_, err := fmt.Fprintln(f, rep.TableI)
+		return err
+	})
+	mustWrite(dir, "fig03_peer_growth.csv", func(f *os.File) error {
+		return analysis.GrowthCSV(f, rep.PeerGrowth)
+	})
+	mustWrite(dir, "fig11_random_files.csv", func(f *os.File) error {
+		return analysis.SubsetCSV(f, rep.RandomFileSubsets)
+	})
+	mustWrite(dir, "fig12_popular_files.csv", func(f *os.File) error {
+		return analysis.SubsetCSV(f, rep.PopularFileSubsets)
+	})
+	if jsonl {
+		mustWrite(dir, "greedy_dataset.jsonl", func(f *os.File) error {
+			return logging.WriteJSONL(f, res.Dataset.Records)
+		})
+	}
+}
+
+func mustWrite(dir, name string, fn func(*os.File) error) {
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("creating %s: %v", path, err)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		log.Fatalf("writing %s: %v", path, err)
+	}
+}
+
+func maxInt(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func sumInt(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,358 @@
+// Package analysis turns a campaign's merged log into the paper's tables
+// and figures: Table I's basic statistics, the peer-growth curves of
+// Figs 2-3, the hourly HELLO series of Fig 4, the per-strategy
+// comparisons of Figs 5-9, and the random-subset union estimates of
+// Figs 10-12.
+//
+// All extractors operate on the anonymized dataset (step-2 peer numbers),
+// exactly like the paper's own post-processing.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/ed2k"
+	"repro/internal/logging"
+	"repro/internal/stats"
+)
+
+// Day is one civil day of virtual time.
+const Day = 24 * time.Hour
+
+// TableI mirrors the paper's Table I.
+type TableI struct {
+	Honeypots     int
+	DurationDays  int
+	SharedFiles   int
+	DistinctPeers int
+	DistinctFiles int
+	SpaceBytes    int64
+}
+
+// String renders the table row-wise as in the paper.
+func (t TableI) String() string {
+	return fmt.Sprintf(
+		"Number of honeypots        %8d\n"+
+			"Duration in days           %8d\n"+
+			"Number of shared files     %8d\n"+
+			"Number of distinct peers   %8d\n"+
+			"Number of distinct files   %8d\n"+
+			"Space used by distinct files %8.1f TB",
+		t.Honeypots, t.DurationDays, t.SharedFiles, t.DistinctPeers, t.DistinctFiles,
+		float64(t.SpaceBytes)/1e12)
+}
+
+// ComputeTableI derives Table I from a merged log.
+func ComputeTableI(recs []logging.Record, honeypots, days, sharedFiles int) TableI {
+	peers := map[string]bool{}
+	files := map[ed2k.Hash]int64{}
+	for i := range recs {
+		r := &recs[i]
+		if r.PeerIP != "" {
+			peers[r.PeerIP] = true
+		}
+		for _, f := range r.Files {
+			files[f.Hash] = f.Size
+		}
+	}
+	var space int64
+	for _, sz := range files {
+		space += sz
+	}
+	return TableI{
+		Honeypots:     honeypots,
+		DurationDays:  days,
+		SharedFiles:   sharedFiles,
+		DistinctPeers: len(peers),
+		DistinctFiles: len(files),
+		SpaceBytes:    space,
+	}
+}
+
+// PeerGrowth computes Fig 2 / Fig 3: per-day cumulative distinct peers
+// and per-day new peers, over all query records.
+func PeerGrowth(recs []logging.Record, start time.Time, days int) stats.GrowthCurve {
+	times := make([]time.Time, 0, len(recs))
+	keys := make([]string, 0, len(recs))
+	for i := range recs {
+		if recs[i].PeerIP == "" {
+			continue
+		}
+		times = append(times, recs[i].Time)
+		keys = append(keys, recs[i].PeerIP)
+	}
+	return stats.Distinct(times, keys, start, Day, days)
+}
+
+// HourlyHello computes Fig 4: HELLO messages received per hour over the
+// first `hours` hours.
+func HourlyHello(recs []logging.Record, start time.Time, hours int) []int {
+	b := stats.NewBuckets(start, time.Hour, hours)
+	for i := range recs {
+		if recs[i].Kind == logging.KindHello {
+			b.Add(recs[i].Time)
+		}
+	}
+	return b.Counts
+}
+
+// GroupSeries is a per-strategy-group daily series.
+type GroupSeries struct {
+	Days   []int
+	Groups map[string][]int // group name -> value per day (cumulative)
+}
+
+// GroupDistinctPeers computes Figs 5-6: cumulative distinct peers sending
+// messages of the given kind to each strategy group, per day.
+func GroupDistinctPeers(recs []logging.Record, groupOf map[string]string, kind logging.Kind, start time.Time, days int) GroupSeries {
+	perGroup := map[string]map[string]int{} // group -> peer -> first day
+	for i := range recs {
+		r := &recs[i]
+		if r.Kind != kind || r.PeerIP == "" {
+			continue
+		}
+		g, ok := groupOf[r.Honeypot]
+		if !ok {
+			continue
+		}
+		d := dayIndex(r.Time, start)
+		if d < 0 || d >= days {
+			continue
+		}
+		m := perGroup[g]
+		if m == nil {
+			m = map[string]int{}
+			perGroup[g] = m
+		}
+		if prev, seen := m[r.PeerIP]; !seen || d < prev {
+			m[r.PeerIP] = d
+		}
+	}
+	return cumulateFirstDays(perGroup, days)
+}
+
+// GroupMessageCounts computes Fig 7: cumulative message counts of the
+// given kind per strategy group, per day.
+func GroupMessageCounts(recs []logging.Record, groupOf map[string]string, kind logging.Kind, start time.Time, days int) GroupSeries {
+	perDay := map[string][]int{}
+	for i := range recs {
+		r := &recs[i]
+		if r.Kind != kind {
+			continue
+		}
+		g, ok := groupOf[r.Honeypot]
+		if !ok {
+			continue
+		}
+		d := dayIndex(r.Time, start)
+		if d < 0 || d >= days {
+			continue
+		}
+		if perDay[g] == nil {
+			perDay[g] = make([]int, days)
+		}
+		perDay[g][d]++
+	}
+	out := GroupSeries{Days: dayAxis(days), Groups: map[string][]int{}}
+	for g, xs := range perDay {
+		out.Groups[g] = stats.CumulativeInts(xs)
+	}
+	return out
+}
+
+// TopPeer finds the peer that sent the most queries overall (HELLO +
+// START-UPLOAD + REQUEST-PART), as selected for Figs 8-9.
+func TopPeer(recs []logging.Record) (string, int) {
+	keys := make([]string, 0, len(recs))
+	for i := range recs {
+		switch recs[i].Kind {
+		case logging.KindHello, logging.KindStartUpload, logging.KindRequestPart:
+			if recs[i].PeerIP != "" {
+				keys = append(keys, recs[i].PeerIP)
+			}
+		}
+	}
+	return stats.TopKey(keys)
+}
+
+// TopPeerSeries computes Figs 8-9: cumulative messages of the given kind
+// received from one specific peer, per strategy group per day.
+func TopPeerSeries(recs []logging.Record, groupOf map[string]string, peer string, kind logging.Kind, start time.Time, days int) GroupSeries {
+	perDay := map[string][]int{}
+	for i := range recs {
+		r := &recs[i]
+		if r.Kind != kind || r.PeerIP != peer {
+			continue
+		}
+		g, ok := groupOf[r.Honeypot]
+		if !ok {
+			continue
+		}
+		d := dayIndex(r.Time, start)
+		if d < 0 || d >= days {
+			continue
+		}
+		if perDay[g] == nil {
+			perDay[g] = make([]int, days)
+		}
+		perDay[g][d]++
+	}
+	out := GroupSeries{Days: dayAxis(days), Groups: map[string][]int{}}
+	for g, xs := range perDay {
+		out.Groups[g] = stats.CumulativeInts(xs)
+	}
+	return out
+}
+
+// HoneypotPeerSets builds, for Fig 10, the set of distinct peer numbers
+// each honeypot observed. Records must be renumbered (step 2); the
+// returned universe is the smallest array size covering all numbers.
+func HoneypotPeerSets(recs []logging.Record, honeypotIDs []string) (sets [][]int32, universe int) {
+	idx := make(map[string]int, len(honeypotIDs))
+	for i, id := range honeypotIDs {
+		idx[id] = i
+	}
+	seen := make([]map[int32]bool, len(honeypotIDs))
+	for i := range seen {
+		seen[i] = map[int32]bool{}
+	}
+	maxID := -1
+	for i := range recs {
+		r := &recs[i]
+		hi, ok := idx[r.Honeypot]
+		if !ok || r.PeerIP == "" {
+			continue
+		}
+		n, err := strconv.Atoi(r.PeerIP)
+		if err != nil {
+			continue
+		}
+		if n > maxID {
+			maxID = n
+		}
+		seen[hi][int32(n)] = true
+	}
+	sets = make([][]int32, len(honeypotIDs))
+	for i, m := range seen {
+		s := make([]int32, 0, len(m))
+		for n := range m {
+			s = append(s, n)
+		}
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		sets[i] = s
+	}
+	return sets, maxID + 1
+}
+
+// FilePeerSets builds, for Figs 11-12, the distinct peer numbers that
+// queried each given file (START-UPLOAD or REQUEST-PART records).
+func FilePeerSets(recs []logging.Record, files []ed2k.Hash) (sets [][]int32, universe int) {
+	idx := make(map[ed2k.Hash]int, len(files))
+	for i, h := range files {
+		idx[h] = i
+	}
+	seen := make([]map[int32]bool, len(files))
+	for i := range seen {
+		seen[i] = map[int32]bool{}
+	}
+	maxID := -1
+	for i := range recs {
+		r := &recs[i]
+		if r.Kind != logging.KindStartUpload && r.Kind != logging.KindRequestPart {
+			continue
+		}
+		fi, ok := idx[r.FileHash]
+		if !ok || r.PeerIP == "" {
+			continue
+		}
+		n, err := strconv.Atoi(r.PeerIP)
+		if err != nil {
+			continue
+		}
+		if n > maxID {
+			maxID = n
+		}
+		seen[fi][int32(n)] = true
+	}
+	sets = make([][]int32, len(files))
+	for i, m := range seen {
+		s := make([]int32, 0, len(m))
+		for n := range m {
+			s = append(s, n)
+		}
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		sets[i] = s
+	}
+	return sets, maxID + 1
+}
+
+// QueriedFiles returns every file hash that received START-UPLOAD or
+// REQUEST-PART queries, with the number of distinct querying peers,
+// sorted by decreasing peer count (ties by hash for determinism).
+type FilePopularity struct {
+	Hash  ed2k.Hash
+	Peers int
+}
+
+// QueriedFiles ranks queried files by distinct peers.
+func QueriedFiles(recs []logging.Record) []FilePopularity {
+	perFile := map[ed2k.Hash]map[string]bool{}
+	for i := range recs {
+		r := &recs[i]
+		if r.Kind != logging.KindStartUpload && r.Kind != logging.KindRequestPart {
+			continue
+		}
+		if r.FileHash.Zero() || r.PeerIP == "" {
+			continue
+		}
+		m := perFile[r.FileHash]
+		if m == nil {
+			m = map[string]bool{}
+			perFile[r.FileHash] = m
+		}
+		m[r.PeerIP] = true
+	}
+	out := make([]FilePopularity, 0, len(perFile))
+	for h, peers := range perFile {
+		out = append(out, FilePopularity{Hash: h, Peers: len(peers)})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Peers != out[b].Peers {
+			return out[a].Peers > out[b].Peers
+		}
+		return out[a].Hash.String() < out[b].Hash.String()
+	})
+	return out
+}
+
+// helpers
+
+func dayIndex(t, start time.Time) int {
+	if t.Before(start) {
+		return -1
+	}
+	return int(t.Sub(start) / Day)
+}
+
+func dayAxis(days int) []int {
+	out := make([]int, days)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+func cumulateFirstDays(perGroup map[string]map[string]int, days int) GroupSeries {
+	out := GroupSeries{Days: dayAxis(days), Groups: map[string][]int{}}
+	for g, firstDay := range perGroup {
+		news := make([]int, days)
+		for _, d := range firstDay {
+			news[d]++
+		}
+		out.Groups[g] = stats.CumulativeInts(news)
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/ed2k"
+	"repro/internal/logging"
+)
+
+// The paper's conclusion sketches its next step: "we plan to explore the
+// relationships between peers inferred from the fact that they are
+// interested in the same files, and conversely study relations between
+// files from the fact that they are downloaded by the same peers." This
+// file implements that analysis on the collected datasets: the bipartite
+// peer-file interest graph and its basic structure.
+
+// InterestGraph is the bipartite graph of peers and the files they
+// queried (START-UPLOAD / REQUEST-PART records).
+type InterestGraph struct {
+	// PeerFiles maps peer number -> distinct files queried.
+	PeerFiles map[string][]ed2k.Hash
+	// FilePeers maps file -> distinct querying peers.
+	FilePeers map[ed2k.Hash][]string
+}
+
+// BuildInterestGraph extracts the bipartite graph from a merged log.
+func BuildInterestGraph(recs []logging.Record) *InterestGraph {
+	pf := map[string]map[ed2k.Hash]bool{}
+	fp := map[ed2k.Hash]map[string]bool{}
+	for i := range recs {
+		r := &recs[i]
+		if r.Kind != logging.KindStartUpload && r.Kind != logging.KindRequestPart {
+			continue
+		}
+		if r.PeerIP == "" || r.FileHash.Zero() {
+			continue
+		}
+		if pf[r.PeerIP] == nil {
+			pf[r.PeerIP] = map[ed2k.Hash]bool{}
+		}
+		pf[r.PeerIP][r.FileHash] = true
+		if fp[r.FileHash] == nil {
+			fp[r.FileHash] = map[string]bool{}
+		}
+		fp[r.FileHash][r.PeerIP] = true
+	}
+	g := &InterestGraph{
+		PeerFiles: make(map[string][]ed2k.Hash, len(pf)),
+		FilePeers: make(map[ed2k.Hash][]string, len(fp)),
+	}
+	for p, files := range pf {
+		fs := make([]ed2k.Hash, 0, len(files))
+		for f := range files {
+			fs = append(fs, f)
+		}
+		sort.Slice(fs, func(a, b int) bool { return fs[a].String() < fs[b].String() })
+		g.PeerFiles[p] = fs
+	}
+	for f, peers := range fp {
+		ps := make([]string, 0, len(peers))
+		for p := range peers {
+			ps = append(ps, p)
+		}
+		sort.Strings(ps)
+		g.FilePeers[f] = ps
+	}
+	return g
+}
+
+// InterestStats summarizes the bipartite structure.
+type InterestStats struct {
+	Peers int
+	Files int
+	Edges int
+	// MeanFilesPerPeer and MaxFilesPerPeer describe peer degrees;
+	// MeanPeersPerFile and MaxPeersPerFile describe file degrees.
+	MeanFilesPerPeer float64
+	MaxFilesPerPeer  int
+	MeanPeersPerFile float64
+	MaxPeersPerFile  int
+	// Components is the number of connected components of the bipartite
+	// graph; LargestComponent counts its vertices (peers+files). A giant
+	// component signals strong co-interest structure.
+	Components       int
+	LargestComponent int
+}
+
+// Stats computes the summary.
+func (g *InterestGraph) Stats() InterestStats {
+	st := InterestStats{Peers: len(g.PeerFiles), Files: len(g.FilePeers)}
+	for _, fs := range g.PeerFiles {
+		st.Edges += len(fs)
+		if len(fs) > st.MaxFilesPerPeer {
+			st.MaxFilesPerPeer = len(fs)
+		}
+	}
+	for _, ps := range g.FilePeers {
+		if len(ps) > st.MaxPeersPerFile {
+			st.MaxPeersPerFile = len(ps)
+		}
+	}
+	if st.Peers > 0 {
+		st.MeanFilesPerPeer = float64(st.Edges) / float64(st.Peers)
+	}
+	if st.Files > 0 {
+		st.MeanPeersPerFile = float64(st.Edges) / float64(st.Files)
+	}
+
+	// Connected components via union-find over peers ∪ files.
+	idx := map[string]int{}
+	n := 0
+	peerID := func(p string) int {
+		if i, ok := idx["p/"+p]; ok {
+			return i
+		}
+		idx["p/"+p] = n
+		n++
+		return n - 1
+	}
+	fileID := func(f ed2k.Hash) int {
+		key := "f/" + f.String()
+		if i, ok := idx[key]; ok {
+			return i
+		}
+		idx[key] = n
+		n++
+		return n - 1
+	}
+	parent := make([]int, 0, len(g.PeerFiles)+len(g.FilePeers))
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	grow := func(to int) {
+		for len(parent) <= to {
+			parent = append(parent, len(parent))
+		}
+	}
+	union := func(a, b int) {
+		grow(a)
+		grow(b)
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	// Deterministic iteration: sort peers.
+	peers := make([]string, 0, len(g.PeerFiles))
+	for p := range g.PeerFiles {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	for _, p := range peers {
+		pid := peerID(p)
+		grow(pid)
+		for _, f := range g.PeerFiles[p] {
+			union(pid, fileID(f))
+		}
+	}
+	sizes := map[int]int{}
+	for i := 0; i < n; i++ {
+		sizes[find(i)]++
+	}
+	st.Components = len(sizes)
+	for _, s := range sizes {
+		if s > st.LargestComponent {
+			st.LargestComponent = s
+		}
+	}
+	return st
+}
+
+// RelatedFiles returns, for the given file, other files co-queried by at
+// least minShared of its peers, ordered by overlap (the "relations
+// between files from the fact that they are downloaded by the same
+// peers" of the paper's §V).
+func (g *InterestGraph) RelatedFiles(f ed2k.Hash, minShared int) []FileOverlap {
+	peers := g.FilePeers[f]
+	counts := map[ed2k.Hash]int{}
+	for _, p := range peers {
+		for _, other := range g.PeerFiles[p] {
+			if other != f {
+				counts[other]++
+			}
+		}
+	}
+	out := make([]FileOverlap, 0, len(counts))
+	for other, c := range counts {
+		if c >= minShared {
+			out = append(out, FileOverlap{File: other, SharedPeers: c})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].SharedPeers != out[b].SharedPeers {
+			return out[a].SharedPeers > out[b].SharedPeers
+		}
+		return out[a].File.String() < out[b].File.String()
+	})
+	return out
+}
+
+// FileOverlap is one co-interest relation.
+type FileOverlap struct {
+	File        ed2k.Hash
+	SharedPeers int
+}

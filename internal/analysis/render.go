@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// WriteCSV writes a simple CSV (values must not contain commas; all data
+// written here is numeric or identifiers).
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, strings.Join(r, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GrowthCSV renders a GrowthCurve as CSV rows (day, cumulative, new).
+func GrowthCSV(w io.Writer, g stats.GrowthCurve) error {
+	rows := make([][]string, len(g.Cumulative))
+	for i := range g.Cumulative {
+		rows[i] = []string{
+			fmt.Sprint(i + 1), fmt.Sprint(g.Cumulative[i]), fmt.Sprint(g.New[i]),
+		}
+	}
+	return WriteCSV(w, []string{"day", "total_peers", "new_peers"}, rows)
+}
+
+// GroupCSV renders a GroupSeries as CSV (day, then one column per group,
+// in sorted group-name order).
+func GroupCSV(w io.Writer, s GroupSeries) error {
+	groups := make([]string, 0, len(s.Groups))
+	for g := range s.Groups {
+		groups = append(groups, g)
+	}
+	sortStrings(groups)
+	header := append([]string{"day"}, groups...)
+	rows := make([][]string, len(s.Days))
+	for i, d := range s.Days {
+		row := []string{fmt.Sprint(d)}
+		for _, g := range groups {
+			v := 0
+			if xs := s.Groups[g]; i < len(xs) {
+				v = xs[i]
+			}
+			row = append(row, fmt.Sprint(v))
+		}
+		rows[i] = row
+	}
+	return WriteCSV(w, header, rows)
+}
+
+// SubsetCSV renders a stats.SubsetUnion as CSV (n, avg, min, max).
+func SubsetCSV(w io.Writer, u stats.SubsetUnion) error {
+	rows := make([][]string, len(u.N))
+	for i := range u.N {
+		rows[i] = []string{
+			fmt.Sprint(u.N[i]),
+			fmt.Sprintf("%.1f", u.Avg[i]),
+			fmt.Sprint(u.Min[i]),
+			fmt.Sprint(u.Max[i]),
+		}
+	}
+	return WriteCSV(w, []string{"n", "avg_peers", "min_peers", "max_peers"}, rows)
+}
+
+// Sparkline renders an integer series as a compact unicode plot for
+// terminal output.
+func Sparkline(xs []int) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	maxV := 0
+	for _, x := range xs {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		i := 0
+		if maxV > 0 {
+			i = x * (len(levels) - 1) / maxV
+		}
+		b.WriteRune(levels[i])
+	}
+	return b.String()
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

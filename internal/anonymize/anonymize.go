@@ -1,0 +1,227 @@
+// Package anonymize implements the paper's privacy pipeline (its §III-C):
+//
+//  1. Each honeypot encodes peer IP addresses with a keyed one-way hash
+//     before anything is written to disk or sent to the manager. The key
+//     is shared campaign-wide so the same address hashes identically at
+//     every honeypot, which step 2 requires.
+//  2. The manager replaces each hash value — coherently across all
+//     honeypot logs — by a small integer in order of first appearance,
+//     defeating the 2^32 dictionary attack the paper warns about.
+//
+// Additionally, file names are anonymized by replacing every word that
+// appears less often than a threshold with an integer token, following
+// the paper's filename anonymization rule.
+package anonymize
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"repro/internal/logging"
+)
+
+// IPHasher is the step-1 anonymizer held by each honeypot.
+type IPHasher struct {
+	key []byte
+}
+
+// NewIPHasher builds a hasher from the campaign secret. Every honeypot of
+// a campaign must receive the same secret.
+func NewIPHasher(secret []byte) *IPHasher {
+	key := make([]byte, len(secret))
+	copy(key, secret)
+	return &IPHasher{key: key}
+}
+
+// HashIP returns the anonymized form of addr: the first 16 hex characters
+// of HMAC-SHA256(key, addr). One-way, keyed, and stable campaign-wide.
+func (h *IPHasher) HashIP(addr netip.Addr) string {
+	mac := hmac.New(sha256.New, h.key)
+	b := addr.As16()
+	mac.Write(b[:])
+	return hex.EncodeToString(mac.Sum(nil))[:16]
+}
+
+// Renumberer is the manager's step-2 pass: hash values become integers in
+// first-appearance order, coherently across all logs fed to it.
+type Renumberer struct {
+	m map[string]int
+}
+
+// NewRenumberer returns an empty renumberer.
+func NewRenumberer() *Renumberer {
+	return &Renumberer{m: make(map[string]int)}
+}
+
+// Number returns the integer assigned to hash, allocating the next one on
+// first sight.
+func (r *Renumberer) Number(hash string) int {
+	if n, ok := r.m[hash]; ok {
+		return n
+	}
+	n := len(r.m)
+	r.m[hash] = n
+	return n
+}
+
+// Count returns how many distinct hashes were seen.
+func (r *Renumberer) Count() int { return len(r.m) }
+
+// RenumberRecords rewrites PeerIP in place from step-1 hashes to step-2
+// integers (decimal strings), and returns the number of distinct peers.
+// Records must already carry hashed (never raw) addresses.
+func (r *Renumberer) RenumberRecords(recs []logging.Record) int {
+	for i := range recs {
+		if recs[i].PeerIP == "" {
+			continue
+		}
+		recs[i].PeerIP = strconv.Itoa(r.Number(recs[i].PeerIP))
+	}
+	return r.Count()
+}
+
+// ---------------------------------------------------------------------------
+// Filename anonymization.
+
+// NameAnonymizer replaces rare words in file names with integer tokens.
+type NameAnonymizer struct {
+	threshold int
+	freq      map[string]int
+	mapping   map[string]string
+	next      int
+}
+
+// NewNameAnonymizer builds an anonymizer replacing words occurring fewer
+// than threshold times.
+func NewNameAnonymizer(threshold int) *NameAnonymizer {
+	return &NameAnonymizer{
+		threshold: threshold,
+		freq:      make(map[string]int),
+		mapping:   make(map[string]string),
+	}
+}
+
+// splitWords cuts a file name into alternating word and separator runs,
+// starting with a (possibly empty) word.
+func splitWords(name string) []string {
+	var parts []string
+	cur := strings.Builder{}
+	isWord := true
+	for _, r := range name {
+		w := isWordRune(r)
+		if w != isWord {
+			parts = append(parts, cur.String())
+			cur.Reset()
+			isWord = w
+		}
+		cur.WriteRune(r)
+	}
+	parts = append(parts, cur.String())
+	return parts
+}
+
+func isWordRune(r rune) bool {
+	return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r >= 0x80
+}
+
+// Observe counts the words of one file name. All names must be observed
+// before any call to Anonymize so frequencies are corpus-wide.
+func (a *NameAnonymizer) Observe(name string) {
+	for i, p := range splitWords(name) {
+		if i%2 == 0 && p != "" { // word positions
+			a.freq[strings.ToLower(p)]++
+		}
+	}
+}
+
+// Anonymize rewrites a name, replacing below-threshold words coherently.
+func (a *NameAnonymizer) Anonymize(name string) string {
+	parts := splitWords(name)
+	var b strings.Builder
+	for i, p := range parts {
+		if i%2 == 1 || p == "" {
+			b.WriteString(p)
+			continue
+		}
+		key := strings.ToLower(p)
+		if a.freq[key] >= a.threshold {
+			b.WriteString(p)
+			continue
+		}
+		repl, ok := a.mapping[key]
+		if !ok {
+			repl = strconv.Itoa(a.next)
+			a.next++
+			a.mapping[key] = repl
+		}
+		b.WriteString(repl)
+	}
+	return b.String()
+}
+
+// ReplacedWords returns how many distinct words were replaced so far.
+func (a *NameAnonymizer) ReplacedWords() int { return len(a.mapping) }
+
+// AnonymizeRecordNames applies filename anonymization to every name in
+// the record set (FileName fields and shared-list entries), with corpus
+// frequencies computed over the whole set first.
+func AnonymizeRecordNames(recs []logging.Record, threshold int) *NameAnonymizer {
+	a := NewNameAnonymizer(threshold)
+	for i := range recs {
+		if recs[i].FileName != "" {
+			a.Observe(recs[i].FileName)
+		}
+		for _, f := range recs[i].Files {
+			a.Observe(f.Name)
+		}
+	}
+	for i := range recs {
+		if recs[i].FileName != "" {
+			recs[i].FileName = a.Anonymize(recs[i].FileName)
+		}
+		for j := range recs[i].Files {
+			recs[i].Files[j].Name = a.Anonymize(recs[i].Files[j].Name)
+		}
+	}
+	return a
+}
+
+// ---------------------------------------------------------------------------
+// Audit.
+
+// Audit verifies no raw IP address survived anonymization: it fails if
+// any PeerIP field parses as an IP address or is neither a step-1 hash
+// (16 hex chars) nor a step-2 integer.
+func Audit(recs []logging.Record) error {
+	for i := range recs {
+		ip := recs[i].PeerIP
+		if ip == "" {
+			continue
+		}
+		if _, err := netip.ParseAddr(ip); err == nil {
+			return fmt.Errorf("anonymize: record %d leaks raw address %q", i, ip)
+		}
+		if !looksHashed(ip) && !looksNumbered(ip) {
+			return fmt.Errorf("anonymize: record %d PeerIP %q is neither hashed nor renumbered", i, ip)
+		}
+	}
+	return nil
+}
+
+func looksHashed(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	_, err := hex.DecodeString(s)
+	return err == nil
+}
+
+func looksNumbered(s string) bool {
+	_, err := strconv.Atoi(s)
+	return err == nil
+}

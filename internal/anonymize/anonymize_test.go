@@ -1,0 +1,279 @@
+package anonymize
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logging"
+)
+
+func TestHashIPStableAndKeyed(t *testing.T) {
+	a := NewIPHasher([]byte("campaign-secret"))
+	b := NewIPHasher([]byte("campaign-secret"))
+	c := NewIPHasher([]byte("other-secret"))
+	ip := netip.MustParseAddr("192.0.2.7")
+	if a.HashIP(ip) != b.HashIP(ip) {
+		t.Error("same key must hash identically (step 2 depends on it)")
+	}
+	if a.HashIP(ip) == c.HashIP(ip) {
+		t.Error("different keys must hash differently")
+	}
+	if a.HashIP(ip) == a.HashIP(netip.MustParseAddr("192.0.2.8")) {
+		t.Error("different IPs must hash differently")
+	}
+	if len(a.HashIP(ip)) != 16 {
+		t.Errorf("hash length %d", len(a.HashIP(ip)))
+	}
+}
+
+func TestHashIPDoesNotRevealAddress(t *testing.T) {
+	h := NewIPHasher([]byte("s"))
+	ip := netip.MustParseAddr("203.0.113.99")
+	out := h.HashIP(ip)
+	if strings.Contains(out, "203") && strings.Contains(out, "113") {
+		// Extremely unlikely by chance; mostly a tripwire for accidental
+		// plain-text implementations.
+		t.Errorf("hash %q suspiciously contains address fragments", out)
+	}
+	if _, err := netip.ParseAddr(out); err == nil {
+		t.Error("hash parses as an IP address")
+	}
+}
+
+func TestRenumbererFirstAppearanceOrder(t *testing.T) {
+	r := NewRenumberer()
+	if r.Number("aaa") != 0 || r.Number("bbb") != 1 || r.Number("aaa") != 0 || r.Number("ccc") != 2 {
+		t.Error("numbering must follow first appearance")
+	}
+	if r.Count() != 3 {
+		t.Errorf("Count = %d", r.Count())
+	}
+}
+
+func TestRenumberRecordsCoherentAcrossHoneypots(t *testing.T) {
+	h := NewIPHasher([]byte("secret"))
+	ipA := h.HashIP(netip.MustParseAddr("10.1.1.1"))
+	ipB := h.HashIP(netip.MustParseAddr("10.2.2.2"))
+	log1 := []logging.Record{{PeerIP: ipA, Honeypot: "hp-0"}, {PeerIP: ipB, Honeypot: "hp-0"}}
+	log2 := []logging.Record{{PeerIP: ipB, Honeypot: "hp-1"}, {PeerIP: ipA, Honeypot: "hp-1"}}
+
+	r := NewRenumberer()
+	merged := append(append([]logging.Record{}, log1...), log2...)
+	n := r.RenumberRecords(merged)
+	if n != 2 {
+		t.Fatalf("distinct peers = %d", n)
+	}
+	// Same original IP must map to the same number in both honeypot logs.
+	if merged[0].PeerIP != merged[3].PeerIP {
+		t.Errorf("ipA numbered %s and %s", merged[0].PeerIP, merged[3].PeerIP)
+	}
+	if merged[1].PeerIP != merged[2].PeerIP {
+		t.Errorf("ipB numbered %s and %s", merged[1].PeerIP, merged[2].PeerIP)
+	}
+	if merged[0].PeerIP != "0" {
+		t.Errorf("first peer numbered %s", merged[0].PeerIP)
+	}
+}
+
+func TestRenumberSkipsEmpty(t *testing.T) {
+	r := NewRenumberer()
+	recs := []logging.Record{{PeerIP: ""}}
+	if n := r.RenumberRecords(recs); n != 0 {
+		t.Errorf("count = %d", n)
+	}
+	if recs[0].PeerIP != "" {
+		t.Error("empty PeerIP must stay empty")
+	}
+}
+
+func TestSplitWordsAlternation(t *testing.T) {
+	parts := splitWords("some.movie (2008)-final.avi")
+	rebuilt := strings.Join(parts, "")
+	if rebuilt != "some.movie (2008)-final.avi" {
+		t.Errorf("split/join not lossless: %q", rebuilt)
+	}
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		wantWord := i%2 == 0
+		if isWordRune(rune(p[0])) != wantWord {
+			t.Errorf("part %d %q in wrong position", i, p)
+		}
+	}
+}
+
+func TestNameAnonymizerThreshold(t *testing.T) {
+	a := NewNameAnonymizer(2)
+	names := []string{
+		"common.rareone.avi",
+		"common.raretwo.avi",
+		"common.common.mp3",
+	}
+	for _, n := range names {
+		a.Observe(n)
+	}
+	// "common" appears 4 times, "avi" twice, "rareone"/"raretwo"/"mp3" once.
+	got := a.Anonymize("common.rareone.avi")
+	if !strings.HasPrefix(got, "common.") {
+		t.Errorf("frequent word replaced: %q", got)
+	}
+	if strings.Contains(got, "rareone") {
+		t.Errorf("rare word kept: %q", got)
+	}
+	if !strings.HasSuffix(got, ".avi") {
+		t.Errorf("avi (freq 2) should be kept: %q", got)
+	}
+	// Coherence: the same rare word maps to the same token.
+	if a.Anonymize("common.rareone.avi") != got {
+		t.Error("anonymization not deterministic")
+	}
+	// Distinct rare words map to distinct tokens.
+	other := a.Anonymize("common.raretwo.avi")
+	if other == got {
+		t.Error("distinct rare words collided")
+	}
+	if a.ReplacedWords() != 2 {
+		t.Errorf("ReplacedWords = %d", a.ReplacedWords())
+	}
+}
+
+func TestNameAnonymizerCaseInsensitive(t *testing.T) {
+	a := NewNameAnonymizer(2)
+	a.Observe("Word.x")
+	a.Observe("word.y")
+	if got := a.Anonymize("Word.x"); !strings.HasPrefix(got, "Word") {
+		t.Errorf("case-insensitive counting failed: %q", got)
+	}
+}
+
+func TestAnonymizeRecordNames(t *testing.T) {
+	recs := []logging.Record{
+		{FileName: "popular.secret1.avi"},
+		{FileName: "popular.secret2.avi"},
+		{Files: []logging.SharedFile{{Name: "popular.secret3.avi"}}},
+	}
+	AnonymizeRecordNames(recs, 3)
+	for i, want := range []string{"secret1", "secret2"} {
+		if strings.Contains(recs[i].FileName, want) {
+			t.Errorf("record %d still contains %q: %q", i, want, recs[i].FileName)
+		}
+		if !strings.Contains(recs[i].FileName, "popular") {
+			t.Errorf("record %d lost frequent word: %q", i, recs[i].FileName)
+		}
+	}
+	if strings.Contains(recs[2].Files[0].Name, "secret3") {
+		t.Errorf("shared list name not anonymized: %q", recs[2].Files[0].Name)
+	}
+}
+
+func TestAuditCatchesRawIPs(t *testing.T) {
+	bad := []logging.Record{{PeerIP: "192.0.2.55"}}
+	if err := Audit(bad); err == nil {
+		t.Error("raw IPv4 must fail audit")
+	}
+	bad6 := []logging.Record{{PeerIP: "2001:db8::1"}}
+	if err := Audit(bad6); err == nil {
+		t.Error("raw IPv6 must fail audit")
+	}
+	weird := []logging.Record{{PeerIP: "not-an-ip-nor-hash"}}
+	if err := Audit(weird); err == nil {
+		t.Error("unclassifiable PeerIP must fail audit")
+	}
+}
+
+func TestAuditAcceptsPipelineOutput(t *testing.T) {
+	h := NewIPHasher([]byte("k"))
+	recs := []logging.Record{
+		{PeerIP: h.HashIP(netip.MustParseAddr("10.0.0.1"))},
+		{PeerIP: ""},
+	}
+	if err := Audit(recs); err != nil {
+		t.Errorf("hashed records must pass: %v", err)
+	}
+	NewRenumberer().RenumberRecords(recs)
+	if err := Audit(recs); err != nil {
+		t.Errorf("renumbered records must pass: %v", err)
+	}
+}
+
+// Property: the full two-step pipeline is injective per campaign — two
+// addresses get the same final number iff they are the same address.
+func TestQuickPipelineInjective(t *testing.T) {
+	h := NewIPHasher([]byte("prop"))
+	r := NewRenumberer()
+	seen := map[string]string{} // number -> address
+	f := func(a, b, c, d byte) bool {
+		ip := netip.AddrFrom4([4]byte{a, b, c, d})
+		n := strconv.Itoa(r.Number(h.HashIP(ip)))
+		if prev, ok := seen[n]; ok {
+			return prev == ip.String()
+		}
+		seen[n] = ip.String()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: name anonymization never leaks a below-threshold word.
+func TestQuickNoRareWordSurvives(t *testing.T) {
+	f := func(words []string) bool {
+		a := NewNameAnonymizer(2)
+		var names []string
+		for i, w := range words {
+			name := fmt.Sprintf("unique%dzz%s.ext", i, sanitize(w))
+			names = append(names, name)
+			a.Observe(name)
+		}
+		for i, n := range names {
+			got := a.Anonymize(n)
+			if strings.Contains(got, fmt.Sprintf("unique%dzz", i)) {
+				return false // each uniqueNzz... word appears once, must go
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if isWordRune(r) && r < 0x80 {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func BenchmarkHashIP(b *testing.B) {
+	h := NewIPHasher([]byte("campaign"))
+	ip := netip.MustParseAddr("198.51.100.23")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.HashIP(ip)
+	}
+}
+
+func BenchmarkRenumber100k(b *testing.B) {
+	recs := make([]logging.Record, 100_000)
+	h := NewIPHasher([]byte("x"))
+	for i := range recs {
+		ip := netip.AddrFrom4([4]byte{byte(i >> 16), byte(i >> 8), byte(i), 1})
+		recs[i].PeerIP = h.HashIP(ip)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := make([]logging.Record, len(recs))
+		copy(cp, recs)
+		NewRenumberer().RenumberRecords(cp)
+	}
+}

@@ -1,0 +1,195 @@
+package catalog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func small() Config {
+	return Config{NumFiles: 2000, Vocabulary: 300, PopularityExp: 0.9, Seed: 7}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(small())
+	b := Generate(small())
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := 0; i < a.Len(); i++ {
+		fa, fb := a.File(i), b.File(i)
+		if fa.Hash != fb.Hash || fa.Name != fb.Name || fa.Size != fb.Size {
+			t.Fatalf("file %d differs between runs", i)
+		}
+	}
+}
+
+func TestHashesUnique(t *testing.T) {
+	c := Generate(small())
+	seen := map[string]bool{}
+	for i := 0; i < c.Len(); i++ {
+		h := c.File(i).Hash.String()
+		if seen[h] {
+			t.Fatalf("duplicate hash at %d", i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestByHash(t *testing.T) {
+	c := Generate(small())
+	f := c.File(123)
+	got, ok := c.ByHash(f.Hash)
+	if !ok || got.Index != 123 {
+		t.Errorf("ByHash: ok=%v index=%d", ok, got.Index)
+	}
+	var zero [16]byte
+	if _, ok := c.ByHash(zero); ok {
+		t.Error("ByHash(zero) should miss")
+	}
+}
+
+func TestPopularitySampling(t *testing.T) {
+	c := Generate(small())
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, c.Len())
+	const draws = 200_000
+	for i := 0; i < draws; i++ {
+		counts[c.Sample(rng).Index]++
+	}
+	// Rank 0 must be sampled far more often than rank 1000.
+	if counts[0] < 5*counts[1000] {
+		t.Errorf("popularity skew too weak: rank0=%d rank1000=%d", counts[0], counts[1000])
+	}
+	// Head heaviness: top 1% of files should receive well over 5% of draws.
+	head := 0
+	for i := 0; i < c.Len()/100; i++ {
+		head += counts[i]
+	}
+	if float64(head)/draws < 0.05 {
+		t.Errorf("top 1%% of files got only %.2f%% of draws", 100*float64(head)/draws)
+	}
+}
+
+func TestSampleLibraryDistinct(t *testing.T) {
+	c := Generate(small())
+	rng := rand.New(rand.NewSource(2))
+	lib := c.SampleLibrary(rng, 50)
+	if len(lib) != 50 {
+		t.Fatalf("library size %d", len(lib))
+	}
+	seen := map[int]bool{}
+	for _, f := range lib {
+		if seen[f.Index] {
+			t.Fatalf("duplicate file %d in library", f.Index)
+		}
+		seen[f.Index] = true
+	}
+}
+
+func TestSampleLibraryClampsToCatalog(t *testing.T) {
+	c := Generate(Config{NumFiles: 10, Vocabulary: 50, PopularityExp: 0.9, Seed: 1})
+	rng := rand.New(rand.NewSource(3))
+	lib := c.SampleLibrary(rng, 100)
+	if len(lib) > 10 {
+		t.Errorf("library larger than catalog: %d", len(lib))
+	}
+}
+
+func TestTopN(t *testing.T) {
+	c := Generate(small())
+	top := c.TopN(10)
+	if len(top) != 10 {
+		t.Fatalf("TopN length %d", len(top))
+	}
+	for i, f := range top {
+		if f.Index != i {
+			t.Errorf("TopN[%d].Index = %d", i, f.Index)
+		}
+	}
+	if got := c.TopN(1 << 20); len(got) != c.Len() {
+		t.Errorf("TopN over catalog size: %d", len(got))
+	}
+}
+
+func TestNamesLookRealistic(t *testing.T) {
+	c := Generate(small())
+	exts := map[string]bool{".avi": true, ".mp3": true, ".iso": true, ".pdf": true, ".rar": true, ".jpg": true}
+	for i := 0; i < 200; i++ {
+		name := c.File(i).Name
+		dot := strings.LastIndex(name, ".")
+		if dot < 0 || !exts[name[dot:]] {
+			t.Errorf("file %d name %q has unexpected extension", i, name)
+		}
+		if len(name) < 5 {
+			t.Errorf("name too short: %q", name)
+		}
+	}
+}
+
+func TestWordReuseAcrossNames(t *testing.T) {
+	// The anonymization threshold logic depends on words recurring across
+	// file names; verify the vocabulary actually gets reused.
+	c := Generate(small())
+	freq := map[string]int{}
+	for i := 0; i < c.Len(); i++ {
+		name := c.File(i).Name
+		name = strings.TrimSuffix(name, name[strings.LastIndex(name, "."):])
+		for _, w := range strings.Split(name, ".") {
+			freq[w]++
+		}
+	}
+	reused := 0
+	for _, n := range freq {
+		if n >= 5 {
+			reused++
+		}
+	}
+	if reused < 50 {
+		t.Errorf("only %d words reused >=5 times; name vocabulary too flat", reused)
+	}
+}
+
+func TestMeanSizeInPaperBallpark(t *testing.T) {
+	c := Generate(Config{NumFiles: 20000, Vocabulary: 2000, PopularityExp: 0.9, Seed: 5})
+	mean := c.MeanSize()
+	// Paper: 9TB/28,007 ≈ 321 MB and 90TB/267,047 ≈ 337 MB per file.
+	if mean < 150<<20 || mean > 700<<20 {
+		t.Errorf("mean size %d MB outside the paper's ballpark", mean>>20)
+	}
+}
+
+func TestSizesPositiveAndBounded(t *testing.T) {
+	c := Generate(small())
+	for i := 0; i < c.Len(); i++ {
+		s := c.File(i).Size
+		if s <= 0 || s > 5<<30 {
+			t.Errorf("file %d size %d out of range", i, s)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Movie.String() != "Video" || Song.String() != "Audio" {
+		t.Error("kind tags")
+	}
+	if Kind(99).String() != "Unknown" {
+		t.Error("unknown kind tag")
+	}
+}
+
+func BenchmarkGenerate10k(b *testing.B) {
+	cfg := Config{NumFiles: 10000, Vocabulary: 2000, PopularityExp: 0.9, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		Generate(cfg)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	c := Generate(small())
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Sample(rng)
+	}
+}

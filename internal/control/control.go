@@ -1,0 +1,349 @@
+// Package control implements the manager ↔ honeypot control protocol.
+//
+// The paper's manager launches honeypots, tells them which server to join
+// and which files to advertise, polls their status, and periodically
+// gathers their logs. This package carries those four operations as JSON
+// envelopes inside eDonkey SERVER-MESSAGE frames on a dedicated port, so
+// the exact same control plane runs over the simulated network and over
+// real TCP (cmd/hpmanager driving cmd/honeypotd).
+package control
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+
+	"repro/internal/client"
+	"repro/internal/ed2k"
+	"repro/internal/honeypot"
+	"repro/internal/logging"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// DefaultPort is the conventional control port.
+const DefaultPort = 4700
+
+// Request types.
+const (
+	TypeStatus      = "status"
+	TypeAdvertise   = "advertise"
+	TypeConnect     = "connect-server"
+	TypeTakeRecords = "take-records"
+	TypeResponse    = "response"
+)
+
+// Envelope frames one control message.
+type Envelope struct {
+	Seq     uint64          `json:"seq"`
+	Type    string          `json:"type"`
+	Error   string          `json:"error,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// FileSpec serializes a shared file across the control link.
+type FileSpec struct {
+	Hash string `json:"hash"`
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+	Type string `json:"type"`
+}
+
+// ToShared converts to the client representation.
+func (f FileSpec) ToShared() (client.SharedFile, error) {
+	h, err := ed2k.ParseHash(f.Hash)
+	if err != nil {
+		return client.SharedFile{}, err
+	}
+	return client.SharedFile{Hash: h, Name: f.Name, Size: f.Size, Type: f.Type}, nil
+}
+
+// SpecOf converts from the client representation.
+func SpecOf(f client.SharedFile) FileSpec {
+	return FileSpec{Hash: f.Hash.String(), Name: f.Name, Size: f.Size, Type: f.Type}
+}
+
+// AdvertiseRequest carries the files to advertise.
+type AdvertiseRequest struct {
+	Files []FileSpec `json:"files"`
+}
+
+// ConnectRequest carries the directory server to join.
+type ConnectRequest struct {
+	Server string `json:"server"`
+}
+
+// RecordsResponse carries drained log records.
+type RecordsResponse struct {
+	Records []logging.Record `json:"records"`
+}
+
+func marshalEnvelope(e Envelope) wire.Message {
+	b, err := json.Marshal(e)
+	if err != nil {
+		// Envelope contents are always marshalable; this is a programmer error.
+		panic("control: marshal envelope: " + err.Error())
+	}
+	return &wire.ServerMessage{Text: string(b)}
+}
+
+func unmarshalEnvelope(m wire.Message) (Envelope, error) {
+	sm, ok := m.(*wire.ServerMessage)
+	if !ok {
+		return Envelope{}, fmt.Errorf("control: unexpected frame %T", m)
+	}
+	var e Envelope
+	if err := json.Unmarshal([]byte(sm.Text), &e); err != nil {
+		return Envelope{}, fmt.Errorf("control: bad envelope: %w", err)
+	}
+	return e, nil
+}
+
+// ---------------------------------------------------------------------------
+// Agent (honeypot side).
+
+// Agent serves control requests for one honeypot.
+type Agent struct {
+	hp       *honeypot.Honeypot
+	listener transport.Listener
+}
+
+// NewAgent starts serving control requests on the given port of the
+// honeypot's host.
+func NewAgent(host transport.Host, hp *honeypot.Honeypot, port uint16) (*Agent, error) {
+	a := &Agent{hp: hp}
+	l, err := host.Listen(port, wire.ServerSpace, a.accept)
+	if err != nil {
+		return nil, err
+	}
+	a.listener = l
+	return a, nil
+}
+
+// Close stops serving.
+func (a *Agent) Close() {
+	if a.listener != nil {
+		a.listener.Close()
+	}
+}
+
+func (a *Agent) accept(conn transport.Conn) {
+	conn.SetHooks(transport.ConnHooks{
+		OnMessage: func(m wire.Message) {
+			env, err := unmarshalEnvelope(m)
+			if err != nil {
+				conn.Send(marshalEnvelope(Envelope{Type: TypeResponse, Error: err.Error()}))
+				return
+			}
+			conn.Send(marshalEnvelope(a.handle(env)))
+		},
+	})
+}
+
+func (a *Agent) handle(req Envelope) Envelope {
+	resp := Envelope{Seq: req.Seq, Type: TypeResponse}
+	fail := func(err error) Envelope {
+		resp.Error = err.Error()
+		return resp
+	}
+	switch req.Type {
+	case TypeStatus:
+		b, err := json.Marshal(a.hp.Status())
+		if err != nil {
+			return fail(err)
+		}
+		resp.Payload = b
+	case TypeAdvertise:
+		var ar AdvertiseRequest
+		if err := json.Unmarshal(req.Payload, &ar); err != nil {
+			return fail(err)
+		}
+		files := make([]client.SharedFile, 0, len(ar.Files))
+		for _, fs := range ar.Files {
+			f, err := fs.ToShared()
+			if err != nil {
+				return fail(err)
+			}
+			files = append(files, f)
+		}
+		a.hp.Advertise(files...)
+	case TypeConnect:
+		var cr ConnectRequest
+		if err := json.Unmarshal(req.Payload, &cr); err != nil {
+			return fail(err)
+		}
+		addr, err := netip.ParseAddrPort(cr.Server)
+		if err != nil {
+			return fail(err)
+		}
+		a.hp.ConnectServer(addr)
+	case TypeTakeRecords:
+		b, err := json.Marshal(RecordsResponse{Records: a.hp.TakeRecords()})
+		if err != nil {
+			return fail(err)
+		}
+		resp.Payload = b
+	default:
+		resp.Error = "control: unknown request type " + req.Type
+	}
+	return resp
+}
+
+// ---------------------------------------------------------------------------
+// Link (manager side).
+
+// Link is the manager's connection to one honeypot agent.
+type Link struct {
+	host    transport.Host
+	id      string
+	addr    netip.AddrPort
+	conn    transport.Conn
+	seq     uint64
+	pending map[uint64]func(Envelope, error)
+	closed  bool
+}
+
+// Dial connects to a honeypot's control port. done runs on the manager's
+// executor.
+func Dial(host transport.Host, id string, addr netip.AddrPort, done func(*Link, error)) {
+	host.Dial(addr, wire.ServerSpace, func(conn transport.Conn, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		l := &Link{host: host, id: id, addr: addr, conn: conn, pending: make(map[uint64]func(Envelope, error))}
+		conn.SetHooks(transport.ConnHooks{
+			OnMessage: l.onMessage,
+			OnClose:   l.onClose,
+		})
+		done(l, nil)
+	})
+}
+
+// ID returns the honeypot identifier this link serves.
+func (l *Link) ID() string { return l.id }
+
+// Addr returns the control endpoint.
+func (l *Link) Addr() netip.AddrPort { return l.addr }
+
+// Closed reports whether the link died.
+func (l *Link) Closed() bool { return l.closed }
+
+// Close tears the link down; pending requests fail.
+func (l *Link) Close() {
+	if !l.closed {
+		l.conn.Close()
+		l.onClose(nil)
+	}
+}
+
+func (l *Link) onClose(error) {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	for seq, cb := range l.pending {
+		delete(l.pending, seq)
+		cb(Envelope{}, transport.ErrClosed)
+	}
+}
+
+func (l *Link) onMessage(m wire.Message) {
+	env, err := unmarshalEnvelope(m)
+	if err != nil {
+		return // ignore garbage responses
+	}
+	cb, ok := l.pending[env.Seq]
+	if !ok {
+		return
+	}
+	delete(l.pending, env.Seq)
+	cb(env, nil)
+}
+
+func (l *Link) request(typ string, payload any, cb func(Envelope, error)) {
+	if l.closed {
+		cb(Envelope{}, transport.ErrClosed)
+		return
+	}
+	l.seq++
+	env := Envelope{Seq: l.seq, Type: typ}
+	if payload != nil {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			cb(Envelope{}, err)
+			return
+		}
+		env.Payload = b
+	}
+	l.pending[env.Seq] = cb
+	l.conn.Send(marshalEnvelope(env))
+}
+
+// Status polls the honeypot's status.
+func (l *Link) Status(cb func(honeypot.Status, error)) {
+	l.request(TypeStatus, nil, func(env Envelope, err error) {
+		if err != nil {
+			cb(honeypot.Status{}, err)
+			return
+		}
+		if env.Error != "" {
+			cb(honeypot.Status{}, fmt.Errorf("control: %s", env.Error))
+			return
+		}
+		var st honeypot.Status
+		if err := json.Unmarshal(env.Payload, &st); err != nil {
+			cb(honeypot.Status{}, err)
+			return
+		}
+		cb(st, nil)
+	})
+}
+
+// Advertise tells the honeypot which files to claim.
+func (l *Link) Advertise(files []client.SharedFile, cb func(error)) {
+	req := AdvertiseRequest{Files: make([]FileSpec, 0, len(files))}
+	for _, f := range files {
+		req.Files = append(req.Files, SpecOf(f))
+	}
+	l.request(TypeAdvertise, req, func(env Envelope, err error) {
+		cb(respErr(env, err))
+	})
+}
+
+// ConnectServer redirects the honeypot to a directory server.
+func (l *Link) ConnectServer(server netip.AddrPort, cb func(error)) {
+	l.request(TypeConnect, ConnectRequest{Server: server.String()}, func(env Envelope, err error) {
+		cb(respErr(env, err))
+	})
+}
+
+// TakeRecords drains the honeypot's log buffer.
+func (l *Link) TakeRecords(cb func([]logging.Record, error)) {
+	l.request(TypeTakeRecords, nil, func(env Envelope, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		if env.Error != "" {
+			cb(nil, fmt.Errorf("control: %s", env.Error))
+			return
+		}
+		var rr RecordsResponse
+		if err := json.Unmarshal(env.Payload, &rr); err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(rr.Records, nil)
+	})
+}
+
+func respErr(env Envelope, err error) error {
+	if err != nil {
+		return err
+	}
+	if env.Error != "" {
+		return fmt.Errorf("control: %s", env.Error)
+	}
+	return nil
+}

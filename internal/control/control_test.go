@@ -1,0 +1,262 @@
+package control
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/des"
+	"repro/internal/ed2k"
+	"repro/internal/honeypot"
+	"repro/internal/logging"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+var t0 = time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC)
+
+type world struct {
+	loop *des.Loop
+	net  *netsim.Network
+	srv  *server.Server
+	hp   *honeypot.Honeypot
+	link *Link
+}
+
+func (w *world) settle() { w.loop.RunUntil(w.loop.Now().Add(time.Minute)) }
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	loop := des.NewLoop(t0, 41)
+	nw := netsim.New(loop, netsim.DefaultConfig())
+	srv := server.New(nw.NewHost("server"), server.DefaultConfig("big"))
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	w := &world{loop: loop, net: nw, srv: srv}
+
+	hpHost := nw.NewHost("hp")
+	w.hp = honeypot.New(hpHost, honeypot.Config{
+		ID: "hp-0", Strategy: honeypot.RandomContent, Port: 4662, Secret: []byte("s"),
+	})
+	if err := w.hp.Client().Listen(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAgent(hpHost, w.hp, DefaultPort); err != nil {
+		t.Fatal(err)
+	}
+
+	mgrHost := nw.NewHost("manager")
+	Dial(mgrHost, "hp-0", netip.AddrPortFrom(hpHost.Addr(), DefaultPort), func(l *Link, err error) {
+		if err != nil {
+			t.Errorf("control dial: %v", err)
+			return
+		}
+		w.link = l
+	})
+	w.settle()
+	if w.link == nil {
+		t.Fatal("no control link")
+	}
+	return w
+}
+
+func TestConnectServerViaControl(t *testing.T) {
+	w := newWorld(t)
+	var gotErr error = errNotCalled
+	w.link.ConnectServer(w.srv.Addr(), func(err error) { gotErr = err })
+	w.settle()
+	if gotErr != nil {
+		t.Fatalf("connect: %v", gotErr)
+	}
+	var st honeypot.Status
+	w.link.Status(func(s honeypot.Status, err error) {
+		if err != nil {
+			t.Errorf("status: %v", err)
+			return
+		}
+		st = s
+	})
+	w.settle()
+	if !st.Connected {
+		t.Error("honeypot not connected after control ConnectServer")
+	}
+	if st.ID != "hp-0" {
+		t.Errorf("status ID %q", st.ID)
+	}
+}
+
+var errNotCalled = &notCalledError{}
+
+type notCalledError struct{}
+
+func (*notCalledError) Error() string { return "callback not called" }
+
+func TestAdvertiseViaControl(t *testing.T) {
+	w := newWorld(t)
+	w.link.ConnectServer(w.srv.Addr(), func(error) {})
+	w.settle()
+	files := []client.SharedFile{
+		{Hash: ed2k.SyntheticHash("a"), Name: "a.avi", Size: 700 << 20, Type: "Video"},
+		{Hash: ed2k.SyntheticHash("b"), Name: "b.mp3", Size: 4 << 20, Type: "Audio"},
+	}
+	var gotErr error = errNotCalled
+	w.link.Advertise(files, func(err error) { gotErr = err })
+	w.settle()
+	if gotErr != nil {
+		t.Fatalf("advertise: %v", gotErr)
+	}
+	if w.srv.FilesIndexed() != 2 {
+		t.Errorf("server indexed %d", w.srv.FilesIndexed())
+	}
+}
+
+func TestTakeRecordsViaControl(t *testing.T) {
+	w := newWorld(t)
+	w.link.ConnectServer(w.srv.Addr(), func(error) {})
+	w.settle()
+	bait := client.SharedFile{Hash: ed2k.SyntheticHash("bait"), Name: "bait.avi", Size: 1 << 20, Type: "Video"}
+	w.link.Advertise([]client.SharedFile{bait}, func(error) {})
+	w.settle()
+
+	// One peer contacts the honeypot.
+	peer := client.New(w.net.NewHost("peer"), client.Config{
+		Label: "peer", UserHash: ed2k.NewUserHash("peer"), Port: 4663,
+	})
+	if err := peer.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	hpAddr := netip.AddrPortFrom(w.hp.Client().Host().Addr(), 4662)
+	peer.DialPeer(hpAddr, func(ps *client.PeerSession, err error) {
+		if err != nil {
+			t.Errorf("dial hp: %v", err)
+			return
+		}
+		ps.SendHello()
+		ps.StartUpload(bait.Hash)
+	})
+	w.settle()
+
+	var recs []logging.Record
+	w.link.TakeRecords(func(r []logging.Record, err error) {
+		if err != nil {
+			t.Errorf("take: %v", err)
+			return
+		}
+		recs = r
+	})
+	w.settle()
+	if len(recs) < 2 {
+		t.Fatalf("collected %d records", len(recs))
+	}
+	// Records survive JSON: check the essential fields.
+	if recs[0].Kind != logging.KindHello || recs[0].PeerIP == "" {
+		t.Errorf("record 0: %+v", recs[0])
+	}
+	// Second take is empty (drained).
+	w.link.TakeRecords(func(r []logging.Record, err error) {
+		if err != nil {
+			t.Errorf("take2: %v", err)
+		}
+		if len(r) != 0 {
+			t.Errorf("second take returned %d", len(r))
+		}
+	})
+	w.settle()
+}
+
+func TestLinkFailurePropagatesToPending(t *testing.T) {
+	w := newWorld(t)
+	hpHost, _ := w.net.HostAt(netip.AddrPortFrom(w.hp.Client().Host().Addr(), DefaultPort).Addr())
+	var gotErr error
+	w.link.Status(func(s honeypot.Status, err error) { gotErr = err })
+	hpHost.Crash()
+	w.settle()
+	if gotErr == nil {
+		t.Error("pending request should fail when the agent dies")
+	}
+	if !w.link.Closed() {
+		t.Error("link should be closed")
+	}
+	// New requests fail fast.
+	called := false
+	w.link.Status(func(s honeypot.Status, err error) {
+		called = true
+		if err == nil {
+			t.Error("request on dead link should error")
+		}
+	})
+	if !called {
+		t.Error("dead-link request must call back synchronously")
+	}
+}
+
+func TestBadEnvelopeAnswered(t *testing.T) {
+	w := newWorld(t)
+	// Speak garbage directly to the agent port; the agent must answer
+	// with an error envelope, not crash or stay silent.
+	h := w.net.NewHost("garbler")
+	var replies []Envelope
+	h.Dial(netip.AddrPortFrom(w.hp.Client().Host().Addr(), DefaultPort), wire.ServerSpace, func(c transport.Conn, err error) {
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		c.SetHooks(transport.ConnHooks{OnMessage: func(m wire.Message) {
+			if env, err := unmarshalEnvelope(m); err == nil {
+				replies = append(replies, env)
+			}
+		}})
+		c.Send(&wire.ServerMessage{Text: "{this is not json"})
+		c.Send(marshalEnvelope(Envelope{Seq: 1, Type: "no-such-request"}))
+	})
+	w.settle()
+	if len(replies) != 2 {
+		t.Fatalf("got %d replies", len(replies))
+	}
+	for i, r := range replies {
+		if r.Error == "" {
+			t.Errorf("reply %d carries no error: %+v", i, r)
+		}
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	env := Envelope{Seq: 7, Type: TypeStatus}
+	m := marshalEnvelope(env)
+	got, err := unmarshalEnvelope(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 7 || got.Type != TypeStatus {
+		t.Errorf("round trip: %+v", got)
+	}
+	if _, err := unmarshalEnvelope(&wire.Reject{}); err == nil {
+		t.Error("non-ServerMessage frame must fail")
+	}
+	if _, err := unmarshalEnvelope(&wire.ServerMessage{Text: "{not json"}); err == nil {
+		t.Error("bad JSON must fail")
+	}
+}
+
+func TestFileSpecRoundTrip(t *testing.T) {
+	f := client.SharedFile{Hash: ed2k.SyntheticHash("x"), Name: "x.avi", Size: 123, Type: "Video"}
+	spec := SpecOf(f)
+	back, err := spec.ToShared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != f {
+		t.Errorf("round trip: %+v != %+v", back, f)
+	}
+	if _, err := (FileSpec{Hash: "zz"}).ToShared(); err == nil {
+		t.Error("bad hash must fail")
+	}
+	if !strings.Contains(spec.Hash, strings.ToUpper(spec.Hash[:4])) {
+		t.Error("hash should be upper-case hex")
+	}
+}

@@ -1,0 +1,468 @@
+// Package core orchestrates complete measurement campaigns: it builds a
+// simulated world (directory server, honeypot fleet, manager, peer
+// population), runs it for the campaign duration under virtual time, and
+// returns the merged anonymized dataset plus campaign metadata.
+//
+// Two campaign shapes mirror the paper's experiments (§IV):
+//
+//   - Distributed: 24 honeypots on one large server, advertising the same
+//     four files (a movie, a song, a Linux distribution and a text),
+//     half answering with random content and half with none, for 32 days.
+//   - Greedy: a single honeypot that spends its first day harvesting the
+//     shared lists of contacting peers and re-advertising every file it
+//     sees, then measures for 15 days total.
+//
+// The Scale knob multiplies arrival intensity only: durations, diurnal
+// shape and behaviour stay at paper values, so every curve keeps its
+// shape while absolute counts shrink proportionally.
+package core
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/client"
+	"repro/internal/des"
+	"repro/internal/ed2k"
+	"repro/internal/honeypot"
+	"repro/internal/manager"
+	"repro/internal/netsim"
+	"repro/internal/peersim"
+	"repro/internal/server"
+)
+
+// CampaignStart is the virtual start of all campaigns: the paper's
+// distributed measurement began in October 2008.
+var CampaignStart = time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC)
+
+// Result is the outcome of one campaign.
+type Result struct {
+	// Name labels the campaign ("distributed", "greedy", ...).
+	Name string
+	// Dataset is the manager's merged, renumbered, audited output.
+	Dataset *manager.Dataset
+	// Start and Days delimit the measurement window.
+	Start time.Time
+	Days  int
+	// HoneypotIDs lists the fleet in launch order.
+	HoneypotIDs []string
+	// GroupOf maps honeypot ID to its strategy name ("random-content" /
+	// "no-content").
+	GroupOf map[string]string
+	// Advertised is the final advertised file set (grown by adoption in
+	// greedy campaigns).
+	Advertised []client.SharedFile
+	// PopStats, ServerStats and HoneypotStats expose component counters.
+	PopStats      peersim.Stats
+	ServerStats   server.Stats
+	HoneypotStats map[string]honeypot.Stats
+	// Events is the number of simulation events executed.
+	Events uint64
+}
+
+// DistributedConfig parameterizes the distributed campaign.
+type DistributedConfig struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Days is the measurement duration (paper: 32).
+	Days int
+	// Honeypots is the fleet size (paper: 24); half run random-content.
+	Honeypots int
+	// Servers is the number of directory servers. 1 reproduces the
+	// paper's setup ("all connected to the same large server"); larger
+	// values exercise the alternative strategy its §III-A describes,
+	// spreading honeypots round-robin for a more global view. Peers log
+	// into a random server and only find the honeypots registered there.
+	Servers int
+	// Scale multiplies arrival intensity (1.0 ≈ paper magnitudes).
+	Scale float64
+	// ArrivalsPerDay is the day-one arrival intensity before decay
+	// (calibrated so 32 days at scale 1 yield ≈110k distinct peers).
+	ArrivalsPerDay float64
+	// DecayPerDay models waning interest in the four files (Fig 2's
+	// declining new-peers curve).
+	DecayPerDay float64
+	// HeavyHitters is the number of crawler-like peers (Figs 8-9).
+	HeavyHitters int
+	// Catalog sizes the file universe used for peer libraries.
+	Catalog catalog.Config
+	// LibraryRegion confines peer libraries to the catalog's most
+	// popular region (Table I's distinct-file count for this campaign).
+	LibraryRegion int
+	// CollectEvery is the manager's log-gathering period.
+	CollectEvery time.Duration
+}
+
+// DefaultDistributedConfig returns the paper's distributed setup.
+func DefaultDistributedConfig() DistributedConfig {
+	return DistributedConfig{
+		Seed:           1,
+		Days:           32,
+		Honeypots:      24,
+		Scale:          1.0,
+		ArrivalsPerDay: 4900,
+		DecayPerDay:    0.976,
+		HeavyHitters:   1,
+		Catalog:        catalog.DefaultConfig(),
+		LibraryRegion:  30_000,
+		CollectEvery:   time.Hour,
+	}
+}
+
+// GreedyConfig parameterizes the greedy campaign.
+type GreedyConfig struct {
+	Seed int64
+	// Days is the measurement duration (paper: 15).
+	Days int
+	// Scale multiplies arrival intensity.
+	Scale float64
+	// ArrivalsPerDay is the steady-state arrival intensity once the
+	// advertised list is fully grown (paper: ≈54k new peers/day).
+	ArrivalsPerDay float64
+	// SeedFiles is the number of files advertised initially (paper
+	// "starting with only a few": 3).
+	SeedFiles int
+	// AdoptWindow is the harvesting phase length (paper: 1 day).
+	AdoptWindow time.Duration
+	// MaxAdopted caps the advertised list (paper reached 3,175).
+	MaxAdopted int
+	// TargetExp shapes per-file arrival weights (1/(rank+1)^TargetExp);
+	// 0.4 matches the paper's Fig 11/12 per-file peer counts.
+	TargetExp float64
+	// WantsMax bounds how many advertised files one peer asks for
+	// (uniform 1..WantsMax; the paper's per-file sums imply ≈3).
+	WantsMax int
+	// Catalog sizes the file universe.
+	Catalog catalog.Config
+	// CollectEvery is the manager's log-gathering period.
+	CollectEvery time.Duration
+}
+
+// DefaultGreedyConfig returns the paper's greedy setup.
+func DefaultGreedyConfig() GreedyConfig {
+	return GreedyConfig{
+		Seed:           2,
+		Days:           15,
+		Scale:          1.0,
+		ArrivalsPerDay: 54_000,
+		SeedFiles:      3,
+		AdoptWindow:    24 * time.Hour,
+		MaxAdopted:     3_175,
+		TargetExp:      0.4,
+		WantsMax:       5,
+		Catalog:        catalog.DefaultConfig(),
+		CollectEvery:   time.Hour,
+	}
+}
+
+// campaignWorld is the shared scaffolding of both campaigns.
+type campaignWorld struct {
+	loop *des.Loop
+	net  *netsim.Network
+	srv  *server.Server // first server (single-server campaigns use it)
+	srvs []*server.Server
+	mgr  *manager.Manager
+	hps  []*honeypot.Honeypot
+	ids  []string
+}
+
+func buildWorld(seed int64, collectEvery time.Duration) (*campaignWorld, error) {
+	return buildWorldN(seed, collectEvery, 1)
+}
+
+// buildWorldN creates a world with n federated directory servers.
+func buildWorldN(seed int64, collectEvery time.Duration, n int) (*campaignWorld, error) {
+	if n <= 0 {
+		n = 1
+	}
+	loop := des.NewLoop(CampaignStart, seed)
+	nw := netsim.New(loop, netsim.DefaultConfig())
+
+	hosts := make([]*netsim.Host, n)
+	addrs := make([]netip.AddrPort, n)
+	for i := 0; i < n; i++ {
+		hosts[i] = nw.NewHost(fmt.Sprintf("server-%d", i))
+		addrs[i] = netip.AddrPortFrom(hosts[i].Addr(), 4661)
+	}
+	w := &campaignWorld{loop: loop, net: nw}
+	for i := 0; i < n; i++ {
+		cfg := server.DefaultConfig(fmt.Sprintf("paper-server-%d", i))
+		cfg.KnownServers = addrs // federation: everyone knows everyone
+		srv := server.New(hosts[i], cfg)
+		if err := srv.Start(); err != nil {
+			return nil, fmt.Errorf("core: starting server %d: %w", i, err)
+		}
+		w.srvs = append(w.srvs, srv)
+	}
+	w.srv = w.srvs[0]
+
+	mcfg := manager.DefaultConfig()
+	if collectEvery > 0 {
+		mcfg.CollectEvery = collectEvery
+	}
+	w.mgr = manager.New(nw.NewHost("manager"), mcfg)
+	return w, nil
+}
+
+// serverAddrs lists all directory servers.
+func (w *campaignWorld) serverAddrs() []netip.AddrPort {
+	out := make([]netip.AddrPort, len(w.srvs))
+	for i, s := range w.srvs {
+		out[i] = s.Addr()
+	}
+	return out
+}
+
+// addHoneypot creates, registers and places one honeypot on the given
+// directory server (zero AddrPort means the first server).
+func (w *campaignWorld) addHoneypot(cfg honeypot.Config, files []client.SharedFile, on netip.AddrPort) (*honeypot.Honeypot, error) {
+	hp := honeypot.New(w.net.NewHost(cfg.ID), cfg)
+	if err := hp.Client().Listen(); err != nil {
+		return nil, fmt.Errorf("core: honeypot %s: %w", cfg.ID, err)
+	}
+	if !on.IsValid() {
+		on = w.srv.Addr()
+	}
+	w.mgr.Add(manager.NewLocalHandle(cfg.ID, hp, w.mgr.Host()), manager.Assignment{
+		Server: on,
+		Files:  files,
+	})
+	w.hps = append(w.hps, hp)
+	w.ids = append(w.ids, cfg.ID)
+	return hp, nil
+}
+
+// finish runs the campaign to its end, finalizes the dataset and collects
+// metadata.
+func (w *campaignWorld) finish(name string, days int, pop *peersim.Population, groupOf map[string]string) (*Result, error) {
+	end := CampaignStart.Add(time.Duration(days) * 24 * time.Hour)
+	w.loop.RunUntil(end)
+	pop.Stop()
+
+	var ds *manager.Dataset
+	var dsErr error
+	w.mgr.Finalize(func(d *manager.Dataset, err error) { ds, dsErr = d, err })
+	// Drain the finalize exchange (bounded: population stopped).
+	w.loop.RunUntil(end.Add(time.Hour))
+	if dsErr != nil {
+		return nil, dsErr
+	}
+	if ds == nil {
+		return nil, fmt.Errorf("core: finalize did not complete")
+	}
+
+	res := &Result{
+		Name:          name,
+		Dataset:       ds,
+		Start:         CampaignStart,
+		Days:          days,
+		HoneypotIDs:   w.ids,
+		GroupOf:       groupOf,
+		PopStats:      pop.Stats(),
+		ServerStats:   w.srv.Stats(),
+		HoneypotStats: make(map[string]honeypot.Stats, len(w.hps)),
+		Events:        w.loop.Executed(),
+	}
+	for i, hp := range w.hps {
+		res.HoneypotStats[w.ids[i]] = hp.Stats()
+		res.Advertised = append(res.Advertised[:0], hp.Advertised()...)
+	}
+	// For multi-honeypot campaigns all advertise the same set; keep the
+	// first fleet member's list.
+	if len(w.hps) > 0 {
+		res.Advertised = append([]client.SharedFile(nil), w.hps[0].Advertised()...)
+	}
+	return res, nil
+}
+
+// FourBaitFiles picks the paper's four advertised files from the catalog:
+// a movie, a song, a Linux-distribution-like image and a text.
+func FourBaitFiles(cat *catalog.Catalog) []client.SharedFile {
+	kinds := []catalog.Kind{catalog.Movie, catalog.Song, catalog.Distro, catalog.Text}
+	out := make([]client.SharedFile, 0, 4)
+	for _, k := range kinds {
+		for i := 0; i < cat.Len(); i++ {
+			f := cat.File(i)
+			if f.Kind == k {
+				out = append(out, client.SharedFile{Hash: f.Hash, Name: f.Name, Size: f.Size, Type: f.Kind.String()})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RunDistributed executes the distributed campaign.
+func RunDistributed(cfg DistributedConfig) (*Result, error) {
+	if cfg.Days <= 0 || cfg.Honeypots <= 0 {
+		return nil, fmt.Errorf("core: invalid distributed config")
+	}
+	w, err := buildWorldN(cfg.Seed, cfg.CollectEvery, cfg.Servers)
+	if err != nil {
+		return nil, err
+	}
+	cat := catalog.Generate(cfg.Catalog)
+	bait := FourBaitFiles(cat)
+	secret := []byte(fmt.Sprintf("distributed-campaign-%d", cfg.Seed))
+
+	// Placement strategy: same-server (the paper's setup) or round-robin
+	// over the federation.
+	placements := manager.SameServer(w.srv.Addr(), bait, cfg.Honeypots)
+	if len(w.srvs) > 1 {
+		placements = manager.SpreadServers(w.serverAddrs(), bait, cfg.Honeypots)
+	}
+
+	groupOf := make(map[string]string, cfg.Honeypots)
+	for i := 0; i < cfg.Honeypots; i++ {
+		id := fmt.Sprintf("hp-%02d", i)
+		strat := honeypot.NoContent
+		if i%2 == 0 {
+			strat = honeypot.RandomContent
+		}
+		groupOf[id] = strat.String()
+		if _, err := w.addHoneypot(honeypot.Config{
+			ID: id, Strategy: strat, Port: 4662, Secret: secret,
+			BrowseContacts: true,
+		}, bait, placements[i].Server); err != nil {
+			return nil, err
+		}
+	}
+	w.mgr.Start()
+	w.loop.RunUntil(CampaignStart.Add(5 * time.Minute)) // placement settles
+
+	// The four files' relative draw: movie > song > distro > text.
+	weights := []float64{0.45, 0.30, 0.15, 0.10}
+	targets := make([]peersim.TargetFile, len(bait))
+	for i, f := range bait {
+		wgt := 0.25
+		if i < len(weights) {
+			wgt = weights[i]
+		}
+		targets[i] = peersim.TargetFile{Hash: f.Hash, Name: f.Name, Size: f.Size, Weight: wgt}
+	}
+
+	pcfg := peersim.DefaultConfig()
+	pcfg.Label = "distributed-pop"
+	pcfg.Server = w.srv.Addr()
+	if len(w.srvs) > 1 {
+		pcfg.Servers = w.serverAddrs()
+	}
+	pcfg.Start = CampaignStart
+	pcfg.End = CampaignStart.Add(time.Duration(cfg.Days) * 24 * time.Hour)
+	pcfg.Scale = cfg.Scale
+	pcfg.ArrivalsPerWeightPerDay = cfg.ArrivalsPerDay // Σ weights = 1
+	pcfg.DecayPerDay = cfg.DecayPerDay
+	pcfg.Catalog = cat
+	pcfg.LibraryRegion = cfg.LibraryRegion
+	pcfg.LibraryMean = 8
+	pcfg.HeavyHitters = cfg.HeavyHitters
+	pcfg.Targets = func() []peersim.TargetFile { return targets }
+	pcfg.RefreshTargets = 0 // static set
+
+	pop := peersim.New(w.net, pcfg)
+	pop.Start()
+	return w.finish("distributed", cfg.Days, pop, groupOf)
+}
+
+// RunGreedy executes the greedy campaign.
+func RunGreedy(cfg GreedyConfig) (*Result, error) {
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("core: invalid greedy config")
+	}
+	w, err := buildWorld(cfg.Seed, cfg.CollectEvery)
+	if err != nil {
+		return nil, err
+	}
+	cat := catalog.Generate(cfg.Catalog)
+	secret := []byte(fmt.Sprintf("greedy-campaign-%d", cfg.Seed))
+
+	// Seed files: a few mid-popularity songs.
+	seeds := make([]client.SharedFile, 0, cfg.SeedFiles)
+	for i := 0; i < cat.Len() && len(seeds) < cfg.SeedFiles; i++ {
+		f := cat.File(i)
+		if f.Kind == catalog.Song {
+			seeds = append(seeds, client.SharedFile{Hash: f.Hash, Name: f.Name, Size: f.Size, Type: f.Kind.String()})
+		}
+	}
+
+	hp, err := w.addHoneypot(honeypot.Config{
+		ID: "hp-greedy", Strategy: honeypot.NoContent, Port: 4662, Secret: secret,
+		BrowseContacts: true,
+		Greedy:         true,
+		GreedyWindow:   cfg.AdoptWindow,
+		GreedyMaxFiles: cfg.MaxAdopted,
+	}, seeds, netip.AddrPort{})
+	if err != nil {
+		return nil, err
+	}
+	w.mgr.Start()
+	w.loop.RunUntil(CampaignStart.Add(5 * time.Minute))
+
+	// Target weights follow adoption order with the campaign's exponent
+	// (adoption order is popularity-correlated: popular files surface in
+	// harvested libraries first). Normalized so a fully-grown list sums
+	// to 1 and ArrivalsPerDay is the steady-state intensity.
+	norm := 0.0
+	for i := 0; i < cfg.MaxAdopted; i++ {
+		norm += weightOf(i, cfg.TargetExp)
+	}
+	if norm <= 0 {
+		norm = 1
+	}
+
+	pcfg := peersim.DefaultConfig()
+	pcfg.Label = "greedy-pop"
+	pcfg.Server = w.srv.Addr()
+	pcfg.Start = CampaignStart
+	pcfg.End = CampaignStart.Add(time.Duration(cfg.Days) * 24 * time.Hour)
+	pcfg.Scale = cfg.Scale
+	pcfg.ArrivalsPerWeightPerDay = cfg.ArrivalsPerDay / norm
+	pcfg.Catalog = cat
+	pcfg.LibraryMean = 15
+	pcfg.MaxSourcesPerPeer = 1 // only one honeypot exists
+	pcfg.WantsMax = cfg.WantsMax
+	pcfg.RefreshTargets = time.Hour
+
+	// Discovery ramp: the network notices a freshly advertised file
+	// gradually — seekers must issue GET-SOURCES after the offer lands in
+	// the index. This reproduces Fig 3's near-invisible first day.
+	const discoveryRamp = 30 * time.Hour
+	hpHost := hp.Client().Host()
+	addedAt := map[ed2k.Hash]time.Time{}
+	pcfg.Targets = func() []peersim.TargetFile {
+		now := hpHost.Now()
+		adv := hp.Advertised()
+		out := make([]peersim.TargetFile, 0, len(adv))
+		for i, f := range adv {
+			t0, seen := addedAt[f.Hash]
+			if !seen {
+				t0 = now
+				addedAt[f.Hash] = now
+			}
+			ramp := float64(now.Sub(t0)) / float64(discoveryRamp)
+			if ramp > 1 || i < cfg.SeedFiles {
+				// Seed files are established content the network already
+				// knows; only freshly adopted files ramp up.
+				ramp = 1
+			}
+			out = append(out, peersim.TargetFile{
+				Hash: f.Hash, Name: f.Name, Size: f.Size,
+				Weight: weightOf(i, cfg.TargetExp) * ramp,
+			})
+		}
+		return out
+	}
+
+	pop := peersim.New(w.net, pcfg)
+	pop.Start()
+	groupOf := map[string]string{"hp-greedy": honeypot.NoContent.String()}
+	return w.finish("greedy", cfg.Days, pop, groupOf)
+}
+
+// weightOf is the per-file arrival weight at catalog rank.
+func weightOf(rank int, exp float64) float64 {
+	return math.Pow(1/float64(rank+1), exp)
+}

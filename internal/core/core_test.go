@@ -1,0 +1,235 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/honeypot"
+	"repro/internal/logging"
+)
+
+// tinyDistributed returns a distributed campaign small enough for unit
+// tests (a few hundred peers) but with the paper's structure intact.
+func tinyDistributed() DistributedConfig {
+	cfg := DefaultDistributedConfig()
+	cfg.Days = 4
+	cfg.Honeypots = 6
+	cfg.Scale = 0.02
+	cfg.HeavyHitters = 1
+	cfg.Catalog = catalog.Config{NumFiles: 3000, Vocabulary: 500, PopularityExp: 0.9, Seed: 1}
+	cfg.LibraryRegion = 1000
+	return cfg
+}
+
+func tinyGreedy() GreedyConfig {
+	cfg := DefaultGreedyConfig()
+	cfg.Days = 3
+	cfg.Scale = 0.004
+	cfg.MaxAdopted = 200
+	cfg.Catalog = catalog.Config{NumFiles: 3000, Vocabulary: 500, PopularityExp: 0.9, Seed: 2}
+	return cfg
+}
+
+func TestRunDistributedSmoke(t *testing.T) {
+	res, err := RunDistributed(tinyDistributed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "distributed" || res.Days != 4 {
+		t.Errorf("metadata: %s/%d", res.Name, res.Days)
+	}
+	if len(res.HoneypotIDs) != 6 {
+		t.Fatalf("honeypots: %v", res.HoneypotIDs)
+	}
+	if res.Dataset.DistinctPeers < 50 {
+		t.Errorf("only %d distinct peers", res.Dataset.DistinctPeers)
+	}
+	if len(res.Advertised) != 4 {
+		t.Errorf("advertised %d files, want the paper's 4", len(res.Advertised))
+	}
+	// Both strategy groups must exist.
+	groups := map[string]int{}
+	for _, g := range res.GroupOf {
+		groups[g]++
+	}
+	if groups[honeypot.RandomContent.String()] != 3 || groups[honeypot.NoContent.String()] != 3 {
+		t.Errorf("groups: %v", groups)
+	}
+	// Records span multiple days.
+	last := res.Dataset.Records[len(res.Dataset.Records)-1]
+	if last.Time.Before(res.Start.Add(48 * time.Hour)) {
+		t.Error("campaign ended early")
+	}
+	// All four paper-visible kinds appear.
+	kinds := map[logging.Kind]int{}
+	for _, r := range res.Dataset.Records {
+		kinds[r.Kind]++
+	}
+	for _, k := range []logging.Kind{logging.KindHello, logging.KindStartUpload, logging.KindRequestPart, logging.KindSharedList} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v records", k)
+		}
+	}
+}
+
+func TestRunDistributedDeterministic(t *testing.T) {
+	cfg := tinyDistributed()
+	cfg.Days = 2
+	cfg.Scale = 0.01
+	a, err := RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dataset.DistinctPeers != b.Dataset.DistinctPeers ||
+		len(a.Dataset.Records) != len(b.Dataset.Records) ||
+		a.Events != b.Events {
+		t.Errorf("replay diverged: peers %d/%d records %d/%d events %d/%d",
+			a.Dataset.DistinctPeers, b.Dataset.DistinctPeers,
+			len(a.Dataset.Records), len(b.Dataset.Records),
+			a.Events, b.Events)
+	}
+}
+
+func TestRunGreedySmoke(t *testing.T) {
+	res, err := RunGreedy(tinyGreedy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HoneypotIDs) != 1 {
+		t.Fatalf("honeypots: %v", res.HoneypotIDs)
+	}
+	// The greedy honeypot must have grown its advertised list well beyond
+	// the seed files.
+	if len(res.Advertised) < 20 {
+		t.Errorf("advertised only %d files; adoption failed", len(res.Advertised))
+	}
+	hpStats := res.HoneypotStats["hp-greedy"]
+	if hpStats.Adopted == 0 {
+		t.Error("no adoption recorded")
+	}
+	if res.Dataset.DistinctPeers < 20 {
+		t.Errorf("only %d distinct peers", res.Dataset.DistinctPeers)
+	}
+	// Peers must have queried more than the seed files.
+	queried := map[string]bool{}
+	for _, r := range res.Dataset.Records {
+		if r.Kind == logging.KindStartUpload && !r.FileHash.Zero() {
+			queried[r.FileHash.String()] = true
+		}
+	}
+	if len(queried) <= tinyGreedy().SeedFiles {
+		t.Errorf("queries hit only %d files", len(queried))
+	}
+}
+
+func TestFourBaitFiles(t *testing.T) {
+	cat := catalog.Generate(catalog.Config{NumFiles: 5000, Vocabulary: 400, PopularityExp: 0.9, Seed: 9})
+	files := FourBaitFiles(cat)
+	if len(files) != 4 {
+		t.Fatalf("got %d bait files", len(files))
+	}
+	types := map[string]bool{}
+	for _, f := range files {
+		types[f.Type] = true
+		if f.Size <= 0 || f.Name == "" || f.Hash.Zero() {
+			t.Errorf("bad bait file %+v", f)
+		}
+	}
+	// Movie, song, distro(Pro), text(Doc).
+	for _, want := range []string{"Video", "Audio", "Pro", "Doc"} {
+		if !types[want] {
+			t.Errorf("missing bait type %s (have %v)", want, types)
+		}
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	if _, err := RunDistributed(DistributedConfig{}); err == nil {
+		t.Error("zero distributed config must fail")
+	}
+	if _, err := RunGreedy(GreedyConfig{}); err == nil {
+		t.Error("zero greedy config must fail")
+	}
+}
+
+// TestRunDistributedMultiServer exercises the paper's alternative
+// placement strategy: honeypots spread round-robin over several
+// directory servers, peers logging into a random one.
+func TestRunDistributedMultiServer(t *testing.T) {
+	cfg := tinyDistributed()
+	cfg.Servers = 3
+	res, err := RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dataset.DistinctPeers < 30 {
+		t.Errorf("only %d distinct peers", res.Dataset.DistinctPeers)
+	}
+	// Every honeypot must have been contacted: peers on each server find
+	// the honeypots registered there.
+	perHP := map[string]int{}
+	for _, r := range res.Dataset.Records {
+		perHP[r.Honeypot]++
+	}
+	for _, id := range res.HoneypotIDs {
+		if perHP[id] == 0 {
+			t.Errorf("honeypot %s observed nothing; its server got no peers?", id)
+		}
+	}
+	// Honeypots report different server addresses across the fleet.
+	servers := map[string]bool{}
+	for _, r := range res.Dataset.Records {
+		if r.Server != "" {
+			servers[r.Server] = true
+		}
+	}
+	if len(servers) != 3 {
+		t.Errorf("records mention %d servers, want 3", len(servers))
+	}
+}
+
+// TestMultiServerPartitionsObservation: with several servers, a single
+// honeypot sees a smaller share of the population than in the same-server
+// setup, because only peers of its own server can find it.
+func TestMultiServerPartitionsObservation(t *testing.T) {
+	base := tinyDistributed()
+	base.Days = 3
+	single, err := RunDistributed(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := base
+	multi.Servers = 3
+	multiRes, err := RunDistributed(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := func(res *Result) float64 {
+		perHP := map[string]map[string]bool{}
+		total := map[string]bool{}
+		for _, r := range res.Dataset.Records {
+			if perHP[r.Honeypot] == nil {
+				perHP[r.Honeypot] = map[string]bool{}
+			}
+			perHP[r.Honeypot][r.PeerIP] = true
+			total[r.PeerIP] = true
+		}
+		sum := 0.0
+		for _, peers := range perHP {
+			sum += float64(len(peers))
+		}
+		if len(total) == 0 || len(perHP) == 0 {
+			return 0
+		}
+		return sum / float64(len(perHP)) / float64(len(total))
+	}
+	if share(multiRes) >= share(single) {
+		t.Errorf("multi-server per-honeypot share %.2f should be below single-server %.2f",
+			share(multiRes), share(single))
+	}
+}

@@ -1,0 +1,174 @@
+// Package des provides a deterministic discrete-event scheduler with a
+// virtual clock. It is the execution substrate of the simulated network:
+// month-long measurement campaigns run as an ordered sequence of events in
+// seconds of CPU time, and identical seeds replay identical histories.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. The zero value is invalid; events are
+// created through Loop.At and Loop.After.
+type Event struct {
+	when     time.Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap position, -1 when popped
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].when.Equal(q[j].when) {
+		return q[i].when.Before(q[j].when)
+	}
+	return q[i].seq < q[j].seq // FIFO among simultaneous events
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Loop is a single-threaded discrete-event loop. All callbacks run on the
+// goroutine that calls Run/RunUntil/Step, so event handlers never race.
+type Loop struct {
+	now      time.Time
+	queue    eventQueue
+	seq      uint64
+	seed     int64
+	rng      *rand.Rand
+	executed uint64
+}
+
+// NewLoop returns a loop whose virtual clock starts at start and whose
+// random streams derive from seed.
+func NewLoop(start time.Time, seed int64) *Loop {
+	return &Loop{
+		now:  start,
+		seed: seed,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (l *Loop) Now() time.Time { return l.now }
+
+// Executed returns the number of events processed so far.
+func (l *Loop) Executed() uint64 { return l.executed }
+
+// Pending returns the number of events still queued (including canceled
+// ones not yet reaped).
+func (l *Loop) Pending() int { return len(l.queue) }
+
+// Rand returns the loop's root random stream. Use NewRand for independent
+// per-component streams.
+func (l *Loop) Rand() *rand.Rand { return l.rng }
+
+// NewRand derives an independent deterministic random stream labeled by
+// name. Streams with different labels are statistically independent;
+// identical (seed, label) pairs yield identical streams.
+func (l *Loop) NewRand(label string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", l.seed, label)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// At schedules fn at virtual time t. Scheduling in the past fires at the
+// current time (immediately on the next step), never backwards.
+func (l *Loop) At(t time.Time, fn func()) *Event {
+	if t.Before(l.now) {
+		t = l.now
+	}
+	e := &Event{when: t, seq: l.seq, fn: fn}
+	l.seq++
+	heap.Push(&l.queue, e)
+	return e
+}
+
+// After schedules fn d from now. Negative durations clamp to zero.
+func (l *Loop) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return l.At(l.now.Add(d), fn)
+}
+
+// Step executes the earliest pending event and advances the clock to it.
+// It returns false when the queue is empty.
+func (l *Loop) Step() bool {
+	for len(l.queue) > 0 {
+		e := heap.Pop(&l.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		l.now = e.when
+		l.executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (l *Loop) Run() {
+	for l.Step() {
+	}
+}
+
+// RunUntil executes every event scheduled at or before t, then sets the
+// clock to t. Events scheduled later remain queued.
+func (l *Loop) RunUntil(t time.Time) {
+	for len(l.queue) > 0 {
+		e := l.queue[0]
+		if e.when.After(t) {
+			break
+		}
+		heap.Pop(&l.queue)
+		if e.canceled {
+			continue
+		}
+		l.now = e.when
+		l.executed++
+		e.fn()
+	}
+	if t.After(l.now) {
+		l.now = t
+	}
+}

@@ -1,0 +1,209 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC)
+
+func TestOrderingByTime(t *testing.T) {
+	l := NewLoop(t0, 1)
+	var got []int
+	l.After(3*time.Second, func() { got = append(got, 3) })
+	l.After(1*time.Second, func() { got = append(got, 1) })
+	l.After(2*time.Second, func() { got = append(got, 2) })
+	l.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if l.Now() != t0.Add(3*time.Second) {
+		t.Errorf("final time = %v", l.Now())
+	}
+}
+
+func TestFIFOAmongSimultaneous(t *testing.T) {
+	l := NewLoop(t0, 1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.After(time.Second, func() { got = append(got, i) })
+	}
+	l.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	l := NewLoop(t0, 1)
+	fired := false
+	e := l.After(time.Second, func() { fired = true })
+	e.Cancel()
+	l.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Error("Canceled() = false")
+	}
+	var nilEvent *Event
+	nilEvent.Cancel() // must not panic
+}
+
+func TestNestedScheduling(t *testing.T) {
+	l := NewLoop(t0, 1)
+	var times []time.Duration
+	l.After(time.Second, func() {
+		times = append(times, l.Now().Sub(t0))
+		l.After(time.Second, func() {
+			times = append(times, l.Now().Sub(t0))
+		})
+	})
+	l.Run()
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestSchedulingInThePastClamps(t *testing.T) {
+	l := NewLoop(t0, 1)
+	var when time.Time
+	l.After(10*time.Second, func() {
+		l.At(t0, func() { when = l.Now() }) // in the past
+	})
+	l.Run()
+	if when != t0.Add(10*time.Second) {
+		t.Errorf("past event ran at %v", when)
+	}
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	l := NewLoop(t0, 1)
+	ran := false
+	l.After(-5*time.Second, func() { ran = true })
+	l.Run()
+	if !ran || l.Now() != t0 {
+		t.Errorf("negative delay: ran=%v now=%v", ran, l.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	l := NewLoop(t0, 1)
+	var got []int
+	l.After(1*time.Hour, func() { got = append(got, 1) })
+	l.After(3*time.Hour, func() { got = append(got, 3) })
+	l.RunUntil(t0.Add(2 * time.Hour))
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("got %v", got)
+	}
+	if l.Now() != t0.Add(2*time.Hour) {
+		t.Errorf("now = %v, want t0+2h", l.Now())
+	}
+	if l.Pending() != 1 {
+		t.Errorf("pending = %d", l.Pending())
+	}
+	l.RunUntil(t0.Add(4 * time.Hour))
+	if len(got) != 2 {
+		t.Errorf("after second RunUntil: %v", got)
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	l := NewLoop(t0, 1)
+	ran := false
+	l.After(time.Hour, func() { ran = true })
+	l.RunUntil(t0.Add(time.Hour))
+	if !ran {
+		t.Error("event exactly at boundary should run")
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	l := NewLoop(t0, 1)
+	for i := 0; i < 5; i++ {
+		l.After(time.Duration(i)*time.Second, func() {})
+	}
+	e := l.After(10*time.Second, func() {})
+	e.Cancel()
+	l.Run()
+	if l.Executed() != 5 {
+		t.Errorf("Executed = %d, want 5 (canceled events don't count)", l.Executed())
+	}
+}
+
+func TestDeterministicRandStreams(t *testing.T) {
+	a := NewLoop(t0, 42).NewRand("peers")
+	b := NewLoop(t0, 42).NewRand("peers")
+	c := NewLoop(t0, 42).NewRand("files")
+	same, diff := 0, 0
+	for i := 0; i < 100; i++ {
+		x, y, z := a.Int63(), b.Int63(), c.Int63()
+		if x == y {
+			same++
+		}
+		if x != z {
+			diff++
+		}
+	}
+	if same != 100 {
+		t.Error("same label should yield identical stream")
+	}
+	if diff < 95 {
+		t.Error("different labels should yield independent streams")
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order.
+func TestQuickMonotoneExecution(t *testing.T) {
+	f := func(delays []uint16) bool {
+		l := NewLoop(t0, 9)
+		var fired []time.Time
+		for _, d := range delays {
+			l.After(time.Duration(d)*time.Millisecond, func() {
+				fired = append(fired, l.Now())
+			})
+		}
+		l.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i].Before(fired[i-1]) {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	l := NewLoop(t0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.After(time.Duration(i%1000)*time.Millisecond, func() {})
+		if i%1024 == 1023 {
+			l.Run()
+		}
+	}
+	l.Run()
+}
+
+func BenchmarkEventThroughput(b *testing.B) {
+	// Self-perpetuating event chain: measures pure scheduler overhead.
+	l := NewLoop(t0, 1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			l.After(time.Millisecond, tick)
+		}
+	}
+	b.ResetTimer()
+	l.After(time.Millisecond, tick)
+	l.Run()
+}

@@ -1,0 +1,372 @@
+package honeypot
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/anonymize"
+	"repro/internal/client"
+	"repro/internal/des"
+	"repro/internal/ed2k"
+	"repro/internal/logging"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+var t0 = time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC)
+
+var secret = []byte("test-campaign-secret")
+
+type world struct {
+	loop *des.Loop
+	net  *netsim.Network
+	srv  *server.Server
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	loop := des.NewLoop(t0, 31)
+	nw := netsim.New(loop, netsim.DefaultConfig())
+	srv := server.New(nw.NewHost("server"), server.DefaultConfig("big"))
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return &world{loop: loop, net: nw, srv: srv}
+}
+
+func (w *world) settle() { w.loop.RunUntil(w.loop.Now().Add(time.Minute)) }
+
+func (w *world) newHoneypot(t *testing.T, cfg Config) *Honeypot {
+	t.Helper()
+	if cfg.Port == 0 {
+		cfg.Port = 4662
+	}
+	cfg.Secret = secret
+	hp := New(w.net.NewHost(cfg.ID), cfg)
+	if err := hp.Start(w.srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	w.settle()
+	return hp
+}
+
+func (w *world) newPeer(t *testing.T, label string, port uint16, browseable bool) *client.Client {
+	t.Helper()
+	c := client.New(w.net.NewHost(label), client.Config{
+		Label: label, UserHash: ed2k.NewUserHash(label), Port: port, Browseable: browseable,
+	})
+	if err := c.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+var testFile = client.SharedFile{
+	Hash: ed2k.SyntheticHash("bait"), Name: "bait.movie.avi", Size: 700 << 20, Type: "Video",
+}
+
+func TestAdvertiseReachesServerIndex(t *testing.T) {
+	w := newWorld(t)
+	hp := w.newHoneypot(t, Config{ID: "hp-0", Strategy: NoContent})
+	hp.Advertise(testFile)
+	w.settle()
+	if w.srv.FilesIndexed() != 1 {
+		t.Errorf("server indexed %d files", w.srv.FilesIndexed())
+	}
+	st := hp.Status()
+	if !st.Connected || !st.HighID || st.Advertised != 1 {
+		t.Errorf("status: %+v", st)
+	}
+}
+
+// driveContact runs a full peer contact against the honeypot: HELLO,
+// START-UPLOAD, one REQUEST-PART, returns received parts count.
+func driveContact(t *testing.T, w *world, hp *Honeypot, peerLabel string, port uint16, browseable bool) int {
+	t.Helper()
+	peer := w.newPeer(t, peerLabel, port, browseable)
+	parts := 0
+	peer.DialPeer(netip.AddrPortFrom(hp.Client().Host().Addr(), hp.Config().Port), func(ps *client.PeerSession, err error) {
+		if err != nil {
+			t.Errorf("dial honeypot: %v", err)
+			return
+		}
+		ps.SetHooks(client.PeerHooks{
+			OnAcceptUpload: func() {
+				ps.RequestParts(testFile.Hash, [2]uint32{0, 180000})
+			},
+			OnSendingPart: func(p *wire.SendingPart) { parts++ },
+		})
+		ps.SendHello()
+		ps.StartUpload(testFile.Hash)
+	})
+	w.settle()
+	return parts
+}
+
+func TestNoContentStrategyLogsButStaysSilent(t *testing.T) {
+	w := newWorld(t)
+	hp := w.newHoneypot(t, Config{ID: "hp-nc", Strategy: NoContent})
+	hp.Advertise(testFile)
+	parts := driveContact(t, w, hp, "peer1", 4663, true)
+	if parts != 0 {
+		t.Errorf("no-content honeypot sent %d parts", parts)
+	}
+	recs := hp.TakeRecords()
+	kinds := map[logging.Kind]int{}
+	for _, r := range recs {
+		kinds[r.Kind]++
+	}
+	if kinds[logging.KindHello] != 1 || kinds[logging.KindStartUpload] != 1 || kinds[logging.KindRequestPart] != 1 {
+		t.Errorf("kinds = %v", kinds)
+	}
+	st := hp.Stats()
+	if st.PartsSent != 0 || st.BytesSent != 0 {
+		t.Errorf("no-content stats: %+v", st)
+	}
+}
+
+func TestRandomContentStrategySendsJunk(t *testing.T) {
+	w := newWorld(t)
+	hp := w.newHoneypot(t, Config{ID: "hp-rc", Strategy: RandomContent})
+	hp.Advertise(testFile)
+	parts := driveContact(t, w, hp, "peer1", 4663, true)
+	if parts != 1 {
+		t.Errorf("random-content honeypot sent %d parts, want 1", parts)
+	}
+	st := hp.Stats()
+	if st.PartsSent != 1 || st.BytesSent == 0 {
+		t.Errorf("random-content stats: %+v", st)
+	}
+}
+
+func TestRecordsAreAnonymizedAtSource(t *testing.T) {
+	w := newWorld(t)
+	hp := w.newHoneypot(t, Config{ID: "hp-a", Strategy: NoContent})
+	hp.Advertise(testFile)
+	driveContact(t, w, hp, "peerX", 4663, true)
+	recs := hp.TakeRecords()
+	if len(recs) == 0 {
+		t.Fatal("no records")
+	}
+	if err := anonymize.Audit(recs); err != nil {
+		t.Errorf("audit: %v", err)
+	}
+	// Metadata the paper says is logged must be present.
+	r := recs[0]
+	if r.PeerName == "" || r.UserHash == "" || r.PeerPort == 0 || r.Server == "" || r.Honeypot != "hp-a" {
+		t.Errorf("metadata incomplete: %+v", r)
+	}
+	if r.Time.Before(t0) {
+		t.Error("timestamp missing")
+	}
+}
+
+func TestSameIPHashesIdenticallyAcrossHoneypots(t *testing.T) {
+	w := newWorld(t)
+	hp1 := w.newHoneypot(t, Config{ID: "hp-1", Strategy: NoContent})
+	hp2 := w.newHoneypot(t, Config{ID: "hp-2", Strategy: NoContent, Port: 4672})
+	hp1.Advertise(testFile)
+	hp2.Advertise(testFile)
+	peer := w.newPeer(t, "one-peer", 4663, true)
+	for _, hp := range []*Honeypot{hp1, hp2} {
+		target := netip.AddrPortFrom(hp.Client().Host().Addr(), hp.Config().Port)
+		peer.DialPeer(target, func(ps *client.PeerSession, err error) {
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			ps.SendHello()
+		})
+	}
+	w.settle()
+	r1, r2 := hp1.TakeRecords(), hp2.TakeRecords()
+	if len(r1) == 0 || len(r2) == 0 {
+		t.Fatal("missing records")
+	}
+	if r1[0].PeerIP != r2[0].PeerIP {
+		t.Error("step-2 coherence broken: same peer hashed differently")
+	}
+}
+
+func TestBrowseHarvestsSharedLists(t *testing.T) {
+	w := newWorld(t)
+	hp := w.newHoneypot(t, Config{ID: "hp-b", Strategy: NoContent, BrowseContacts: true})
+	hp.Advertise(testFile)
+	peer := w.newPeer(t, "sharer", 4663, true)
+	peer.Share(
+		client.SharedFile{Hash: ed2k.SyntheticHash("s1"), Name: "song.one.mp3", Size: 4 << 20, Type: "Audio"},
+		client.SharedFile{Hash: ed2k.SyntheticHash("s2"), Name: "film.two.avi", Size: 700 << 20, Type: "Video"},
+	)
+	peer.DialPeer(netip.AddrPortFrom(hp.Client().Host().Addr(), 4662), func(ps *client.PeerSession, err error) {
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		ps.SendHello()
+	})
+	w.settle()
+	var list *logging.Record
+	for _, r := range hp.TakeRecords() {
+		if r.Kind == logging.KindSharedList {
+			rr := r
+			list = &rr
+		}
+	}
+	if list == nil {
+		t.Fatal("no SHARED-LIST record")
+	}
+	if len(list.Files) != 2 || list.Files[0].Name != "song.one.mp3" {
+		t.Errorf("shared list: %+v", list.Files)
+	}
+}
+
+func TestBrowseDisabledPeerYieldsNoList(t *testing.T) {
+	w := newWorld(t)
+	hp := w.newHoneypot(t, Config{ID: "hp-b2", Strategy: NoContent, BrowseContacts: true})
+	hp.Advertise(testFile)
+	peer := w.newPeer(t, "private", 4663, false)
+	peer.Share(client.SharedFile{Hash: ed2k.SyntheticHash("s3"), Name: "hidden.mp3", Size: 1 << 20, Type: "Audio"})
+	peer.DialPeer(netip.AddrPortFrom(hp.Client().Host().Addr(), 4662), func(ps *client.PeerSession, err error) {
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		ps.SendHello()
+	})
+	w.settle()
+	for _, r := range hp.TakeRecords() {
+		if r.Kind == logging.KindSharedList {
+			t.Error("browse-disabled peer produced a SHARED-LIST record")
+		}
+	}
+	if hp.Stats().SharedLists != 0 {
+		t.Error("stats counted an empty list")
+	}
+}
+
+func TestGreedyAdoption(t *testing.T) {
+	w := newWorld(t)
+	hp := w.newHoneypot(t, Config{
+		ID: "hp-g", Strategy: NoContent, BrowseContacts: true,
+		Greedy: true, GreedyWindow: 24 * time.Hour, GreedyMaxFiles: 3,
+	})
+	hp.Advertise(testFile) // seed file
+	peer := w.newPeer(t, "lib", 4663, true)
+	peer.Share(
+		client.SharedFile{Hash: ed2k.SyntheticHash("g1"), Name: "a.mp3", Size: 1 << 20, Type: "Audio"},
+		client.SharedFile{Hash: ed2k.SyntheticHash("g2"), Name: "b.mp3", Size: 1 << 20, Type: "Audio"},
+		client.SharedFile{Hash: ed2k.SyntheticHash("g3"), Name: "c.mp3", Size: 1 << 20, Type: "Audio"},
+		client.SharedFile{Hash: ed2k.SyntheticHash("g4"), Name: "d.mp3", Size: 1 << 20, Type: "Audio"},
+	)
+	peer.DialPeer(netip.AddrPortFrom(hp.Client().Host().Addr(), 4662), func(ps *client.PeerSession, err error) {
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		ps.SendHello()
+	})
+	w.settle()
+	// Cap is 3 total shared (1 seed + 2 adopted).
+	if got := len(hp.Advertised()); got != 3 {
+		t.Errorf("advertised %d files, want cap 3", got)
+	}
+	if hp.Stats().Adopted != 2 {
+		t.Errorf("adopted = %d", hp.Stats().Adopted)
+	}
+	// The server must have been told about the adopted files.
+	if w.srv.FilesIndexed() != 3 {
+		t.Errorf("server indexed %d", w.srv.FilesIndexed())
+	}
+}
+
+func TestGreedyWindowCloses(t *testing.T) {
+	w := newWorld(t)
+	hp := w.newHoneypot(t, Config{
+		ID: "hp-g2", Strategy: NoContent, BrowseContacts: true,
+		Greedy: true, GreedyWindow: time.Hour,
+	})
+	hp.Advertise(testFile)
+	// Let the window expire.
+	w.loop.RunUntil(w.loop.Now().Add(2 * time.Hour))
+	peer := w.newPeer(t, "late", 4663, true)
+	peer.Share(client.SharedFile{Hash: ed2k.SyntheticHash("late1"), Name: "late.mp3", Size: 1 << 20, Type: "Audio"})
+	peer.DialPeer(netip.AddrPortFrom(hp.Client().Host().Addr(), 4662), func(ps *client.PeerSession, err error) {
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		ps.SendHello()
+	})
+	w.settle()
+	if hp.Stats().Adopted != 0 {
+		t.Errorf("adopted after window: %d", hp.Stats().Adopted)
+	}
+	if len(hp.Advertised()) != 1 {
+		t.Errorf("advertised = %d", len(hp.Advertised()))
+	}
+}
+
+func TestTakeRecordsDrains(t *testing.T) {
+	w := newWorld(t)
+	hp := w.newHoneypot(t, Config{ID: "hp-d", Strategy: NoContent})
+	hp.Advertise(testFile)
+	driveContact(t, w, hp, "p", 4663, true)
+	first := hp.TakeRecords()
+	if len(first) == 0 {
+		t.Fatal("no records")
+	}
+	if len(hp.TakeRecords()) != 0 {
+		t.Error("TakeRecords did not drain")
+	}
+	if hp.Status().Records != 0 {
+		t.Error("status still counts drained records")
+	}
+}
+
+func TestReconnectAfterServerLoss(t *testing.T) {
+	w := newWorld(t)
+	hp := w.newHoneypot(t, Config{ID: "hp-r", Strategy: NoContent})
+	hp.Advertise(testFile)
+	if !hp.Status().Connected {
+		t.Fatal("not connected")
+	}
+	// Kill and restart the server host.
+	srvHost, _ := w.net.HostAt(w.srv.Addr().Addr())
+	srvHost.Crash()
+	w.settle()
+	if hp.Status().Connected {
+		t.Fatal("honeypot should observe disconnection")
+	}
+	srvHost.Restart()
+	srv2 := server.New(srvHost, server.DefaultConfig("big"))
+	if err := srv2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	hp.Reconnect()
+	w.settle()
+	if !hp.Status().Connected {
+		t.Error("reconnect failed")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if NoContent.String() != "no-content" || RandomContent.String() != "random-content" {
+		t.Error("strategy names")
+	}
+	if Strategy(9).String() != "unknown" {
+		t.Error("unknown strategy name")
+	}
+}
+
+func TestMissingSecretPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic without secret")
+		}
+	}()
+	loop := des.NewLoop(t0, 1)
+	nw := netsim.New(loop, netsim.DefaultConfig())
+	New(nw.NewHost("x"), Config{ID: "x"})
+}

@@ -1,0 +1,431 @@
+// Package logging defines the measurement log: the records honeypots emit
+// for every query they receive, exactly mirroring the fields the paper
+// says are saved (message type, peer address/port/name/userID/version and
+// ID status, the concerned file, server identity, and timestamps), plus
+// the shared-file lists retrieved from contacting peers.
+//
+// Records travel as in-memory values inside simulations, as a compact
+// binary stream between honeypotd and the manager, and as JSONL for
+// humans. PeerIP never contains a raw address past the honeypot boundary:
+// it carries the step-1 anonymization hash, then the step-2 coherent
+// number (see package anonymize).
+package logging
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/ed2k"
+)
+
+// Kind is the logged message type.
+type Kind uint8
+
+// Logged message kinds. The paper's platform records HELLO, START-UPLOAD
+// and REQUEST-PART, plus the retrieved shared-file lists; connection-level
+// events carry operational metadata.
+const (
+	KindHello Kind = iota + 1
+	KindStartUpload
+	KindRequestPart
+	KindSharedList
+	KindConnect
+	KindDisconnect
+)
+
+// String returns the paper's name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "HELLO"
+	case KindStartUpload:
+		return "START-UPLOAD"
+	case KindRequestPart:
+		return "REQUEST-PART"
+	case KindSharedList:
+		return "SHARED-LIST"
+	case KindConnect:
+		return "CONNECT"
+	case KindDisconnect:
+		return "DISCONNECT"
+	default:
+		return fmt.Sprintf("KIND(%d)", uint8(k))
+	}
+}
+
+// SharedFile is one entry of a retrieved shared-file list.
+type SharedFile struct {
+	Hash ed2k.Hash `json:"hash"`
+	Name string    `json:"name"`
+	Size int64     `json:"size"`
+}
+
+// Record is one logged query.
+type Record struct {
+	// Time stamps the packet's reception (virtual time in simulation).
+	Time time.Time `json:"time"`
+	// Honeypot identifies the collecting honeypot.
+	Honeypot string `json:"honeypot"`
+	// Kind is the message type.
+	Kind Kind `json:"kind"`
+	// PeerIP is the anonymized peer identity: a step-1 hash digest (hex)
+	// as written by the honeypot, rewritten to a small decimal number by
+	// the manager's step-2 pass.
+	PeerIP string `json:"peer_ip"`
+	// PeerPort is the peer's TCP port.
+	PeerPort uint16 `json:"peer_port"`
+	// PeerName is the peer's self-reported client name.
+	PeerName string `json:"peer_name,omitempty"`
+	// UserHash is the peer's cross-session user hash (hex).
+	UserHash string `json:"user_hash,omitempty"`
+	// HighID records the peer's ID status.
+	HighID bool `json:"high_id"`
+	// ClientVersion is the peer's protocol version tag.
+	ClientVersion uint32 `json:"client_version,omitempty"`
+	// FileHash is the concerned file, zero for kinds without one.
+	FileHash ed2k.Hash `json:"file_hash"`
+	// FileName is the honeypot's name for the concerned file.
+	FileName string `json:"file_name,omitempty"`
+	// Server identifies the directory server the honeypot sat on.
+	Server string `json:"server,omitempty"`
+	// Files carries the shared list for KindSharedList records.
+	Files []SharedFile `json:"files,omitempty"`
+}
+
+// Sink receives records as they are produced.
+type Sink interface {
+	Append(r Record)
+}
+
+// MemorySink collects records in memory; the simulation campaigns use it.
+type MemorySink struct {
+	Records []Record
+}
+
+// Append implements Sink.
+func (m *MemorySink) Append(r Record) { m.Records = append(m.Records, r) }
+
+// ---------------------------------------------------------------------------
+// Binary stream codec.
+
+const binMagic = "EDHP1\n"
+
+var errBadMagic = errors.New("logging: bad stream magic")
+
+// Writer writes records as a binary stream.
+type Writer struct {
+	w     *bufio.Writer
+	wrote bool
+	buf   []byte
+}
+
+// NewWriter returns a binary log writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	if !w.wrote {
+		if _, err := w.w.WriteString(binMagic); err != nil {
+			return err
+		}
+		w.wrote = true
+	}
+	w.buf = appendRecord(w.buf[:0], r)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(w.buf)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendRecord(b []byte, r Record) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(r.Time.UnixNano()))
+	b = appendString(b, r.Honeypot)
+	b = append(b, byte(r.Kind))
+	b = appendString(b, r.PeerIP)
+	b = binary.LittleEndian.AppendUint16(b, r.PeerPort)
+	b = appendString(b, r.PeerName)
+	b = appendString(b, r.UserHash)
+	if r.HighID {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.LittleEndian.AppendUint32(b, r.ClientVersion)
+	b = append(b, r.FileHash[:]...)
+	b = appendString(b, r.FileName)
+	b = appendString(b, r.Server)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Files)))
+	for _, f := range r.Files {
+		b = append(b, f.Hash[:]...)
+		b = appendString(b, f.Name)
+		b = binary.LittleEndian.AppendUint64(b, uint64(f.Size))
+	}
+	return b
+}
+
+// Reader reads a binary record stream.
+type Reader struct {
+	r      *bufio.Reader
+	opened bool
+}
+
+// NewReader returns a binary log reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Read returns the next record; io.EOF at end of stream.
+func (r *Reader) Read() (Record, error) {
+	if !r.opened {
+		magic := make([]byte, len(binMagic))
+		if _, err := io.ReadFull(r.r, magic); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return Record{}, errBadMagic
+			}
+			return Record{}, err
+		}
+		if string(magic) != binMagic {
+			return Record{}, errBadMagic
+		}
+		r.opened = true
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return Record{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > 64<<20 {
+		return Record{}, fmt.Errorf("logging: record of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		return Record{}, fmt.Errorf("logging: truncated record: %w", err)
+	}
+	return decodeRecord(body)
+}
+
+// ReadAll drains the stream.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+type recDecoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *recDecoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("logging: truncated %s at offset %d", what, d.off)
+	}
+}
+
+func (d *recDecoder) take(n int, what string) []byte {
+	if d.err != nil || d.off+n > len(d.b) {
+		d.fail(what)
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *recDecoder) u8(what string) byte {
+	v := d.take(1, what)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+func (d *recDecoder) u16(what string) uint16 {
+	v := d.take(2, what)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(v)
+}
+
+func (d *recDecoder) u32(what string) uint32 {
+	v := d.take(4, what)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(v)
+}
+
+func (d *recDecoder) u64(what string) uint64 {
+	v := d.take(8, what)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}
+
+func (d *recDecoder) str(what string) string {
+	n := int(d.u32(what))
+	if n > len(d.b) {
+		d.fail(what)
+		return ""
+	}
+	return string(d.take(n, what))
+}
+
+func (d *recDecoder) hash(what string) ed2k.Hash {
+	var h ed2k.Hash
+	copy(h[:], d.take(len(h), what))
+	return h
+}
+
+func decodeRecord(b []byte) (Record, error) {
+	d := recDecoder{b: b}
+	var r Record
+	r.Time = time.Unix(0, int64(d.u64("time"))).UTC()
+	r.Honeypot = d.str("honeypot")
+	r.Kind = Kind(d.u8("kind"))
+	r.PeerIP = d.str("peer_ip")
+	r.PeerPort = d.u16("peer_port")
+	r.PeerName = d.str("peer_name")
+	r.UserHash = d.str("user_hash")
+	r.HighID = d.u8("high_id") != 0
+	r.ClientVersion = d.u32("client_version")
+	r.FileHash = d.hash("file_hash")
+	r.FileName = d.str("file_name")
+	r.Server = d.str("server")
+	nf := int(d.u32("files"))
+	if nf > len(b) {
+		return r, fmt.Errorf("logging: shared list count %d implausible", nf)
+	}
+	for i := 0; i < nf && d.err == nil; i++ {
+		var f SharedFile
+		f.Hash = d.hash("shared hash")
+		f.Name = d.str("shared name")
+		f.Size = int64(d.u64("shared size"))
+		r.Files = append(r.Files, f)
+	}
+	if d.err != nil {
+		return r, d.err
+	}
+	if d.off != len(b) {
+		return r, fmt.Errorf("logging: %d trailing bytes in record", len(b)-d.off)
+	}
+	return r, nil
+}
+
+// ---------------------------------------------------------------------------
+// JSONL export.
+
+// WriteJSONL writes records as one JSON object per line.
+func WriteJSONL(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads records written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Merging.
+
+type mergeItem struct {
+	rec Record
+	src int
+	pos int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+
+func (h mergeHeap) Less(i, j int) bool {
+	if !h[i].rec.Time.Equal(h[j].rec.Time) {
+		return h[i].rec.Time.Before(h[j].rec.Time)
+	}
+	return h[i].src < h[j].src // stable across sources
+}
+
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *mergeHeap) Push(x any) { *h = append(*h, x.(mergeItem)) }
+
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Merge combines per-honeypot logs (each already in time order, as
+// produced) into one stream ordered by timestamp. This is the manager's
+// "merge and unify" step.
+func Merge(logs ...[]Record) []Record {
+	total := 0
+	h := make(mergeHeap, 0, len(logs))
+	for i, l := range logs {
+		total += len(l)
+		if len(l) > 0 {
+			h = append(h, mergeItem{rec: l[0], src: i, pos: 0})
+		}
+	}
+	heap.Init(&h)
+	out := make([]Record, 0, total)
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(mergeItem)
+		out = append(out, it.rec)
+		next := it.pos + 1
+		if next < len(logs[it.src]) {
+			heap.Push(&h, mergeItem{rec: logs[it.src][next], src: it.src, pos: next})
+		}
+	}
+	return out
+}

@@ -1,0 +1,331 @@
+package logging
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/ed2k"
+)
+
+var t0 = time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC)
+
+func sampleRecord(i int) Record {
+	return Record{
+		Time:          t0.Add(time.Duration(i) * time.Second),
+		Honeypot:      "hp-03",
+		Kind:          KindStartUpload,
+		PeerIP:        "4fa1b2c3d4e5f607",
+		PeerPort:      4662,
+		PeerName:      "aMule 2.2.2",
+		UserHash:      ed2k.NewUserHash("u").String(),
+		HighID:        true,
+		ClientVersion: 0x3C,
+		FileHash:      ed2k.SyntheticHash("f"),
+		FileName:      "movie.avi",
+		Server:        "10.0.0.1:4661",
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	recs := []Record{
+		sampleRecord(0),
+		{
+			Time: t0, Honeypot: "hp-00", Kind: KindSharedList, PeerIP: "aa",
+			Files: []SharedFile{
+				{Hash: ed2k.SyntheticHash("a"), Name: "a.mp3", Size: 5 << 20},
+				{Hash: ed2k.SyntheticHash("b"), Name: "b.avi", Size: 700 << 20},
+			},
+		},
+		{Time: t0.Add(time.Hour), Kind: KindHello, PeerIP: "bb", HighID: false},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("round trip mismatch:\n got %#v\nwant %#v", got, recs)
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("NOTTHEMAGIC"))).Read()
+	if err == nil {
+		t.Error("want magic error")
+	}
+}
+
+func TestBinaryEmptyStream(t *testing.T) {
+	_, err := NewReader(bytes.NewReader(nil)).Read()
+	if !errors.Is(err, io.EOF) {
+		t.Errorf("empty stream: %v", err)
+	}
+}
+
+func TestBinaryTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(sampleRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) - 1, len(full) / 2, len(binMagic) + 2} {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		if _, err := r.Read(); err == nil {
+			t.Errorf("cut at %d: want error", cut)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	recs := []Record{sampleRecord(0), sampleRecord(1)}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records", len(got))
+	}
+	if !got[0].Time.Equal(recs[0].Time) || got[0].PeerIP != recs[0].PeerIP {
+		t.Error("JSONL round trip mismatch")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	mk := func(hp string, secs ...int) []Record {
+		out := make([]Record, len(secs))
+		for i, s := range secs {
+			out[i] = Record{Time: t0.Add(time.Duration(s) * time.Second), Honeypot: hp, Kind: KindHello}
+		}
+		return out
+	}
+	merged := Merge(mk("a", 1, 4, 9), mk("b", 2, 3, 10), mk("c"), mk("d", 5))
+	if len(merged) != 7 {
+		t.Fatalf("merged %d records", len(merged))
+	}
+	if !sort.SliceIsSorted(merged, func(i, j int) bool {
+		return merged[i].Time.Before(merged[j].Time)
+	}) {
+		t.Error("merge output not time-ordered")
+	}
+}
+
+func TestMergeStableOnTies(t *testing.T) {
+	a := []Record{{Time: t0, Honeypot: "a"}}
+	b := []Record{{Time: t0, Honeypot: "b"}}
+	merged := Merge(a, b)
+	if merged[0].Honeypot != "a" || merged[1].Honeypot != "b" {
+		t.Errorf("tie order: %v, %v", merged[0].Honeypot, merged[1].Honeypot)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if got := Merge(); len(got) != 0 {
+		t.Error("Merge() should be empty")
+	}
+	if got := Merge(nil, nil); len(got) != 0 {
+		t.Error("Merge(nil, nil) should be empty")
+	}
+}
+
+func TestMemorySink(t *testing.T) {
+	var s MemorySink
+	s.Append(sampleRecord(0))
+	s.Append(sampleRecord(1))
+	if len(s.Records) != 2 {
+		t.Errorf("sink holds %d", len(s.Records))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindHello:       "HELLO",
+		KindStartUpload: "START-UPLOAD",
+		KindRequestPart: "REQUEST-PART",
+		KindSharedList:  "SHARED-LIST",
+		KindConnect:     "CONNECT",
+		KindDisconnect:  "DISCONNECT",
+		Kind(42):        "KIND(42)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k, want)
+		}
+	}
+}
+
+// Property: arbitrary records survive the binary codec.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(hp, ip, name string, port uint16, high bool, nfiles uint8) bool {
+		r := Record{
+			Time: t0.Add(time.Duration(rng.Intn(1e6)) * time.Millisecond), Honeypot: hp,
+			Kind: KindRequestPart, PeerIP: ip, PeerPort: port, PeerName: name, HighID: high,
+		}
+		for i := 0; i < int(nfiles%5); i++ {
+			r.Files = append(r.Files, SharedFile{Hash: ed2k.SyntheticHash(name), Name: name, Size: int64(port)})
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(r); err != nil {
+			return false
+		}
+		w.Flush()
+		got, err := NewReader(&buf).ReadAll()
+		return err == nil && len(got) == 1 && reflect.DeepEqual(got[0], r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merge of sorted inputs is sorted and length-preserving.
+func TestQuickMergeInvariants(t *testing.T) {
+	f := func(lens [3]uint8) bool {
+		rng := rand.New(rand.NewSource(int64(lens[0]) + 7))
+		var logs [][]Record
+		total := 0
+		for _, n := range lens {
+			m := int(n % 50)
+			total += m
+			l := make([]Record, m)
+			tt := t0
+			for i := range l {
+				tt = tt.Add(time.Duration(rng.Intn(100)) * time.Second)
+				l[i] = Record{Time: tt}
+			}
+			logs = append(logs, l)
+		}
+		merged := Merge(logs...)
+		if len(merged) != total {
+			return false
+		}
+		return sort.SliceIsSorted(merged, func(i, j int) bool {
+			return merged[i].Time.Before(merged[j].Time)
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBinaryWrite(b *testing.B) {
+	r := sampleRecord(0)
+	w := NewWriter(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w.Flush()
+}
+
+func BenchmarkMerge24Honeypots(b *testing.B) {
+	// The manager's fan-in: 24 honeypot logs of 10k records each.
+	logs := make([][]Record, 24)
+	for i := range logs {
+		l := make([]Record, 10000)
+		tt := t0
+		for j := range l {
+			tt = tt.Add(time.Duration(i+j%7) * time.Second)
+			l[j] = Record{Time: tt, Kind: KindHello}
+		}
+		logs[i] = l
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Merge(logs...)
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	// Disk round trip: the path honeypotd uses to spool logs.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hp.log")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f)
+	var want []Record
+	for i := 0; i < 500; i++ {
+		r := sampleRecord(i)
+		if i%50 == 0 {
+			r.Kind = KindSharedList
+			r.Files = []SharedFile{{Hash: ed2k.SyntheticHash("s"), Name: "s.mp3", Size: 1 << 20}}
+		}
+		want = append(want, r)
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	got, err := NewReader(g).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("file round trip mismatch")
+	}
+}
+
+func TestJSONLFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dataset.jsonl")
+	recs := []Record{sampleRecord(0), sampleRecord(1)}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	got, err := ReadJSONL(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].UserHash != recs[1].UserHash {
+		t.Error("JSONL file round trip mismatch")
+	}
+}

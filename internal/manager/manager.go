@@ -1,0 +1,382 @@
+// Package manager implements the measurement manager of the paper's
+// platform (§III-A): it launches honeypots, assigns them to directory
+// servers, tells them which files to advertise, monitors their status
+// (re-launching dead ones and re-pushing their assignment), periodically
+// gathers the logs they collected, and finally merges and unifies the
+// logs — running the step-2 anonymization (coherent renumbering), the
+// filename anonymization, and a leak audit.
+package manager
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/anonymize"
+	"repro/internal/client"
+	"repro/internal/honeypot"
+	"repro/internal/logging"
+	"repro/internal/transport"
+)
+
+// Handle abstracts one controlled honeypot. control.Link implements it
+// for remote honeypots (live TCP and control-plane tests); LocalHandle
+// wraps an in-process honeypot for large simulated campaigns where
+// serializing millions of records through the control plane would be
+// pointless overhead.
+type Handle interface {
+	ID() string
+	Status(cb func(honeypot.Status, error))
+	Advertise(files []client.SharedFile, cb func(error))
+	ConnectServer(server netip.AddrPort, cb func(error))
+	TakeRecords(cb func([]logging.Record, error))
+	Close()
+}
+
+// LocalHandle drives an in-process honeypot, hopping executors so the
+// actor contracts of both sides hold.
+type LocalHandle struct {
+	id      string
+	hp      *honeypot.Honeypot
+	mgrHost transport.Host
+}
+
+// NewLocalHandle wraps hp; callbacks run on mgrHost's executor.
+func NewLocalHandle(id string, hp *honeypot.Honeypot, mgrHost transport.Host) *LocalHandle {
+	return &LocalHandle{id: id, hp: hp, mgrHost: mgrHost}
+}
+
+// ID implements Handle.
+func (h *LocalHandle) ID() string { return h.id }
+
+// Status implements Handle.
+func (h *LocalHandle) Status(cb func(honeypot.Status, error)) {
+	h.hp.Client().Host().Post(func() {
+		st := h.hp.Status()
+		h.mgrHost.Post(func() { cb(st, nil) })
+	})
+}
+
+// Advertise implements Handle.
+func (h *LocalHandle) Advertise(files []client.SharedFile, cb func(error)) {
+	h.hp.Client().Host().Post(func() {
+		h.hp.Advertise(files...)
+		h.mgrHost.Post(func() { cb(nil) })
+	})
+}
+
+// ConnectServer implements Handle.
+func (h *LocalHandle) ConnectServer(server netip.AddrPort, cb func(error)) {
+	h.hp.Client().Host().Post(func() {
+		h.hp.ConnectServer(server)
+		h.mgrHost.Post(func() { cb(nil) })
+	})
+}
+
+// TakeRecords implements Handle.
+func (h *LocalHandle) TakeRecords(cb func([]logging.Record, error)) {
+	h.hp.Client().Host().Post(func() {
+		recs := h.hp.TakeRecords()
+		h.mgrHost.Post(func() { cb(recs, nil) })
+	})
+}
+
+// Close implements Handle.
+func (h *LocalHandle) Close() {
+	h.hp.Client().Host().Post(func() { h.hp.Close() })
+}
+
+// Assignment is one honeypot's placement: which server it should join and
+// which files it should claim.
+type Assignment struct {
+	Server netip.AddrPort
+	Files  []client.SharedFile
+}
+
+// SameServer assigns every honeypot to one server — the strategy of the
+// paper's distributed measurement ("all connected to the same large
+// server").
+func SameServer(server netip.AddrPort, files []client.SharedFile, n int) []Assignment {
+	out := make([]Assignment, n)
+	for i := range out {
+		out[i] = Assignment{Server: server, Files: files}
+	}
+	return out
+}
+
+// SpreadServers assigns honeypots round-robin over several servers — the
+// paper's "different server for each honeypot, for a more global view"
+// strategy.
+func SpreadServers(servers []netip.AddrPort, files []client.SharedFile, n int) []Assignment {
+	out := make([]Assignment, n)
+	for i := range out {
+		out[i] = Assignment{Server: servers[i%len(servers)], Files: files}
+	}
+	return out
+}
+
+// Config tunes the manager.
+type Config struct {
+	// CollectEvery is the log-gathering period.
+	CollectEvery time.Duration
+	// HealthEvery is the status-poll period.
+	HealthEvery time.Duration
+	// NameThreshold is the filename anonymization threshold applied at
+	// Finalize (words rarer than this are replaced); 0 disables.
+	NameThreshold int
+}
+
+// DefaultConfig returns the cadence used by the campaigns.
+func DefaultConfig() Config {
+	return Config{CollectEvery: time.Hour, HealthEvery: 10 * time.Minute, NameThreshold: 3}
+}
+
+// HoneypotState is the manager's view of one honeypot.
+type HoneypotState struct {
+	Handle     Handle
+	Assignment Assignment
+	LastStatus honeypot.Status
+	Healthy    bool
+	Relaunches int
+	Collected  int // records gathered so far
+}
+
+// Manager coordinates a fleet of honeypots.
+type Manager struct {
+	host transport.Host
+	cfg  Config
+
+	hps  []*HoneypotState
+	byID map[string]*HoneypotState
+	logs map[string][]logging.Record
+
+	// Relaunch, when set, is invoked for a honeypot whose control path
+	// died; it must recreate the honeypot and return a fresh handle (the
+	// simulation restarts the crashed host; cmd/hpmanager re-dials).
+	Relaunch func(id string, done func(Handle, error))
+
+	running      bool
+	collectTimer transport.Timer
+	healthTimer  transport.Timer
+}
+
+// New creates a manager on host.
+func New(host transport.Host, cfg Config) *Manager {
+	if cfg.CollectEvery <= 0 {
+		cfg.CollectEvery = time.Hour
+	}
+	if cfg.HealthEvery <= 0 {
+		cfg.HealthEvery = 10 * time.Minute
+	}
+	return &Manager{
+		host: host,
+		cfg:  cfg,
+		byID: make(map[string]*HoneypotState),
+		logs: make(map[string][]logging.Record),
+	}
+}
+
+// Host returns the manager's transport host.
+func (m *Manager) Host() transport.Host { return m.host }
+
+// Add registers a honeypot and pushes its assignment (server first, then
+// the advertisement, mirroring the paper's setup order).
+func (m *Manager) Add(h Handle, a Assignment) {
+	st := &HoneypotState{Handle: h, Assignment: a, Healthy: true}
+	m.hps = append(m.hps, st)
+	m.byID[h.ID()] = st
+	m.push(st)
+}
+
+func (m *Manager) push(st *HoneypotState) {
+	st.Handle.ConnectServer(st.Assignment.Server, func(err error) {
+		if err != nil {
+			st.Healthy = false
+			return
+		}
+		st.Handle.Advertise(st.Assignment.Files, func(err error) {
+			if err != nil {
+				st.Healthy = false
+			}
+		})
+	})
+}
+
+// States returns the managed honeypots' states.
+func (m *Manager) States() []*HoneypotState { return m.hps }
+
+// Start begins periodic collection and health checking.
+func (m *Manager) Start() {
+	if m.running {
+		return
+	}
+	m.running = true
+	m.scheduleCollect()
+	m.scheduleHealth()
+}
+
+// Stop halts the periodic work (already-issued requests finish).
+func (m *Manager) Stop() {
+	m.running = false
+	if m.collectTimer != nil {
+		m.collectTimer.Stop()
+	}
+	if m.healthTimer != nil {
+		m.healthTimer.Stop()
+	}
+}
+
+func (m *Manager) scheduleCollect() {
+	m.collectTimer = m.host.After(m.cfg.CollectEvery, func() {
+		if !m.running {
+			return
+		}
+		m.CollectNow(nil)
+		m.scheduleCollect()
+	})
+}
+
+func (m *Manager) scheduleHealth() {
+	m.healthTimer = m.host.After(m.cfg.HealthEvery, func() {
+		if !m.running {
+			return
+		}
+		m.HealthCheckNow(nil)
+		m.scheduleHealth()
+	})
+}
+
+// CollectNow gathers pending records from every honeypot; done (optional)
+// fires when all answered.
+func (m *Manager) CollectNow(done func()) {
+	remaining := len(m.hps)
+	if remaining == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	for _, st := range m.hps {
+		st := st
+		st.Handle.TakeRecords(func(recs []logging.Record, err error) {
+			if err == nil && len(recs) > 0 {
+				id := st.Handle.ID()
+				m.logs[id] = append(m.logs[id], recs...)
+				st.Collected += len(recs)
+			}
+			if err != nil {
+				st.Healthy = false
+			}
+			remaining--
+			if remaining == 0 && done != nil {
+				done()
+			}
+		})
+	}
+}
+
+// HealthCheckNow polls every honeypot's status; dead or disconnected ones
+// are relaunched (via the Relaunch hook) or told to reconnect. done
+// (optional) fires when all polls resolved.
+func (m *Manager) HealthCheckNow(done func()) {
+	remaining := len(m.hps)
+	if remaining == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	finish := func() {
+		remaining--
+		if remaining == 0 && done != nil {
+			done()
+		}
+	}
+	for _, st := range m.hps {
+		st := st
+		st.Handle.Status(func(s honeypot.Status, err error) {
+			switch {
+			case err != nil:
+				st.Healthy = false
+				m.relaunch(st, finish)
+				return
+			case !s.Connected:
+				// Honeypot alive but off-server: re-push its assignment.
+				st.LastStatus = s
+				st.Healthy = true
+				m.push(st)
+			default:
+				st.LastStatus = s
+				st.Healthy = true
+			}
+			finish()
+		})
+	}
+}
+
+func (m *Manager) relaunch(st *HoneypotState, finish func()) {
+	if m.Relaunch == nil {
+		finish()
+		return
+	}
+	id := st.Handle.ID()
+	m.Relaunch(id, func(h Handle, err error) {
+		if err == nil && h != nil {
+			st.Handle = h
+			st.Relaunches++
+			st.Healthy = true
+			m.push(st)
+		}
+		finish()
+	})
+}
+
+// Dataset is the merged, anonymized output of a campaign.
+type Dataset struct {
+	// Records is the unified log, ordered by timestamp, with step-2 peer
+	// numbers and anonymized file names.
+	Records []logging.Record
+	// DistinctPeers is the number of distinct peers observed.
+	DistinctPeers int
+	// ReplacedWords counts filename words anonymized away.
+	ReplacedWords int
+	// PerHoneypot is the record count each honeypot contributed.
+	PerHoneypot map[string]int
+}
+
+// Finalize runs a last collection, then merges and unifies all logs:
+// k-way timestamp merge, coherent renumbering of hashed peer addresses,
+// filename anonymization, and the leak audit. The result is delivered to
+// done on the manager's executor.
+func (m *Manager) Finalize(done func(*Dataset, error)) {
+	m.Stop()
+	m.CollectNow(func() {
+		logs := make([][]logging.Record, 0, len(m.hps))
+		perHP := make(map[string]int, len(m.hps))
+		for _, st := range m.hps {
+			id := st.Handle.ID()
+			logs = append(logs, m.logs[id])
+			perHP[id] = len(m.logs[id])
+		}
+		merged := logging.Merge(logs...)
+
+		ren := anonymize.NewRenumberer()
+		distinct := ren.RenumberRecords(merged)
+
+		replaced := 0
+		if m.cfg.NameThreshold > 0 {
+			na := anonymize.AnonymizeRecordNames(merged, m.cfg.NameThreshold)
+			replaced = na.ReplacedWords()
+		}
+		if err := anonymize.Audit(merged); err != nil {
+			done(nil, fmt.Errorf("manager: anonymization audit failed: %w", err))
+			return
+		}
+		done(&Dataset{
+			Records:       merged,
+			DistinctPeers: distinct,
+			ReplacedWords: replaced,
+			PerHoneypot:   perHP,
+		}, nil)
+	})
+}

@@ -1,0 +1,348 @@
+package manager
+
+import (
+	"net/netip"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/control"
+	"repro/internal/des"
+	"repro/internal/ed2k"
+	"repro/internal/honeypot"
+	"repro/internal/logging"
+	"repro/internal/netsim"
+	"repro/internal/server"
+)
+
+var t0 = time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC)
+
+var secret = []byte("campaign-secret")
+
+type world struct {
+	loop *des.Loop
+	net  *netsim.Network
+	srv  *server.Server
+	mgr  *Manager
+	hps  []*honeypot.Honeypot
+}
+
+func (w *world) settle() { w.loop.RunUntil(w.loop.Now().Add(time.Minute)) }
+
+var baitFiles = []client.SharedFile{
+	{Hash: ed2k.SyntheticHash("bait"), Name: "bait.movie.avi", Size: 700 << 20, Type: "Video"},
+}
+
+func newWorld(t *testing.T, nHoneypots int, cfg Config) *world {
+	t.Helper()
+	loop := des.NewLoop(t0, 51)
+	nw := netsim.New(loop, netsim.DefaultConfig())
+	srv := server.New(nw.NewHost("server"), server.DefaultConfig("big"))
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	w := &world{loop: loop, net: nw, srv: srv}
+	w.mgr = New(nw.NewHost("manager"), cfg)
+
+	assignments := SameServer(srv.Addr(), baitFiles, nHoneypots)
+	for i := 0; i < nHoneypots; i++ {
+		id := "hp-" + strconv.Itoa(i)
+		hp := honeypot.New(nw.NewHost(id), honeypot.Config{
+			ID: id, Strategy: honeypot.NoContent, Port: 4662, Secret: secret,
+		})
+		if err := hp.Client().Listen(); err != nil {
+			t.Fatal(err)
+		}
+		w.hps = append(w.hps, hp)
+		w.mgr.Add(NewLocalHandle(id, hp, w.mgr.Host()), assignments[i])
+	}
+	w.settle()
+	return w
+}
+
+// newPeer creates a reusable peer client with its own host (one IP).
+func (w *world) newPeer(t *testing.T, label string) *client.Client {
+	t.Helper()
+	peer := client.New(w.net.NewHost(label), client.Config{
+		Label: label, UserHash: ed2k.NewUserHash(label), Port: 4663,
+	})
+	if err := peer.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	return peer
+}
+
+// contactFrom drives one contact (HELLO + START-UPLOAD) from peer to hp.
+func (w *world) contactFrom(t *testing.T, peer *client.Client, hp *honeypot.Honeypot) {
+	t.Helper()
+	addr := netip.AddrPortFrom(hp.Client().Host().Addr(), 4662)
+	peer.DialPeer(addr, func(ps *client.PeerSession, err error) {
+		if err != nil {
+			t.Errorf("dial hp: %v", err)
+			return
+		}
+		ps.SendHello()
+		ps.StartUpload(baitFiles[0].Hash)
+	})
+	w.settle()
+}
+
+// contact drives one peer contact from a fresh peer labeled label.
+func (w *world) contact(t *testing.T, hp *honeypot.Honeypot, label string) {
+	t.Helper()
+	w.contactFrom(t, w.newPeer(t, label), hp)
+}
+
+func TestAddPushesAssignment(t *testing.T) {
+	w := newWorld(t, 3, DefaultConfig())
+	for i, hp := range w.hps {
+		st := hp.Status()
+		if !st.Connected {
+			t.Errorf("hp %d not connected", i)
+		}
+		if st.Advertised != 1 {
+			t.Errorf("hp %d advertises %d files", i, st.Advertised)
+		}
+	}
+	if w.srv.Users() != 3 {
+		t.Errorf("server sees %d users", w.srv.Users())
+	}
+}
+
+func TestPeriodicCollection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CollectEvery = 30 * time.Minute
+	w := newWorld(t, 2, cfg)
+	w.mgr.Start()
+	w.contact(t, w.hps[0], "peer-a")
+	w.contact(t, w.hps[1], "peer-b")
+	// Advance past one collection period.
+	w.loop.RunUntil(w.loop.Now().Add(time.Hour))
+	states := w.mgr.States()
+	total := 0
+	for _, st := range states {
+		total += st.Collected
+	}
+	if total == 0 {
+		t.Error("periodic collection gathered nothing")
+	}
+	// Honeypot buffers must be drained.
+	for i, hp := range w.hps {
+		if hp.Status().Records != 0 {
+			t.Errorf("hp %d still buffers records", i)
+		}
+	}
+}
+
+func TestHealthCheckReconnectsDisconnected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HealthEvery = 10 * time.Minute
+	w := newWorld(t, 1, cfg)
+	w.mgr.Start()
+
+	// Sever the server side and bring a fresh server up on the same host.
+	srvHost, _ := w.net.HostAt(w.srv.Addr().Addr())
+	srvHost.Crash()
+	w.settle()
+	if w.hps[0].Status().Connected {
+		t.Fatal("honeypot should be disconnected")
+	}
+	srvHost.Restart()
+	srv2 := server.New(srvHost, server.DefaultConfig("big"))
+	if err := srv2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Within a couple of health periods the manager must re-push the
+	// assignment and the honeypot must be back.
+	w.loop.RunUntil(w.loop.Now().Add(30 * time.Minute))
+	if !w.hps[0].Status().Connected {
+		t.Error("manager did not reconnect the honeypot")
+	}
+	if srv2.FilesIndexed() != 1 {
+		t.Errorf("re-advertisement missing: %d files", srv2.FilesIndexed())
+	}
+}
+
+func TestRelaunchHook(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HealthEvery = 10 * time.Minute
+	w := newWorld(t, 1, cfg)
+
+	// Replace the handle with a control link so the death of the honeypot
+	// host is visible as a control failure.
+	hpHost := w.hps[0].Client().Host().(*netsim.Host)
+	if _, err := control.NewAgent(hpHost, w.hps[0], control.DefaultPort); err != nil {
+		t.Fatal(err)
+	}
+	var link *control.Link
+	control.Dial(w.mgr.Host(), "hp-0", netip.AddrPortFrom(hpHost.Addr(), control.DefaultPort), func(l *control.Link, err error) {
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		link = l
+	})
+	w.settle()
+	if link == nil {
+		t.Fatal("no link")
+	}
+	w.mgr.States()[0].Handle = link
+
+	relaunched := 0
+	w.mgr.Relaunch = func(id string, done func(Handle, error)) {
+		relaunched++
+		// Bring the host back with a fresh honeypot and agent.
+		hpHost.Restart()
+		hp2 := honeypot.New(hpHost, honeypot.Config{
+			ID: id, Strategy: honeypot.NoContent, Port: 4662, Secret: secret,
+		})
+		if err := hp2.Client().Listen(); err != nil {
+			done(nil, err)
+			return
+		}
+		w.hps[0] = hp2
+		done(NewLocalHandle(id, hp2, w.mgr.Host()), nil)
+	}
+	w.mgr.Start()
+
+	hpHost.Crash()
+	w.loop.RunUntil(w.loop.Now().Add(45 * time.Minute))
+
+	if relaunched == 0 {
+		t.Fatal("relaunch hook never invoked")
+	}
+	if !w.hps[0].Status().Connected {
+		t.Error("relaunched honeypot not connected")
+	}
+	if w.mgr.States()[0].Relaunches == 0 {
+		t.Error("relaunch not recorded")
+	}
+}
+
+func TestFinalizePipeline(t *testing.T) {
+	w := newWorld(t, 2, DefaultConfig())
+	shared := w.newPeer(t, "shared-peer")
+	w.contactFrom(t, shared, w.hps[0])
+	w.contactFrom(t, shared, w.hps[1]) // same peer (same IP) contacts both
+	w.contact(t, w.hps[1], "other-peer")
+
+	var ds *Dataset
+	var dsErr error
+	w.mgr.Finalize(func(d *Dataset, err error) { ds, dsErr = d, err })
+	w.settle()
+	if dsErr != nil {
+		t.Fatal(dsErr)
+	}
+	if ds == nil {
+		t.Fatal("no dataset")
+	}
+	// Two distinct peers despite three contacts.
+	if ds.DistinctPeers != 2 {
+		t.Errorf("distinct peers = %d, want 2", ds.DistinctPeers)
+	}
+	// Same peer must carry the same number across honeypot logs.
+	seen := map[string]map[string]bool{} // peerNum -> set of honeypots
+	for _, r := range ds.Records {
+		if seen[r.PeerIP] == nil {
+			seen[r.PeerIP] = map[string]bool{}
+		}
+		seen[r.PeerIP][r.Honeypot] = true
+	}
+	foundCrossHP := false
+	for _, hps := range seen {
+		if len(hps) == 2 {
+			foundCrossHP = true
+		}
+	}
+	if !foundCrossHP {
+		t.Error("no peer number spans both honeypots; step-2 coherence broken")
+	}
+	// Ordered by time.
+	for i := 1; i < len(ds.Records); i++ {
+		if ds.Records[i].Time.Before(ds.Records[i-1].Time) {
+			t.Fatal("records out of order")
+		}
+	}
+	if len(ds.PerHoneypot) != 2 {
+		t.Errorf("per-honeypot map: %v", ds.PerHoneypot)
+	}
+}
+
+func TestFinalizeAuditsRecords(t *testing.T) {
+	w := newWorld(t, 1, DefaultConfig())
+	w.contact(t, w.hps[0], "p")
+	var ds *Dataset
+	w.mgr.Finalize(func(d *Dataset, err error) {
+		if err != nil {
+			t.Errorf("finalize: %v", err)
+			return
+		}
+		ds = d
+	})
+	w.settle()
+	if ds == nil {
+		t.Fatal("no dataset")
+	}
+	for _, r := range ds.Records {
+		if _, err := strconv.Atoi(r.PeerIP); err != nil {
+			t.Fatalf("record PeerIP %q is not a step-2 number", r.PeerIP)
+		}
+	}
+}
+
+func TestAssignmentStrategies(t *testing.T) {
+	s1 := netip.MustParseAddrPort("10.0.0.1:4661")
+	s2 := netip.MustParseAddrPort("10.0.0.2:4661")
+	same := SameServer(s1, baitFiles, 3)
+	if len(same) != 3 {
+		t.Fatal("SameServer length")
+	}
+	for _, a := range same {
+		if a.Server != s1 {
+			t.Error("SameServer mixed servers")
+		}
+	}
+	spread := SpreadServers([]netip.AddrPort{s1, s2}, baitFiles, 4)
+	if spread[0].Server != s1 || spread[1].Server != s2 || spread[2].Server != s1 || spread[3].Server != s2 {
+		t.Error("SpreadServers not round-robin")
+	}
+}
+
+func TestCollectNowEmptyManager(t *testing.T) {
+	loop := des.NewLoop(t0, 1)
+	nw := netsim.New(loop, netsim.DefaultConfig())
+	m := New(nw.NewHost("m"), DefaultConfig())
+	called := false
+	m.CollectNow(func() { called = true })
+	m.HealthCheckNow(nil)
+	loop.RunUntil(t0.Add(time.Minute))
+	if !called {
+		t.Error("CollectNow callback with zero honeypots")
+	}
+	var ds *Dataset
+	m.Finalize(func(d *Dataset, err error) { ds = d })
+	loop.RunUntil(t0.Add(2 * time.Minute))
+	if ds == nil || len(ds.Records) != 0 {
+		t.Error("empty finalize")
+	}
+}
+
+func TestStopHaltsTimers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CollectEvery = 10 * time.Minute
+	cfg.HealthEvery = 10 * time.Minute
+	w := newWorld(t, 1, cfg)
+	w.mgr.Start()
+	w.mgr.Stop()
+	before := w.loop.Executed()
+	w.loop.RunUntil(w.loop.Now().Add(3 * time.Hour))
+	// Only the server reaper and honeypot keep-alive may run; the manager
+	// must not generate collection traffic.
+	if w.mgr.States()[0].Collected != 0 {
+		t.Error("collection ran after Stop")
+	}
+	_ = before
+}
+
+var _ logging.Record // keep import if helpers change

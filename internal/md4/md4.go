@@ -1,0 +1,184 @@
+// Package md4 implements the MD4 hash algorithm as defined in RFC 1320.
+//
+// MD4 is cryptographically broken and must never be used for security
+// purposes. It is implemented here solely because the eDonkey network
+// identifies files and users by MD4 digests (see package ed2k), and the
+// Go standard library does not ship MD4.
+package md4
+
+import (
+	"encoding/binary"
+	"hash"
+)
+
+// Size is the size of an MD4 checksum in bytes.
+const Size = 16
+
+// BlockSize is the block size of MD4 in bytes.
+const BlockSize = 64
+
+const (
+	init0 = 0x67452301
+	init1 = 0xEFCDAB89
+	init2 = 0x98BADCFE
+	init3 = 0x10325476
+)
+
+// digest represents the partial evaluation of a checksum.
+type digest struct {
+	s   [4]uint32
+	x   [BlockSize]byte
+	nx  int
+	len uint64
+}
+
+// New returns a new hash.Hash computing the MD4 checksum.
+func New() hash.Hash {
+	d := new(digest)
+	d.Reset()
+	return d
+}
+
+// Sum returns the MD4 checksum of data.
+func Sum(data []byte) [Size]byte {
+	d := new(digest)
+	d.Reset()
+	d.Write(data)
+	var out [Size]byte
+	d.checkSum(&out)
+	return out
+}
+
+func (d *digest) Reset() {
+	d.s[0] = init0
+	d.s[1] = init1
+	d.s[2] = init2
+	d.s[3] = init3
+	d.nx = 0
+	d.len = 0
+}
+
+func (d *digest) Size() int { return Size }
+
+func (d *digest) BlockSize() int { return BlockSize }
+
+func (d *digest) Write(p []byte) (n int, err error) {
+	n = len(p)
+	d.len += uint64(n)
+	if d.nx > 0 {
+		c := copy(d.x[d.nx:], p)
+		d.nx += c
+		if d.nx == BlockSize {
+			block(d, d.x[:])
+			d.nx = 0
+		}
+		p = p[c:]
+	}
+	if len(p) >= BlockSize {
+		nn := len(p) &^ (BlockSize - 1)
+		block(d, p[:nn])
+		p = p[nn:]
+	}
+	if len(p) > 0 {
+		d.nx = copy(d.x[:], p)
+	}
+	return n, nil
+}
+
+func (d *digest) Sum(in []byte) []byte {
+	// Make a copy of d so that the caller can keep writing and summing.
+	d0 := *d
+	var out [Size]byte
+	d0.checkSum(&out)
+	return append(in, out[:]...)
+}
+
+func (d *digest) checkSum(out *[Size]byte) {
+	// Padding: add 1 bit and 0 bits until 56 bytes mod 64.
+	length := d.len
+	var tmp [64]byte
+	tmp[0] = 0x80
+	if length%64 < 56 {
+		d.Write(tmp[0 : 56-length%64])
+	} else {
+		d.Write(tmp[0 : 64+56-length%64])
+	}
+
+	// Length in bits, little-endian.
+	length <<= 3
+	binary.LittleEndian.PutUint64(tmp[:8], length)
+	d.Write(tmp[0:8])
+
+	if d.nx != 0 {
+		panic("md4: internal error, non-empty buffer after padding")
+	}
+
+	binary.LittleEndian.PutUint32(out[0:], d.s[0])
+	binary.LittleEndian.PutUint32(out[4:], d.s[1])
+	binary.LittleEndian.PutUint32(out[8:], d.s[2])
+	binary.LittleEndian.PutUint32(out[12:], d.s[3])
+}
+
+var shift1 = [4]uint{3, 7, 11, 19}
+var shift2 = [4]uint{3, 5, 9, 13}
+var shift3 = [4]uint{3, 9, 11, 15}
+
+var xIndex2 = [16]uint{0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15}
+var xIndex3 = [16]uint{0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15}
+
+// block processes as many 64-byte blocks of p as are available.
+func block(d *digest, p []byte) {
+	a := d.s[0]
+	b := d.s[1]
+	c := d.s[2]
+	dd := d.s[3]
+	var x [16]uint32
+	for len(p) >= BlockSize {
+		aa, bb, cc, ddd := a, b, c, dd
+
+		for i := 0; i < 16; i++ {
+			x[i] = binary.LittleEndian.Uint32(p[4*i:])
+		}
+
+		// Round 1: F(x,y,z) = (x & y) | (~x & z)
+		for i := uint(0); i < 16; i++ {
+			s := shift1[i%4]
+			f := ((c ^ dd) & b) ^ dd
+			a += f + x[i]
+			a = a<<s | a>>(32-s)
+			a, b, c, dd = dd, a, b, c
+		}
+
+		// Round 2: G(x,y,z) = (x & y) | (x & z) | (y & z)
+		for i := uint(0); i < 16; i++ {
+			xi := xIndex2[i]
+			s := shift2[i%4]
+			g := (b & c) | (b & dd) | (c & dd)
+			a += g + x[xi] + 0x5a827999
+			a = a<<s | a>>(32-s)
+			a, b, c, dd = dd, a, b, c
+		}
+
+		// Round 3: H(x,y,z) = x ^ y ^ z
+		for i := uint(0); i < 16; i++ {
+			xi := xIndex3[i]
+			s := shift3[i%4]
+			h := b ^ c ^ dd
+			a += h + x[xi] + 0x6ed9eba1
+			a = a<<s | a>>(32-s)
+			a, b, c, dd = dd, a, b, c
+		}
+
+		a += aa
+		b += bb
+		c += cc
+		dd += ddd
+
+		p = p[BlockSize:]
+	}
+
+	d.s[0] = a
+	d.s[1] = b
+	d.s[2] = c
+	d.s[3] = dd
+}

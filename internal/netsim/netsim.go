@@ -1,0 +1,374 @@
+// Package netsim implements transport.Host over a discrete-event
+// simulation: an in-memory network of virtual hosts exchanging eDonkey
+// messages with modeled latency, under the virtual clock of a des.Loop.
+//
+// It substitutes for the paper's PlanetLab deployment and the live
+// Internet: month-long measurement campaigns execute in seconds, fully
+// deterministically, while running the exact same actor code as the real
+// TCP path (package livenet).
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Config tunes the network model.
+type Config struct {
+	// BaseLatency is the one-way delay floor between any two hosts.
+	BaseLatency time.Duration
+	// JitterLatency bounds the additional random per-connection delay.
+	JitterLatency time.Duration
+	// Reencode forces every message through the wire codec on delivery
+	// (marshal then unmarshal). Slower, but verifies that everything the
+	// actors exchange is representable on the real wire. Tests use it.
+	Reencode bool
+	// LossRate drops each message with this probability (0 disables).
+	// Connection control events (dial, close) are not lost.
+	LossRate float64
+}
+
+// DefaultConfig returns the model used by the campaigns: ~40ms one-way
+// with up to 60ms jitter, no loss, no re-encoding.
+func DefaultConfig() Config {
+	return Config{BaseLatency: 40 * time.Millisecond, JitterLatency: 60 * time.Millisecond}
+}
+
+// Network is a set of simulated hosts sharing one event loop.
+type Network struct {
+	loop  *des.Loop
+	cfg   Config
+	hosts map[netip.Addr]*Host
+	rng   *rand.Rand
+	next  uint32 // address allocator within 10.0.0.0/8
+}
+
+// New creates an empty network on the given loop.
+func New(loop *des.Loop, cfg Config) *Network {
+	return &Network{
+		loop:  loop,
+		cfg:   cfg,
+		hosts: make(map[netip.Addr]*Host),
+		rng:   loop.NewRand("netsim"),
+		next:  1,
+	}
+}
+
+// Loop returns the underlying event loop.
+func (n *Network) Loop() *des.Loop { return n.loop }
+
+// NewHost creates a host with a fresh 10.x.y.z address. The label seeds
+// the host's private random stream.
+func (n *Network) NewHost(label string) *Host {
+	for {
+		v := n.next
+		n.next++
+		addr := netip.AddrFrom4([4]byte{10, byte(v >> 16), byte(v >> 8), byte(v)})
+		if _, taken := n.hosts[addr]; taken {
+			continue
+		}
+		return n.addHost(label, addr)
+	}
+}
+
+// NewHostWithAddr creates a host with a specific address, e.g. to model a
+// well-known server. It panics if the address is taken.
+func (n *Network) NewHostWithAddr(label string, addr netip.Addr) *Host {
+	if _, taken := n.hosts[addr]; taken {
+		panic(fmt.Sprintf("netsim: address %v already in use", addr))
+	}
+	return n.addHost(label, addr)
+}
+
+func (n *Network) addHost(label string, addr netip.Addr) *Host {
+	h := &Host{
+		net:       n,
+		addr:      addr,
+		up:        true,
+		rng:       n.loop.NewRand("host/" + label + "/" + addr.String()),
+		listeners: make(map[uint16]*listener),
+		conns:     make(map[*conn]struct{}),
+		nextPort:  50000,
+	}
+	n.hosts[addr] = h
+	return h
+}
+
+// HostAt returns the host bound to addr, if any.
+func (n *Network) HostAt(addr netip.Addr) (*Host, bool) {
+	h, ok := n.hosts[addr]
+	return h, ok
+}
+
+// RemoveHost forgets a (typically crashed) host, releasing its address
+// and state. Long campaigns spawn hundreds of thousands of short-lived
+// peers; removing them keeps memory bounded.
+func (n *Network) RemoveHost(addr netip.Addr) {
+	if h, ok := n.hosts[addr]; ok {
+		h.Crash()
+		delete(n.hosts, addr)
+	}
+}
+
+// NumHosts returns the number of live hosts.
+func (n *Network) NumHosts() int { return len(n.hosts) }
+
+// connLatency samples the fixed one-way latency for a new connection.
+func (n *Network) connLatency() time.Duration {
+	d := n.cfg.BaseLatency
+	if n.cfg.JitterLatency > 0 {
+		d += time.Duration(n.rng.Int63n(int64(n.cfg.JitterLatency)))
+	}
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// Host is one simulated node.
+type Host struct {
+	net       *Network
+	addr      netip.Addr
+	up        bool
+	rng       *rand.Rand
+	listeners map[uint16]*listener
+	conns     map[*conn]struct{}
+	nextPort  uint16
+}
+
+var _ transport.Host = (*Host)(nil)
+
+// Addr implements transport.Host.
+func (h *Host) Addr() netip.Addr { return h.addr }
+
+// Now implements transport.Host.
+func (h *Host) Now() time.Time { return h.net.loop.Now() }
+
+// Rand implements transport.Host.
+func (h *Host) Rand() *rand.Rand { return h.rng }
+
+// Up reports whether the host is running.
+func (h *Host) Up() bool { return h.up }
+
+type simTimer struct{ ev *des.Event }
+
+func (t simTimer) Stop() bool {
+	if t.ev.Canceled() {
+		return false
+	}
+	t.ev.Cancel()
+	return true
+}
+
+// After implements transport.Host.
+func (h *Host) After(d time.Duration, fn func()) transport.Timer {
+	ev := h.net.loop.After(d, func() {
+		if h.up {
+			fn()
+		}
+	})
+	return simTimer{ev: ev}
+}
+
+// Post implements transport.Host.
+func (h *Host) Post(fn func()) {
+	h.net.loop.After(0, func() {
+		if h.up {
+			fn()
+		}
+	})
+}
+
+type listener struct {
+	host   *Host
+	port   uint16
+	space  wire.Space
+	accept func(transport.Conn)
+	closed bool
+}
+
+func (l *listener) Close() { l.closed = true; delete(l.host.listeners, l.port) }
+
+func (l *listener) Addr() netip.AddrPort { return netip.AddrPortFrom(l.host.addr, l.port) }
+
+// Listen implements transport.Host.
+func (h *Host) Listen(port uint16, space wire.Space, accept func(transport.Conn)) (transport.Listener, error) {
+	if !h.up {
+		return nil, transport.ErrHostDown
+	}
+	if _, taken := h.listeners[port]; taken {
+		return nil, fmt.Errorf("netsim: port %d already bound on %v", port, h.addr)
+	}
+	l := &listener{host: h, port: port, space: space, accept: accept}
+	h.listeners[port] = l
+	return l, nil
+}
+
+func (h *Host) ephemeralPort() uint16 {
+	p := h.nextPort
+	h.nextPort++
+	if h.nextPort < 50000 {
+		h.nextPort = 50000
+	}
+	return p
+}
+
+// Dial implements transport.Host.
+func (h *Host) Dial(remote netip.AddrPort, space wire.Space, done func(transport.Conn, error)) {
+	if !h.up {
+		return
+	}
+	lat := h.net.connLatency()
+	localPort := h.ephemeralPort()
+	h.net.loop.After(lat, func() {
+		target, ok := h.net.hosts[remote.Addr()]
+		if !ok || !target.up {
+			h.net.loop.After(lat, func() {
+				if h.up {
+					done(nil, transport.ErrHostDown)
+				}
+			})
+			return
+		}
+		l, ok := target.listeners[remote.Port()]
+		if !ok || l.closed {
+			h.net.loop.After(lat, func() {
+				if h.up {
+					done(nil, transport.ErrConnRefused)
+				}
+			})
+			return
+		}
+		// Establish the pair: the accept side fires now, the dialer side
+		// one latency later (its SYN-ACK).
+		local := netip.AddrPortFrom(h.addr, localPort)
+		a := &conn{host: h, latency: lat, local: local, remote: remote, space: space}
+		b := &conn{host: target, latency: lat, local: remote, remote: local, space: l.space}
+		a.peer, b.peer = b, a
+		h.conns[a] = struct{}{}
+		target.conns[b] = struct{}{}
+		l.accept(b)
+		h.net.loop.After(lat, func() {
+			if h.up {
+				done(a, nil)
+			}
+		})
+	})
+}
+
+// Crash takes the host down abruptly: every connection dies (peers observe
+// an error after one latency), listeners are dropped, timers are muted.
+func (h *Host) Crash() {
+	if !h.up {
+		return
+	}
+	h.up = false
+	for c := range h.conns {
+		c.closed = true
+		peer := c.peer
+		lat := c.latency
+		h.net.loop.After(lat, func() {
+			peer.remoteClosed(transport.ErrHostDown)
+		})
+	}
+	h.conns = make(map[*conn]struct{})
+	h.listeners = make(map[uint16]*listener)
+}
+
+// Restart brings a crashed host back up with no listeners or connections.
+func (h *Host) Restart() { h.up = true }
+
+type conn struct {
+	host     *Host
+	peer     *conn
+	latency  time.Duration
+	space    wire.Space
+	hooks    transport.ConnHooks
+	hooksSet bool
+	buffered []wire.Message
+	closed   bool
+	local    netip.AddrPort
+	remote   netip.AddrPort
+}
+
+var _ transport.Conn = (*conn)(nil)
+
+func (c *conn) LocalAddr() netip.AddrPort  { return c.local }
+func (c *conn) RemoteAddr() netip.AddrPort { return c.remote }
+
+// SetHooks implements transport.Conn.
+func (c *conn) SetHooks(h transport.ConnHooks) {
+	c.hooks = h
+	c.hooksSet = true
+	for _, m := range c.buffered {
+		c.deliver(m)
+	}
+	c.buffered = nil
+}
+
+func (c *conn) deliver(m wire.Message) {
+	if c.hooks.OnMessage != nil {
+		c.hooks.OnMessage(m)
+	}
+}
+
+// Send implements transport.Conn.
+func (c *conn) Send(m wire.Message) {
+	if c.closed || !c.host.up {
+		return
+	}
+	net := c.host.net
+	if net.cfg.LossRate > 0 && net.rng.Float64() < net.cfg.LossRate {
+		return
+	}
+	if net.cfg.Reencode {
+		frame := wire.AppendFrame(nil, m)
+		decoded, err := wire.Unmarshal(c.peer.space, wire.Opcode(frame[5]), frame[6:])
+		if err != nil {
+			panic(fmt.Sprintf("netsim: message %T does not survive the wire: %v", m, err))
+		}
+		m = decoded
+	}
+	peer := c.peer
+	net.loop.After(c.latency, func() {
+		if peer.closed || !peer.host.up {
+			return
+		}
+		if !peer.hooksSet {
+			peer.buffered = append(peer.buffered, m)
+			return
+		}
+		peer.deliver(m)
+	})
+}
+
+// Close implements transport.Conn.
+func (c *conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	delete(c.host.conns, c)
+	peer := c.peer
+	c.host.net.loop.After(c.latency, func() {
+		peer.remoteClosed(nil)
+	})
+}
+
+// remoteClosed handles the peer's FIN or failure.
+func (c *conn) remoteClosed(err error) {
+	if c.closed || !c.host.up {
+		return
+	}
+	c.closed = true
+	delete(c.host.conns, c)
+	if c.hooks.OnClose != nil {
+		c.hooks.OnClose(err)
+	}
+}

@@ -1,0 +1,569 @@
+package peersim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/client"
+	"repro/internal/ed2k"
+	"repro/internal/netsim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// srcState tracks one peer's relationship with one source.
+type srcState struct {
+	addr        netip.AddrPort
+	attempts    int
+	gotData     bool
+	blacklisted bool
+}
+
+// peer is one simulated eDonkey user.
+type peer struct {
+	pop   *Population
+	rng   *rand.Rand
+	id    int
+	cl    *client.Client
+	lowID bool
+	heavy bool
+
+	wants     []TargetFile
+	sources   []*srcState
+	cursor    int // rotation over silent sources: move on after failures
+	hardFails int
+	done      bool
+
+	// Daily activity window.
+	windowStartHour float64
+	activeUntil     time.Time
+	lastDayStart    time.Time
+}
+
+func (p *Population) spawnPeer(rng *rand.Rand) {
+	target, ok := p.pickTarget(rng)
+	if !ok {
+		return
+	}
+	p.stats.Arrivals++
+	p.peerSeq++
+	id := p.peerSeq
+
+	pe := &peer{
+		pop:   p,
+		id:    id,
+		lowID: rng.Float64() < p.cfg.LowIDFraction,
+		wants: []TargetFile{target},
+	}
+	pe.rng = rand.New(rand.NewSource(rng.Int63()))
+	if p.cfg.WantsMax > 1 {
+		n := 1 + pe.rng.Intn(p.cfg.WantsMax)
+		for len(pe.wants) < n {
+			t2, ok := p.pickTarget(pe.rng)
+			if !ok {
+				break
+			}
+			dup := false
+			for _, w := range pe.wants {
+				if w.Hash == t2.Hash {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				break // heavy popularity skew: accept fewer wants
+			}
+			pe.wants = append(pe.wants, t2)
+		}
+	} else if p.cfg.SecondFileProb > 0 && pe.rng.Float64() < p.cfg.SecondFileProb {
+		if t2, ok := p.pickTarget(pe.rng); ok && t2.Hash != target.Hash {
+			pe.wants = append(pe.wants, t2)
+		}
+	}
+	pe.start()
+}
+
+func (p *Population) spawnHeavyHitter(rng *rand.Rand, idx int) {
+	target, ok := p.pickTarget(rng)
+	if !ok {
+		return
+	}
+	p.stats.Arrivals++
+	p.peerSeq++
+	pe := &peer{
+		pop:   p,
+		id:    p.peerSeq,
+		heavy: true,
+		wants: []TargetFile{target},
+	}
+	pe.rng = rand.New(rand.NewSource(rng.Int63() ^ int64(idx)))
+	pe.start()
+}
+
+// start creates the host/client and begins the first session.
+func (pe *peer) start() {
+	p := pe.pop
+	host := p.net.NewHost(fmt.Sprintf("%s/peer%d", p.cfg.Label, pe.id))
+	if pe.lowID {
+		p.stats.LowID++
+	}
+	port := uint16(4662)
+	if pe.lowID {
+		port = 0
+	}
+	browseable := pe.rng.Float64() < p.cfg.BrowseableFraction
+	pe.cl = client.New(host, client.Config{
+		Label:      fmt.Sprintf("peer%d", pe.id),
+		UserHash:   ed2k.NewUserHash(fmt.Sprintf("%s/peer%d", p.cfg.Label, pe.id)),
+		Name:       p.clientTag[pe.rng.Intn(len(p.clientTag))],
+		Version:    uint32(0x30 + pe.rng.Intn(16)),
+		Port:       port,
+		Browseable: browseable,
+		NoOffer:    true, // libraries are browse-visible, not indexed
+	})
+	if browseable && p.cfg.Catalog != nil && p.cfg.LibraryMean > 0 {
+		pe.loadLibrary()
+	}
+	if !pe.lowID {
+		if err := pe.cl.Listen(); err != nil {
+			pe.quit()
+			return
+		}
+	}
+	pe.windowStartHour = pe.sampleWindowStart()
+	now := host.Now()
+	pe.lastDayStart = now
+	pe.activeUntil = now.Add(time.Duration(p.cfg.ActiveHours * float64(time.Hour)))
+
+	// Peer-exchange arrivals skip the server when gossip knows sources.
+	if pe.rng.Float64() < p.cfg.PeerExchangeFraction {
+		if srcs := p.gossip[pe.wants[0].Hash]; len(srcs) > 0 {
+			p.stats.PeerExchange++
+			pe.setSources(srcs)
+			pe.nextAction(0)
+			return
+		}
+	}
+	pe.loginAndAsk()
+}
+
+// loadLibrary samples the peer's shared folder from the catalog.
+func (pe *peer) loadLibrary() {
+	p := pe.pop
+	n := 1 + pe.rng.Intn(2*p.cfg.LibraryMean)
+	var files []catalog.File
+	if p.cfg.LibraryRegion > 0 && p.cfg.LibraryRegion < p.cfg.Catalog.Len() {
+		// Sample within the popular region: draw until inside.
+		files = make([]catalog.File, 0, n)
+		seen := map[int]bool{}
+		for tries := 0; len(files) < n && tries < 30*n; tries++ {
+			f := p.cfg.Catalog.Sample(pe.rng)
+			if f.Index < p.cfg.LibraryRegion && !seen[f.Index] {
+				seen[f.Index] = true
+				files = append(files, f)
+			}
+		}
+	} else {
+		files = p.cfg.Catalog.SampleLibrary(pe.rng, n)
+	}
+	shared := make([]client.SharedFile, 0, len(files))
+	for _, f := range files {
+		shared = append(shared, client.SharedFile{Hash: f.Hash, Name: f.Name, Size: f.Size, Type: f.Kind.String()})
+	}
+	pe.cl.Share(shared...)
+}
+
+// sampleWindowStart picks the hour the peer's user comes online, biased
+// toward the diurnal peak.
+func (pe *peer) sampleWindowStart() float64 {
+	p := pe.pop
+	for i := 0; i < 8; i++ {
+		h := pe.rng.Float64() * 24
+		w := 1 + p.cfg.DiurnalAmplitude*math.Cos(2*math.Pi*(h-p.cfg.PeakHour)/24)
+		if pe.rng.Float64()*(1+p.cfg.DiurnalAmplitude) < w {
+			return h
+		}
+	}
+	return p.cfg.PeakHour
+}
+
+// loginAndAsk connects to the peer's directory server and requests
+// sources for the wanted files.
+func (pe *peer) loginAndAsk() {
+	p := pe.pop
+	asked := 0
+	server := p.cfg.Server
+	if len(p.cfg.Servers) > 0 {
+		server = p.cfg.Servers[pe.rng.Intn(len(p.cfg.Servers))]
+	}
+	pe.cl.ConnectServer(server, client.ServerHooks{
+		OnConnected: func(id ed2k.ClientID) {
+			for _, w := range pe.wants {
+				pe.cl.GetSources(w.Hash)
+			}
+		},
+		OnSources: func(h ed2k.Hash, srcs []wire.Endpoint) {
+			asked++
+			eps := make([]netip.AddrPort, 0, len(srcs))
+			for _, s := range srcs {
+				if ap := s.AddrPort(); ap.IsValid() {
+					eps = append(eps, ap)
+				}
+			}
+			if len(eps) > 0 {
+				p.gossip[h] = eps // feed peer exchange
+			}
+			pe.setSources(eps)
+			if asked == len(pe.wants) {
+				if len(pe.sources) == 0 {
+					p.stats.NoSources++
+					pe.quit()
+					return
+				}
+				pe.nextAction(0)
+			}
+		},
+		OnDisconnected: func(err error) {},
+	})
+}
+
+// setSources merges newly learned sources, bounded by MaxSourcesPerPeer
+// (heavy hitters take everything). Selection is biased toward the head
+// of the list: real clients work through sources in the order the server
+// returned them, so providers that registered early receive more
+// contacts (the spread visible in the paper's Fig 10).
+func (pe *peer) setSources(eps []netip.AddrPort) {
+	limit := pe.pop.cfg.MaxSourcesPerPeer
+	if pe.heavy {
+		limit = 1 << 30
+	}
+	bias := pe.pop.cfg.SourceOrderBias
+	if bias <= 0 || bias > 1 {
+		bias = 1
+	}
+	remaining := make([]int, len(eps))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for len(remaining) > 0 && len(pe.sources) < limit {
+		// Weighted draw without replacement: weight bias^origPos.
+		total := 0.0
+		for _, orig := range remaining {
+			total += pow(bias, orig)
+		}
+		x := pe.rng.Float64() * total
+		pick := 0
+		for j, orig := range remaining {
+			x -= pow(bias, orig)
+			if x <= 0 {
+				pick = j
+				break
+			}
+		}
+		ep := eps[remaining[pick]]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		dup := false
+		for _, s := range pe.sources {
+			if s.addr == ep {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			pe.sources = append(pe.sources, &srcState{addr: ep})
+		}
+	}
+}
+
+func pow(b float64, n int) float64 {
+	if b == 1 {
+		return 1
+	}
+	return math.Pow(b, float64(n))
+}
+
+// nextAction schedules the next contact round, respecting the user's
+// daily window.
+func (pe *peer) nextAction(delay time.Duration) {
+	if pe.done {
+		return
+	}
+	host := pe.cl.Host()
+	now := host.Now().Add(delay)
+	if now.After(pe.pop.cfg.End) {
+		pe.quit()
+		return
+	}
+	if now.After(pe.activeUntil) {
+		if !pe.scheduleNextDay() {
+			return
+		}
+		delay = pe.activeUntil.Add(-time.Duration(pe.pop.cfg.ActiveHours * float64(time.Hour))).Sub(host.Now())
+		if delay < 0 {
+			delay = 0
+		}
+	}
+	host.After(delay, pe.round)
+}
+
+// scheduleNextDay decides whether the user comes back tomorrow; heavy
+// hitters always return (after a plateau-inducing pause).
+func (pe *peer) scheduleNextDay() bool {
+	p := pe.pop
+	cont := p.cfg.ExtraDaysMean / (1 + p.cfg.ExtraDaysMean)
+	if pe.heavy {
+		cont = 1.0
+	}
+	if pe.rng.Float64() >= cont {
+		pe.quit()
+		return false
+	}
+	skip := 1
+	if pe.heavy && pe.rng.Float64() < 0.25 {
+		skip += 1 + pe.rng.Intn(3) // multi-day plateau
+	}
+	pe.lastDayStart = pe.lastDayStart.Add(time.Duration(skip) * 24 * time.Hour)
+	start := pe.lastDayStart
+	winLen := time.Duration(p.cfg.ActiveHours * float64(time.Hour))
+	if pe.heavy {
+		winLen = 16 * time.Hour
+	}
+	pe.activeUntil = start.Add(winLen)
+	return true
+}
+
+// round contacts up to a few non-blacklisted sources, then reschedules.
+func (pe *peer) round() {
+	if pe.done {
+		return
+	}
+	now := pe.cl.Host().Now()
+	if now.After(pe.pop.cfg.End) {
+		pe.quit()
+		return
+	}
+	if now.After(pe.activeUntil) {
+		pe.nextAction(0)
+		return
+	}
+	batch := 1 + pe.rng.Intn(3)
+	if pe.heavy {
+		batch = len(pe.sources)
+	}
+	// Source selection models the paper's observed client behaviour:
+	// a source that has been delivering data keeps the peer engaged
+	// ("sticky" — the user believes the download progresses), while
+	// silent sources make the client rotate to the next candidate.
+	var targets []*srcState
+	if !pe.heavy {
+		for _, s := range pe.sources {
+			if !s.blacklisted && s.gotData {
+				targets = append(targets, s)
+				if len(targets) >= batch {
+					break
+				}
+			}
+		}
+	}
+	if len(targets) == 0 {
+		n := len(pe.sources)
+		for i := 0; i < n && len(targets) < batch; i++ {
+			s := pe.sources[(pe.cursor+i)%n]
+			if !s.blacklisted {
+				targets = append(targets, s)
+			}
+		}
+		pe.cursor++
+	} else if pe.rng.Float64() < 0.25 {
+		// Real clients query sources in parallel: even while engaged with
+		// a content-bearing source, poke one silent candidate too.
+		n := len(pe.sources)
+		for i := 0; i < n; i++ {
+			s := pe.sources[(pe.cursor+i)%n]
+			if !s.blacklisted && !s.gotData {
+				targets = append(targets, s)
+				pe.cursor++
+				break
+			}
+		}
+	}
+	if len(targets) == 0 {
+		// All sources blacklisted: the download is hopeless.
+		pe.quit()
+		return
+	}
+	for _, s := range targets {
+		pe.contact(s)
+	}
+	retry := pe.pop.cfg.RetryInterval
+	if pe.heavy {
+		retry = pe.pop.cfg.HeavyHitterRetry
+	}
+	jitter := 0.75 + pe.rng.Float64()*0.5
+	pe.nextAction(time.Duration(float64(retry) * jitter))
+}
+
+// contact performs one full exchange with a source: dial, HELLO,
+// START-UPLOAD, a bounded burst of REQUEST-PART messages, close.
+func (pe *peer) contact(s *srcState) {
+	p := pe.pop
+	p.stats.Contacts++
+	s.attempts++
+	want := pe.wants[pe.rng.Intn(len(pe.wants))]
+
+	pe.cl.DialPeer(s.addr, func(ps *client.PeerSession, err error) {
+		if err != nil {
+			pe.contactDone(s, true)
+			return
+		}
+		budget := pe.reqBudget(s)
+		sent := 0
+		gotData := false
+		offset := uint32(pe.rng.Intn(64)) * uint32(ed2k.BlockSize)
+		var timeout transport.Timer
+		var step func()
+		finish := func() {
+			if timeout != nil {
+				timeout.Stop()
+			}
+			ps.Close()
+			s.gotData = s.gotData || gotData
+			pe.contactDone(s, !gotData)
+		}
+		step = func() {
+			if ps.Closed() || pe.done {
+				return
+			}
+			if sent >= budget {
+				finish()
+				return
+			}
+			sent++
+			start := offset + uint32(sent)*uint32(ed2k.BlockSize)
+			ps.RequestParts(want.Hash, [2]uint32{start, start + uint32(ed2k.BlockSize)})
+			// Arm the part timeout: constant for silent sources (this is
+			// what makes the no-content curves smooth).
+			timeout = pe.cl.Host().After(p.cfg.PartTimeout, func() {
+				if ps.Closed() || pe.done {
+					return
+				}
+				step() // no data in time: next request or finish
+			})
+		}
+		ps.SetHooks(client.PeerHooks{
+			OnHelloAnswer: func(client.PeerInfo) {
+				ps.StartUpload(want.Hash)
+			},
+			OnAcceptUpload: func() {
+				step()
+			},
+			OnQueueRank: func(uint32) {
+				finish() // queued: come back later
+			},
+			OnSendingPart: func(part *wire.SendingPart) {
+				gotData = true
+				if timeout != nil {
+					timeout.Stop()
+				}
+				// Content-paced: simulate transfer/verify delay before the
+				// next request (variable, unlike the timeout path).
+				d := time.Duration(2+pe.rng.Intn(14)) * time.Second
+				pe.cl.Host().After(d, func() {
+					if !ps.Closed() && !pe.done {
+						step()
+					}
+				})
+			},
+			OnClose: func(error) {},
+		})
+		ps.SendHello()
+		// Whole-contact guard: if the handshake itself stalls, give up.
+		pe.cl.Host().After(p.cfg.PartTimeout*time.Duration(budget+2), func() {
+			if !ps.Closed() && !pe.done {
+				finish()
+			}
+		})
+	})
+}
+
+// reqBudget draws the REQUEST-PART budget for one contact, larger when
+// the source has been feeding us data. Heavy hitters pipeline uniformly.
+func (pe *peer) reqBudget(s *srcState) int {
+	p := pe.pop
+	if s.gotData && !pe.heavy {
+		span := p.cfg.ReqContentMax - p.cfg.ReqContentMin
+		if span <= 0 {
+			return p.cfg.ReqContentMin
+		}
+		return p.cfg.ReqContentMin + pe.rng.Intn(span+1)
+	}
+	span := p.cfg.ReqSilentMax - p.cfg.ReqSilentMin
+	if span <= 0 {
+		return p.cfg.ReqSilentMin
+	}
+	return p.cfg.ReqSilentMin + pe.rng.Intn(span+1)
+}
+
+// contactDone applies the blacklisting and quitting rules.
+func (pe *peer) contactDone(s *srcState, hard bool) {
+	if pe.done {
+		return
+	}
+	p := pe.pop
+	if hard {
+		p.stats.HardFails++
+		pe.hardFails++
+		if !pe.heavy && s.attempts >= p.cfg.AttemptsSilent {
+			s.blacklisted = true
+			p.stats.Blacklists++
+		}
+	} else {
+		pe.hardFails = 0
+		if pe.heavy {
+			// Heavy hitters chain queries to responsive sources: a
+			// content query completes quickly, so the next one starts
+			// right away (the paper's Figs 8-9 asymmetry).
+			if pe.rng.Float64() < p.cfg.HeavyFollowUp {
+				gap := time.Duration(1+pe.rng.Intn(3)) * time.Minute
+				pe.cl.Host().After(gap, func() {
+					if !pe.done && pe.cl.Host().Now().Before(pe.activeUntil) {
+						pe.contact(s)
+					}
+				})
+			}
+		} else if s.attempts >= p.cfg.AttemptsContent {
+			s.blacklisted = true
+			p.stats.Blacklists++
+			// The peer "completed" chunks of junk and the hash check
+			// failed: many users give up on the file entirely instead of
+			// hunting further sources.
+			if pe.rng.Float64() < p.cfg.AbandonAfterJunk {
+				pe.quit()
+				return
+			}
+		}
+	}
+	if !pe.heavy && pe.hardFails >= p.cfg.QuitAfterHardFails {
+		pe.quit()
+	}
+}
+
+// quit removes the peer from the world and frees its resources.
+func (pe *peer) quit() {
+	if pe.done {
+		return
+	}
+	pe.done = true
+	pe.pop.stats.Quits++
+	if pe.cl != nil {
+		pe.cl.Close()
+		if h, ok := pe.cl.Host().(*netsim.Host); ok {
+			h.Crash()
+			pe.pop.net.RemoveHost(h.Addr())
+		}
+	}
+}

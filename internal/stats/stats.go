@@ -1,0 +1,271 @@
+// Package stats provides the statistical machinery behind the paper's
+// evaluation: time-bucketed series, distinct-over-time growth curves, and
+// the random-subset union estimator of Figures 10–12 (sample 100 random
+// subsets of n units, report average/min/max of the union of peers they
+// observed), parallelized across subset sizes.
+package stats
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Buckets counts events into fixed-width time buckets.
+type Buckets struct {
+	Start  time.Time
+	Width  time.Duration
+	Counts []int
+}
+
+// NewBuckets creates n buckets of the given width starting at start.
+func NewBuckets(start time.Time, width time.Duration, n int) *Buckets {
+	return &Buckets{Start: start, Width: width, Counts: make([]int, n)}
+}
+
+// Add counts one event at t; events outside the covered range are ignored
+// and reported false.
+func (b *Buckets) Add(t time.Time) bool {
+	i := b.Index(t)
+	if i < 0 || i >= len(b.Counts) {
+		return false
+	}
+	b.Counts[i]++
+	return true
+}
+
+// Index returns the bucket index of t (possibly out of range).
+func (b *Buckets) Index(t time.Time) int {
+	d := t.Sub(b.Start)
+	if d < 0 {
+		return -1
+	}
+	return int(d / b.Width)
+}
+
+// GrowthCurve is a distinct-over-time series: for each period, the
+// cumulative number of distinct keys seen so far and the number first seen
+// in that period. This is exactly the pair plotted by the paper's
+// Figures 2 and 3.
+type GrowthCurve struct {
+	// Cumulative[i] is the number of distinct keys observed in periods 0..i.
+	Cumulative []int
+	// New[i] is the number of keys first observed in period i.
+	New []int
+}
+
+// Distinct computes a GrowthCurve over events (time, key). Events outside
+// [start, start+periods*width) are ignored.
+func Distinct(times []time.Time, keys []string, start time.Time, width time.Duration, periods int) GrowthCurve {
+	if len(times) != len(keys) {
+		panic("stats: times and keys length mismatch")
+	}
+	firstSeen := make(map[string]int, len(keys)/4+1)
+	for i, t := range times {
+		if t.Before(start) {
+			continue // negative durations truncate toward 0, not down
+		}
+		p := int(t.Sub(start) / width)
+		if p >= periods {
+			continue
+		}
+		if prev, ok := firstSeen[keys[i]]; !ok || p < prev {
+			firstSeen[keys[i]] = p
+		}
+	}
+	g := GrowthCurve{Cumulative: make([]int, periods), New: make([]int, periods)}
+	for _, p := range firstSeen {
+		g.New[p]++
+	}
+	run := 0
+	for i := 0; i < periods; i++ {
+		run += g.New[i]
+		g.Cumulative[i] = run
+	}
+	return g
+}
+
+// SubsetUnion is the result of the random-subset union estimator.
+type SubsetUnion struct {
+	// N[i] is the subset size of row i (0..len(sets) or 1..len(sets)).
+	N []int
+	// Avg, Min, Max are the union sizes over the drawn samples.
+	Avg []float64
+	Min []int
+	Max []int
+}
+
+// SubsetUnionConfig tunes the estimator.
+type SubsetUnionConfig struct {
+	// Samples is the number of random subsets drawn per size (the paper
+	// uses 100).
+	Samples int
+	// Seed makes the estimate reproducible.
+	Seed int64
+	// IncludeZero adds the n=0 row (used by Fig 10, not by Fig 11/12).
+	IncludeZero bool
+	// Parallel bounds worker goroutines; 0 means GOMAXPROCS.
+	Parallel int
+}
+
+// UnionEstimate runs the estimator: sets[u] lists the element IDs observed
+// by unit u (a honeypot for Fig 10, an advertised file for Figs 11–12);
+// element IDs must be dense non-negative ints (the step-2 renumbering
+// provides exactly that). For each subset size n it draws cfg.Samples
+// random subsets of units and reports average, minimum and maximum union
+// cardinality.
+//
+// Subset sizes are processed in parallel; the per-(n, sample) RNG streams
+// are derived deterministically, so results do not depend on scheduling.
+func UnionEstimate(sets [][]int32, universe int, cfg SubsetUnionConfig) SubsetUnion {
+	if cfg.Samples <= 0 {
+		cfg.Samples = 100
+	}
+	nUnits := len(sets)
+	lo := 1
+	if cfg.IncludeZero {
+		lo = 0
+	}
+	var rows []int
+	for n := lo; n <= nUnits; n++ {
+		rows = append(rows, n)
+	}
+	out := SubsetUnion{
+		N:   rows,
+		Avg: make([]float64, len(rows)),
+		Min: make([]int, len(rows)),
+		Max: make([]int, len(rows)),
+	}
+
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type job struct{ row, n int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Epoch-stamped scratch: mark[i] == stamp means element i is in
+			// the current union. Reused across samples without clearing.
+			mark := make([]int32, universe)
+			stamp := int32(0)
+			perm := make([]int, nUnits)
+			for j := range jobs {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(j.n)*1_000_003))
+				sum := 0.0
+				minU, maxU := -1, -1
+				for s := 0; s < cfg.Samples; s++ {
+					stamp++
+					for i := range perm {
+						perm[i] = i
+					}
+					// Partial Fisher-Yates: the first j.n entries are the sample.
+					for i := 0; i < j.n; i++ {
+						k := i + rng.Intn(nUnits-i)
+						perm[i], perm[k] = perm[k], perm[i]
+					}
+					union := 0
+					for i := 0; i < j.n; i++ {
+						for _, el := range sets[perm[i]] {
+							if mark[el] != stamp {
+								mark[el] = stamp
+								union++
+							}
+						}
+					}
+					sum += float64(union)
+					if minU < 0 || union < minU {
+						minU = union
+					}
+					if union > maxU {
+						maxU = union
+					}
+				}
+				if j.n == 0 {
+					minU, maxU = 0, 0
+				}
+				out.Avg[j.row] = sum / float64(cfg.Samples)
+				out.Min[j.row] = minU
+				out.Max[j.row] = maxU
+			}
+		}()
+	}
+	for i, n := range rows {
+		jobs <- job{row: i, n: n}
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// TopKey returns the key with the most events and its count; ties break
+// toward the lexicographically smallest key for determinism.
+func TopKey(keys []string) (string, int) {
+	counts := make(map[string]int, len(keys)/4+1)
+	for _, k := range keys {
+		counts[k]++
+	}
+	best, bestN := "", -1
+	for k, n := range counts {
+		if n > bestN || (n == bestN && k < best) {
+			best, bestN = k, n
+		}
+	}
+	if bestN < 0 {
+		bestN = 0
+	}
+	return best, bestN
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using nearest-rank on a
+// sorted copy.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	i := int(q * float64(len(cp)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(cp) {
+		i = len(cp) - 1
+	}
+	return cp[i]
+}
+
+// CumulativeInts turns per-period counts into a running total.
+func CumulativeInts(xs []int) []int {
+	out := make([]int, len(xs))
+	run := 0
+	for i, x := range xs {
+		run += x
+		out[i] = run
+	}
+	return out
+}

@@ -1,0 +1,344 @@
+// Conformance suite: the same semantic contract tests run against both
+// transport implementations (netsim and livenet). The entire platform
+// rests on the two behaving identically — actors are written once and
+// deployed on either — so any divergence must fail here.
+package transport_test
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/ed2k"
+	"repro/internal/livenet"
+	"repro/internal/netsim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// fixture abstracts over the two implementations.
+type fixture struct {
+	name string
+	// newHost creates a host.
+	newHost func(label string) transport.Host
+	// settle lets in-flight work finish (virtual or real time).
+	settle func()
+	// close tears the fixture down.
+	close func()
+}
+
+func fixtures(t *testing.T) []*fixture {
+	t.Helper()
+	var fs []*fixture
+
+	// Simulated network.
+	loop := des.NewLoop(time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC), 99)
+	simNet := netsim.New(loop, netsim.DefaultConfig())
+	fs = append(fs, &fixture{
+		name:    "netsim",
+		newHost: func(label string) transport.Host { return simNet.NewHost(label) },
+		settle:  func() { loop.RunUntil(loop.Now().Add(30 * time.Second)) },
+		close:   func() {},
+	})
+
+	// Real TCP on distinct loopback addresses.
+	var liveHosts []*livenet.Host
+	next := byte(1)
+	fs = append(fs, &fixture{
+		name: "livenet",
+		newHost: func(label string) transport.Host {
+			addr := netip.AddrFrom4([4]byte{127, 0, 3, next})
+			next++
+			h := livenet.NewHost(addr, int64(next))
+			liveHosts = append(liveHosts, h)
+			return h
+		},
+		settle: func() { time.Sleep(150 * time.Millisecond) },
+		close: func() {
+			for _, h := range liveHosts {
+				h.Close()
+			}
+		},
+	})
+	return fs
+}
+
+// recorder collects events safely under both threading models.
+type recorder struct {
+	mu     sync.Mutex
+	msgs   []wire.Message
+	closed bool
+	err    error
+}
+
+func (r *recorder) hooks() transport.ConnHooks {
+	return transport.ConnHooks{
+		OnMessage: func(m wire.Message) {
+			r.mu.Lock()
+			r.msgs = append(r.msgs, m)
+			r.mu.Unlock()
+		},
+		OnClose: func(err error) {
+			r.mu.Lock()
+			r.closed = true
+			r.err = err
+			r.mu.Unlock()
+		},
+	}
+}
+
+func (r *recorder) snapshot() (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.msgs), r.closed
+}
+
+func forEachFixture(t *testing.T, run func(t *testing.T, f *fixture)) {
+	for _, f := range fixtures(t) {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			defer f.close()
+			run(t, f)
+		})
+	}
+}
+
+func TestConformanceExchangeAndOrder(t *testing.T) {
+	forEachFixture(t, func(t *testing.T, f *fixture) {
+		srv := f.newHost("srv")
+		cli := f.newHost("cli")
+		rec := &recorder{}
+
+		l, err := srv.Listen(14100, wire.ServerSpace, func(c transport.Conn) {
+			c.SetHooks(rec.hooks())
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+
+		cli.Dial(netip.AddrPortFrom(srv.Addr(), 14100), wire.ServerSpace, func(c transport.Conn, err error) {
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			for i := uint32(0); i < 20; i++ {
+				c.Send(&wire.IDChange{ClientID: i})
+			}
+		})
+		for i := 0; i < 30; i++ {
+			f.settle()
+			if n, _ := rec.snapshot(); n == 20 {
+				break
+			}
+		}
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		if len(rec.msgs) != 20 {
+			t.Fatalf("got %d messages", len(rec.msgs))
+		}
+		for i, m := range rec.msgs {
+			if m.(*wire.IDChange).ClientID != uint32(i) {
+				t.Fatalf("out of order at %d", i)
+			}
+		}
+	})
+}
+
+func TestConformanceDialRefused(t *testing.T) {
+	forEachFixture(t, func(t *testing.T, f *fixture) {
+		a := f.newHost("a")
+		b := f.newHost("b")
+		var mu sync.Mutex
+		var dialErr error
+		got := false
+		a.Dial(netip.AddrPortFrom(b.Addr(), 14199), wire.ServerSpace, func(c transport.Conn, err error) {
+			mu.Lock()
+			dialErr, got = err, true
+			mu.Unlock()
+		})
+		for i := 0; i < 100; i++ {
+			f.settle()
+			mu.Lock()
+			done := got
+			mu.Unlock()
+			if done {
+				break
+			}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if !got {
+			t.Fatal("dial callback never fired")
+		}
+		if dialErr == nil {
+			t.Error("dial to closed port must fail")
+		}
+	})
+}
+
+func TestConformanceCloseNotifiesPeer(t *testing.T) {
+	forEachFixture(t, func(t *testing.T, f *fixture) {
+		srv := f.newHost("srv")
+		cli := f.newHost("cli")
+		rec := &recorder{}
+		l, err := srv.Listen(14101, wire.ServerSpace, func(c transport.Conn) {
+			c.SetHooks(rec.hooks())
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		cli.Dial(netip.AddrPortFrom(srv.Addr(), 14101), wire.ServerSpace, func(c transport.Conn, err error) {
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			c.Send(&wire.GetServerList{})
+			c.Close()
+		})
+		for i := 0; i < 30; i++ {
+			f.settle()
+			if _, closed := rec.snapshot(); closed {
+				break
+			}
+		}
+		n, closed := rec.snapshot()
+		if !closed {
+			t.Fatal("peer not notified of close")
+		}
+		// The message sent before Close must still be delivered.
+		if n != 1 {
+			t.Errorf("messages before close: %d", n)
+		}
+	})
+}
+
+func TestConformanceBufferingBeforeHooks(t *testing.T) {
+	forEachFixture(t, func(t *testing.T, f *fixture) {
+		srv := f.newHost("srv")
+		cli := f.newHost("cli")
+		var mu sync.Mutex
+		var pending transport.Conn
+		l, err := srv.Listen(14102, wire.ServerSpace, func(c transport.Conn) {
+			mu.Lock()
+			pending = c // hooks deliberately not installed yet
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		cli.Dial(netip.AddrPortFrom(srv.Addr(), 14102), wire.ServerSpace, func(c transport.Conn, err error) {
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			c.Send(&wire.GetServerList{})
+			c.Send(&wire.GetSources{Hash: ed2k.SyntheticHash("x")})
+		})
+		var conn transport.Conn
+		for i := 0; i < 30; i++ {
+			f.settle()
+			mu.Lock()
+			conn = pending
+			mu.Unlock()
+			if conn != nil {
+				break
+			}
+		}
+		if conn == nil {
+			t.Fatal("no inbound connection")
+		}
+		// Give the messages time to arrive and be buffered.
+		f.settle()
+		f.settle()
+		rec := &recorder{}
+		// SetHooks must run on the host executor in live mode.
+		srv.Post(func() { conn.SetHooks(rec.hooks()) })
+		for i := 0; i < 30; i++ {
+			f.settle()
+			if n, _ := rec.snapshot(); n == 2 {
+				break
+			}
+		}
+		if n, _ := rec.snapshot(); n != 2 {
+			t.Errorf("buffered delivery: got %d messages, want 2", n)
+		}
+	})
+}
+
+func TestConformanceTimers(t *testing.T) {
+	forEachFixture(t, func(t *testing.T, f *fixture) {
+		h := f.newHost("h")
+		var mu sync.Mutex
+		fired := 0
+		h.After(20*time.Millisecond, func() {
+			mu.Lock()
+			fired++
+			mu.Unlock()
+		})
+		stopped := h.After(50*time.Millisecond, func() {
+			mu.Lock()
+			fired += 100
+			mu.Unlock()
+		})
+		if !stopped.Stop() {
+			t.Error("Stop on pending timer must report true")
+		}
+		if stopped.Stop() {
+			t.Error("second Stop must report false")
+		}
+		for i := 0; i < 30; i++ {
+			f.settle()
+			mu.Lock()
+			n := fired
+			mu.Unlock()
+			if n >= 1 {
+				break
+			}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if fired != 1 {
+			t.Errorf("fired = %d, want exactly 1 (stopped timer must not run)", fired)
+		}
+	})
+}
+
+func TestConformancePostSerializes(t *testing.T) {
+	forEachFixture(t, func(t *testing.T, f *fixture) {
+		h := f.newHost("h")
+		var mu sync.Mutex
+		order := make([]int, 0, 50)
+		for i := 0; i < 50; i++ {
+			i := i
+			h.Post(func() {
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+			})
+		}
+		for i := 0; i < 30; i++ {
+			f.settle()
+			mu.Lock()
+			n := len(order)
+			mu.Unlock()
+			if n == 50 {
+				break
+			}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if len(order) != 50 {
+			t.Fatalf("ran %d posts", len(order))
+		}
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("posts out of order at %d", i)
+			}
+		}
+	})
+}

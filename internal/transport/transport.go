@@ -1,0 +1,92 @@
+// Package transport defines the host/connection abstraction the protocol
+// actors (server, client, honeypot) are written against. Two
+// implementations exist: package netsim executes hosts inside a
+// discrete-event simulation with virtual time, and package livenet runs
+// the identical actor code over real TCP sockets.
+//
+// Threading contract: all callbacks delivered to a given Host — accept
+// callbacks, connection hooks, timers, functions passed to Post — are
+// serialized. Actor code therefore needs no locks of its own, exactly like
+// a handler running inside an event loop.
+package transport
+
+import (
+	"errors"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ErrConnRefused is reported when no listener accepts a dialed port.
+var ErrConnRefused = errors.New("transport: connection refused")
+
+// ErrHostDown is reported when the target host is not running.
+var ErrHostDown = errors.New("transport: host down")
+
+// ErrClosed is reported on use of a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// ConnHooks receive connection events. Hooks are optional; nil members are
+// skipped.
+type ConnHooks struct {
+	// OnMessage is called for every decoded message, in order.
+	OnMessage func(m wire.Message)
+	// OnClose is called exactly once when the connection dies, with nil on
+	// graceful close by either side and an error otherwise.
+	OnClose func(err error)
+}
+
+// Conn is one bidirectional, ordered eDonkey message stream.
+type Conn interface {
+	// SetHooks installs the receive callbacks. Messages arriving before
+	// SetHooks are buffered.
+	SetHooks(h ConnHooks)
+	// Send enqueues a message. Sends on a closed connection are dropped
+	// silently (the OnClose hook already reported the death).
+	Send(m wire.Message)
+	// Close tears the connection down gracefully.
+	Close()
+	// LocalAddr and RemoteAddr identify the two endpoints.
+	LocalAddr() netip.AddrPort
+	RemoteAddr() netip.AddrPort
+}
+
+// Listener is an open listening port.
+type Listener interface {
+	// Close stops accepting. Established connections are unaffected.
+	Close()
+	// Addr returns the bound address.
+	Addr() netip.AddrPort
+}
+
+// Timer is a cancelable scheduled callback.
+type Timer interface {
+	// Stop cancels the timer; it reports whether the callback was
+	// prevented from running.
+	Stop() bool
+}
+
+// Host is one network node with its own address, clock and executor.
+type Host interface {
+	// Addr returns the host's IPv4 address.
+	Addr() netip.Addr
+	// Now returns the host's current time (virtual under simulation).
+	Now() time.Time
+	// After schedules fn on the host's executor after d.
+	After(d time.Duration, fn func()) Timer
+	// Post schedules fn on the host's executor as soon as possible. It is
+	// safe to call from any goroutine; this is the bridge for external
+	// inputs in live mode.
+	Post(fn func())
+	// Rand returns the host's random stream. Must only be used from the
+	// host's executor.
+	Rand() *rand.Rand
+	// Listen opens a listening port for the given protocol space; accept
+	// runs on the host executor for every inbound connection.
+	Listen(port uint16, space wire.Space, accept func(Conn)) (Listener, error)
+	// Dial opens a connection to remote speaking the given space. done is
+	// invoked on the host executor with the connection or an error.
+	Dial(remote netip.AddrPort, space wire.Space, done func(Conn, error))
+}

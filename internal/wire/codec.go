@@ -1,0 +1,302 @@
+package wire
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/ed2k"
+)
+
+// MaxFrameSize bounds the declared size of an incoming frame. The largest
+// legitimate eDonkey message is a SENDING-PART block (~180 KiB) or a large
+// OFFER-FILES batch; 16 MiB leaves ample room while rejecting nonsense.
+const MaxFrameSize = 16 << 20
+
+// ErrFrameTooLarge is returned when a frame header declares more than
+// MaxFrameSize bytes.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// ErrBadProtocol is returned for an unknown protocol byte.
+var ErrBadProtocol = errors.New("wire: unknown protocol byte")
+
+// ErrTruncated is returned when a payload ends before its message does.
+var ErrTruncated = errors.New("wire: truncated payload")
+
+// ErrTrailingBytes is returned when a payload has bytes past its message.
+var ErrTrailingBytes = errors.New("wire: trailing bytes in payload")
+
+// ErrUnknownOpcode is returned when decoding meets an unregistered opcode.
+var ErrUnknownOpcode = errors.New("wire: unknown opcode")
+
+// encoder appends little-endian primitives to a buffer.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v byte)        { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16)     { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32)     { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) hash(h ed2k.Hash) { e.buf = append(e.buf, h[:]...) }
+func (e *encoder) raw(b []byte)     { e.buf = append(e.buf, b...) }
+
+func (e *encoder) str(s string) {
+	if len(s) > 0xFFFF {
+		s = s[:0xFFFF]
+	}
+	e.u16(uint16(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// decoder consumes little-endian primitives from a payload, accumulating
+// the first error instead of returning one per call.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.off }
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.remaining() < n {
+		d.fail(fmt.Errorf("%w: need %d bytes, have %d", ErrTruncated, n, d.remaining()))
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) hash() ed2k.Hash {
+	var h ed2k.Hash
+	if !d.need(len(h)) {
+		return h
+	}
+	copy(h[:], d.buf[d.off:])
+	d.off += len(h)
+	return h
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if n < 0 || !d.need(n) {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:])
+	d.off += n
+	return b
+}
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.remaining() != 0 {
+		return fmt.Errorf("%w: %d bytes", ErrTrailingBytes, d.remaining())
+	}
+	return nil
+}
+
+// Message is one eDonkey protocol message.
+type Message interface {
+	// Op returns the message's opcode within its space.
+	Op() Opcode
+	// encode appends the payload (not the opcode) to the encoder.
+	encode(e *encoder)
+}
+
+// AppendFrame appends the complete plain (uncompressed) frame for m.
+func AppendFrame(dst []byte, m Message) []byte {
+	e := encoder{buf: dst}
+	e.u8(ProtoEDonkey)
+	sizeAt := len(e.buf)
+	e.u32(0) // patched below
+	e.u8(byte(m.Op()))
+	before := len(e.buf)
+	m.encode(&e)
+	size := uint32(len(e.buf) - before + 1) // opcode + payload
+	binary.LittleEndian.PutUint32(e.buf[sizeAt:], size)
+	return e.buf
+}
+
+// MarshalFrame returns the complete frame for m, compressing the payload
+// into a 0xD4 packed frame when compress is set and compression shrinks
+// the message.
+func MarshalFrame(m Message, compress bool) ([]byte, error) {
+	plain := AppendFrame(nil, m)
+	if !compress {
+		return plain, nil
+	}
+	payload := plain[6:] // after proto, size, opcode
+	var z bytes.Buffer
+	zw := zlib.NewWriter(&z)
+	if _, err := zw.Write(payload); err != nil {
+		return nil, fmt.Errorf("wire: compress: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("wire: compress: %w", err)
+	}
+	if z.Len() >= len(payload) {
+		return plain, nil // compression did not help
+	}
+	out := make([]byte, 0, 6+z.Len())
+	out = append(out, ProtoPacked)
+	out = binary.LittleEndian.AppendUint32(out, uint32(1+z.Len()))
+	out = append(out, byte(m.Op()))
+	out = append(out, z.Bytes()...)
+	return out, nil
+}
+
+// decoderFunc builds a message from a payload decoder.
+type decoderFunc func(d *decoder) Message
+
+var serverDecoders = map[Opcode]decoderFunc{}
+var peerDecoders = map[Opcode]decoderFunc{}
+
+func registerServer(op Opcode, f decoderFunc) { serverDecoders[op] = f }
+func registerPeer(op Opcode, f decoderFunc)   { peerDecoders[op] = f }
+
+// Unmarshal decodes the payload of a frame with the given opcode.
+func Unmarshal(space Space, op Opcode, payload []byte) (Message, error) {
+	table := serverDecoders
+	if space == PeerSpace {
+		table = peerDecoders
+	}
+	f, ok := table[op]
+	if !ok {
+		return nil, fmt.Errorf("%w: 0x%02X in %v space", ErrUnknownOpcode, byte(op), space)
+	}
+	d := decoder{buf: payload}
+	m := f(&d)
+	if err := d.finish(); err != nil {
+		return nil, fmt.Errorf("wire: decoding %s: %w", op.Name(space), err)
+	}
+	return m, nil
+}
+
+// Reader decodes frames from a byte stream.
+type Reader struct {
+	r     io.Reader
+	space Space
+	hdr   [6]byte
+}
+
+// NewReader returns a Reader decoding messages in the given space.
+func NewReader(r io.Reader, space Space) *Reader {
+	return &Reader{r: r, space: space}
+}
+
+// Read reads and decodes one message.
+func (r *Reader) Read() (Message, error) {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		return nil, err
+	}
+	proto := r.hdr[0]
+	size := binary.LittleEndian.Uint32(r.hdr[1:5])
+	if size == 0 {
+		return nil, fmt.Errorf("wire: zero-size frame")
+	}
+	if size > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size)
+	}
+	op := Opcode(r.hdr[5])
+	payload := make([]byte, size-1)
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		return nil, fmt.Errorf("wire: reading payload of %s: %w", op.Name(r.space), err)
+	}
+	switch proto {
+	case ProtoEDonkey:
+	case ProtoPacked:
+		zr, err := zlib.NewReader(bytes.NewReader(payload))
+		if err != nil {
+			return nil, fmt.Errorf("wire: packed frame: %w", err)
+		}
+		inflated, err := io.ReadAll(io.LimitReader(zr, MaxFrameSize+1))
+		if err != nil {
+			return nil, fmt.Errorf("wire: inflating frame: %w", err)
+		}
+		if len(inflated) > MaxFrameSize {
+			return nil, ErrFrameTooLarge
+		}
+		payload = inflated
+	default:
+		return nil, fmt.Errorf("%w: 0x%02X", ErrBadProtocol, proto)
+	}
+	return Unmarshal(r.space, op, payload)
+}
+
+// Writer encodes frames onto a byte stream.
+type Writer struct {
+	w        io.Writer
+	compress bool
+	scratch  []byte
+}
+
+// NewWriter returns a Writer. When compress is set, messages whose packed
+// form is smaller are sent as 0xD4 frames.
+func NewWriter(w io.Writer, compress bool) *Writer {
+	return &Writer{w: w, compress: compress}
+}
+
+// Write encodes and writes one message.
+func (w *Writer) Write(m Message) error {
+	if w.compress {
+		frame, err := MarshalFrame(m, true)
+		if err != nil {
+			return err
+		}
+		_, err = w.w.Write(frame)
+		return err
+	}
+	w.scratch = AppendFrame(w.scratch[:0], m)
+	_, err := w.w.Write(w.scratch)
+	return err
+}

@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/ed2k"
+)
+
+// Golden frames: these byte layouts are the eDonkey wire format as
+// documented in the eMule protocol specification. They must never change —
+// a different layout would not interoperate with the network the paper
+// measured.
+
+func hashFromBytes(b byte) ed2k.Hash {
+	var h ed2k.Hash
+	for i := range h {
+		h[i] = b
+	}
+	return h
+}
+
+func TestGoldenGetSources(t *testing.T) {
+	m := &GetSources{Hash: hashFromBytes(0xAB)}
+	got := AppendFrame(nil, m)
+	want := "e3" + // protocol
+		"11000000" + // size = 17 (opcode + 16-byte hash), little-endian
+		"19" + // OP_GETSOURCES
+		"abababababababababababababababab"
+	if hex.EncodeToString(got) != want {
+		t.Errorf("GET-SOURCES frame:\n got %x\nwant %s", got, want)
+	}
+}
+
+func TestGoldenStartUpload(t *testing.T) {
+	m := &StartUploadReq{Hash: hashFromBytes(0x01)}
+	got := AppendFrame(nil, m)
+	want := "e3" + "11000000" + "54" + "01010101010101010101010101010101"
+	if hex.EncodeToString(got) != want {
+		t.Errorf("START-UPLOAD frame:\n got %x\nwant %s", got, want)
+	}
+}
+
+func TestGoldenRequestParts(t *testing.T) {
+	m := &RequestParts{Hash: hashFromBytes(0x02)}
+	m.Start[0], m.End[0] = 0x100, 0x200
+	got := AppendFrame(nil, m)
+	want := "e3" + "29000000" + "47" + // size = 1 + 16 + 24 = 41 = 0x29
+		"02020202020202020202020202020202" +
+		"000100000000000000000000" + // start[3] LE
+		"000200000000000000000000" // end[3] LE
+	if hex.EncodeToString(got) != want {
+		t.Errorf("REQUEST-PART frame:\n got %x\nwant %s", got, want)
+	}
+}
+
+func TestGoldenHelloLayout(t *testing.T) {
+	m := &Hello{
+		UserHash: hashFromBytes(0x0F),
+		ClientID: 0x04030201,
+		Port:     0x1236, // 4662
+		Tags:     Tags{UintTag(TagVersion, 0x3C)},
+		ServerIP: 0x08080808, ServerPort: 0x1235,
+	}
+	got := AppendFrame(nil, m)
+	// size = opcode(1) + marker(1) + hash(16) + id(4) + port(2) +
+	// tagcount(4) + tag(8) + serverIP(4) + serverPort(2) = 42
+	want := "e3" +
+		"2a000000" +
+		"01" + // OP_HELLO
+		"10" + // hash length marker = 16
+		"0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f" +
+		"01020304" + // clientID LE
+		"3612" + // port LE
+		"01000000" + // 1 tag
+		"03" + "0100" + "11" + // uint tag, name len 1, TagVersion
+		"3c000000" + // value 0x3C
+		"08080808" + // server IP
+		"3512" // server port
+	if hex.EncodeToString(got) != want {
+		t.Errorf("HELLO frame:\n got %x\nwant %s", got, want)
+	}
+}
+
+func TestGoldenStringTag(t *testing.T) {
+	m := &ServerMessage{Text: "hi"}
+	got := AppendFrame(nil, m)
+	want := "e3" + "05000000" + "38" + "0200" + "6869"
+	if hex.EncodeToString(got) != want {
+		t.Errorf("SERVER-MESSAGE frame:\n got %x\nwant %s", got, want)
+	}
+}
+
+func TestGoldenEmptyMessages(t *testing.T) {
+	cases := []struct {
+		m    Message
+		want string
+	}{
+		{&AcceptUploadReq{}, "e3" + "01000000" + "55"},
+		{&CancelTransfer{}, "e3" + "01000000" + "56"},
+		{&AskSharedFiles{}, "e3" + "01000000" + "4a"},
+		{&GetServerList{}, "e3" + "01000000" + "14"},
+	}
+	for _, c := range cases {
+		got := AppendFrame(nil, c.m)
+		if hex.EncodeToString(got) != c.want {
+			t.Errorf("%T frame:\n got %x\nwant %s", c.m, got, c.want)
+		}
+	}
+}
+
+func TestGoldenSendingPartCarriesRawData(t *testing.T) {
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	m := &SendingPart{Hash: hashFromBytes(0x03), Start: 0, End: 4, Data: data}
+	got := AppendFrame(nil, m)
+	// Payload tail must be the raw data bytes.
+	if !bytes.HasSuffix(got, data) {
+		t.Errorf("SENDING-PART does not end with raw data: %x", got)
+	}
+	// size = 1 + 16 + 4 + 4 + 4 = 29
+	if got[1] != 29 || got[2] != 0 {
+		t.Errorf("SENDING-PART size field: %x", got[1:5])
+	}
+}

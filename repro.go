@@ -1,0 +1,209 @@
+// Package repro is the public entry point of the reproduction of
+// "Measurement of eDonkey Activity with Distributed Honeypots" (Allali,
+// Latapy, Magnien — HotP2P/IPDPS 2009, arXiv:0904.3215).
+//
+// It exposes the two campaign runners (the paper's distributed and
+// greedy measurements) and a Report type that regenerates every table
+// and figure of the paper's evaluation from a campaign result:
+//
+//	res, err := repro.RunDistributed(repro.ScaledDistributed(0.1))
+//	if err != nil { ... }
+//	rep := repro.Analyze(res)
+//	fmt.Println(rep.TableI)
+//
+// The underlying platform — eDonkey wire protocol, directory server,
+// client engine, honeypots, manager, anonymization pipeline, and the
+// behavioural peer population that substitutes for the live network —
+// lives in the internal packages; see DESIGN.md for the inventory.
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/ed2k"
+	"repro/internal/logging"
+	"repro/internal/stats"
+)
+
+// Re-exported campaign types.
+type (
+	// DistributedConfig parameterizes the 24-honeypot campaign.
+	DistributedConfig = core.DistributedConfig
+	// GreedyConfig parameterizes the shared-list-harvesting campaign.
+	GreedyConfig = core.GreedyConfig
+	// Result is a finished campaign.
+	Result = core.Result
+)
+
+// DefaultDistributed returns the paper's distributed setup (scale 1).
+func DefaultDistributed() DistributedConfig { return core.DefaultDistributedConfig() }
+
+// DefaultGreedy returns the paper's greedy setup (scale 1).
+func DefaultGreedy() GreedyConfig { return core.DefaultGreedyConfig() }
+
+// ScaledDistributed returns the distributed setup at a reduced arrival
+// scale (durations and behaviour unchanged, so curve shapes hold).
+func ScaledDistributed(scale float64) DistributedConfig {
+	cfg := core.DefaultDistributedConfig()
+	cfg.Scale = scale
+	return cfg
+}
+
+// ScaledGreedy returns the greedy setup at a reduced arrival scale. The
+// adoption cap shrinks with scale so the advertised list stays in
+// proportion to the observing population.
+func ScaledGreedy(scale float64) GreedyConfig {
+	cfg := core.DefaultGreedyConfig()
+	cfg.Scale = scale
+	if scale < 1 {
+		cfg.MaxAdopted = int(float64(cfg.MaxAdopted) * scale * 4)
+		if cfg.MaxAdopted < 50 {
+			cfg.MaxAdopted = 50
+		}
+	}
+	return cfg
+}
+
+// RunDistributed executes the paper's distributed measurement in the
+// simulated world and returns the anonymized dataset.
+func RunDistributed(cfg DistributedConfig) (*Result, error) {
+	return core.RunDistributed(cfg)
+}
+
+// RunGreedy executes the paper's greedy measurement.
+func RunGreedy(cfg GreedyConfig) (*Result, error) {
+	return core.RunGreedy(cfg)
+}
+
+// Report regenerates the paper's evaluation artifacts from one campaign.
+// Fields are populated according to the campaign kind: the distributed
+// campaign fills Fig2, Fig4-Fig10; the greedy campaign fills Fig3,
+// Fig11, Fig12. TableI is always filled.
+type Report struct {
+	// TableI is the campaign's row of the paper's Table I.
+	TableI analysis.TableI
+	// PeerGrowth is Fig 2 (distributed) or Fig 3 (greedy).
+	PeerGrowth stats.GrowthCurve
+	// HourlyHello is Fig 4: HELLO per hour over the first week.
+	HourlyHello []int
+	// HelloPeersByGroup is Fig 5; StartUploadPeersByGroup is Fig 6.
+	HelloPeersByGroup       analysis.GroupSeries
+	StartUploadPeersByGroup analysis.GroupSeries
+	// RequestPartsByGroup is Fig 7.
+	RequestPartsByGroup analysis.GroupSeries
+	// TopPeer identifies the busiest peer; TopPeerStartUpload and
+	// TopPeerRequestParts are Figs 8 and 9.
+	TopPeer             string
+	TopPeerQueries      int
+	TopPeerStartUpload  analysis.GroupSeries
+	TopPeerRequestParts analysis.GroupSeries
+	// HoneypotSubsets is Fig 10 (distributed only).
+	HoneypotSubsets stats.SubsetUnion
+	// RandomFileSubsets and PopularFileSubsets are Figs 11-12 (greedy).
+	RandomFileSubsets  stats.SubsetUnion
+	PopularFileSubsets stats.SubsetUnion
+	// RandomFiles / PopularFiles are the sampled file sets behind them.
+	RandomFiles  []ed2k.Hash
+	PopularFiles []ed2k.Hash
+	// CoInterest summarizes the bipartite peer-file interest graph — the
+	// analysis the paper's conclusion announces as future work.
+	CoInterest analysis.InterestStats
+}
+
+// AnalyzeOptions tunes report generation.
+type AnalyzeOptions struct {
+	// SubsetSamples is the number of random subsets per size (paper: 100).
+	SubsetSamples int
+	// FileSubsetSize is the file-set size of Figs 11-12 (paper: 100).
+	FileSubsetSize int
+	// Seed drives the subset sampling.
+	Seed int64
+}
+
+// DefaultAnalyzeOptions mirrors the paper's methodology.
+func DefaultAnalyzeOptions() AnalyzeOptions {
+	return AnalyzeOptions{SubsetSamples: 100, FileSubsetSize: 100, Seed: 1}
+}
+
+// Analyze computes the full report with default options.
+func Analyze(res *Result) *Report {
+	return AnalyzeWith(res, DefaultAnalyzeOptions())
+}
+
+// AnalyzeWith computes the full report.
+func AnalyzeWith(res *Result, opt AnalyzeOptions) *Report {
+	if opt.SubsetSamples <= 0 {
+		opt.SubsetSamples = 100
+	}
+	if opt.FileSubsetSize <= 0 {
+		opt.FileSubsetSize = 100
+	}
+	recs := res.Dataset.Records
+	rep := &Report{
+		TableI: analysis.ComputeTableI(recs, len(res.HoneypotIDs), res.Days, len(res.Advertised)),
+	}
+	rep.PeerGrowth = analysis.PeerGrowth(recs, res.Start, res.Days)
+	rep.CoInterest = analysis.BuildInterestGraph(recs).Stats()
+
+	hours := res.Days * 24
+	if hours > 168 {
+		hours = 168
+	}
+	rep.HourlyHello = analysis.HourlyHello(recs, res.Start, hours)
+
+	if len(res.HoneypotIDs) > 1 {
+		rep.HelloPeersByGroup = analysis.GroupDistinctPeers(recs, res.GroupOf, logging.KindHello, res.Start, res.Days)
+		rep.StartUploadPeersByGroup = analysis.GroupDistinctPeers(recs, res.GroupOf, logging.KindStartUpload, res.Start, res.Days)
+		rep.RequestPartsByGroup = analysis.GroupMessageCounts(recs, res.GroupOf, logging.KindRequestPart, res.Start, res.Days)
+
+		rep.TopPeer, rep.TopPeerQueries = analysis.TopPeer(recs)
+		rep.TopPeerStartUpload = analysis.TopPeerSeries(recs, res.GroupOf, rep.TopPeer, logging.KindStartUpload, res.Start, res.Days)
+		rep.TopPeerRequestParts = analysis.TopPeerSeries(recs, res.GroupOf, rep.TopPeer, logging.KindRequestPart, res.Start, res.Days)
+
+		sets, universe := analysis.HoneypotPeerSets(recs, res.HoneypotIDs)
+		rep.HoneypotSubsets = stats.UnionEstimate(sets, universe, stats.SubsetUnionConfig{
+			Samples: opt.SubsetSamples, Seed: opt.Seed, IncludeZero: true,
+		})
+	}
+
+	if res.Name == "greedy" {
+		ranked := analysis.QueriedFiles(recs)
+		nPop := opt.FileSubsetSize
+		if nPop > len(ranked) {
+			nPop = len(ranked)
+		}
+		rep.PopularFiles = make([]ed2k.Hash, nPop)
+		for i := 0; i < nPop; i++ {
+			rep.PopularFiles[i] = ranked[i].Hash
+		}
+
+		// Random files are drawn from the advertised list, as the paper
+		// drew from its 3,175 shared files.
+		rng := rand.New(rand.NewSource(opt.Seed))
+		perm := rng.Perm(len(res.Advertised))
+		nRand := opt.FileSubsetSize
+		if nRand > len(perm) {
+			nRand = len(perm)
+		}
+		rep.RandomFiles = make([]ed2k.Hash, nRand)
+		for i := 0; i < nRand; i++ {
+			rep.RandomFiles[i] = res.Advertised[perm[i]].Hash
+		}
+
+		if nPop > 0 {
+			sets, universe := analysis.FilePeerSets(recs, rep.PopularFiles)
+			rep.PopularFileSubsets = stats.UnionEstimate(sets, universe, stats.SubsetUnionConfig{
+				Samples: opt.SubsetSamples, Seed: opt.Seed,
+			})
+		}
+		if nRand > 0 {
+			sets, universe := analysis.FilePeerSets(recs, rep.RandomFiles)
+			rep.RandomFileSubsets = stats.UnionEstimate(sets, universe, stats.SubsetUnionConfig{
+				Samples: opt.SubsetSamples, Seed: opt.Seed,
+			})
+		}
+	}
+	return rep
+}

@@ -1,0 +1,111 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/catalog"
+)
+
+func TestScaledConfigs(t *testing.T) {
+	d := repro.ScaledDistributed(0.25)
+	if d.Scale != 0.25 || d.Honeypots != 24 || d.Days != 32 {
+		t.Errorf("ScaledDistributed: %+v", d)
+	}
+	g := repro.ScaledGreedy(0.1)
+	if g.Scale != 0.1 {
+		t.Errorf("ScaledGreedy scale: %v", g.Scale)
+	}
+	if g.MaxAdopted >= repro.DefaultGreedy().MaxAdopted {
+		t.Errorf("ScaledGreedy should shrink the adoption cap: %d", g.MaxAdopted)
+	}
+	tiny := repro.ScaledGreedy(0.001)
+	if tiny.MaxAdopted < 50 {
+		t.Errorf("adoption cap floor: %d", tiny.MaxAdopted)
+	}
+	full := repro.ScaledGreedy(1)
+	if full.MaxAdopted != repro.DefaultGreedy().MaxAdopted {
+		t.Errorf("scale 1 must keep the paper's cap: %d", full.MaxAdopted)
+	}
+}
+
+func TestAnalyzePopulatesDistributedReport(t *testing.T) {
+	cfg := repro.ScaledDistributed(0.005)
+	cfg.Days = 5
+	cfg.Honeypots = 6
+	cfg.Catalog = catalog.Config{NumFiles: 2000, Vocabulary: 400, PopularityExp: 0.9, Seed: 3}
+	cfg.LibraryRegion = 800
+	res, err := repro.RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := repro.Analyze(res)
+
+	if rep.TableI.DistinctPeers == 0 {
+		t.Error("TableI empty")
+	}
+	if len(rep.PeerGrowth.Cumulative) != cfg.Days {
+		t.Errorf("growth has %d days", len(rep.PeerGrowth.Cumulative))
+	}
+	if len(rep.HourlyHello) != cfg.Days*24 {
+		t.Errorf("hourly hello has %d buckets (want full %d-day window)", len(rep.HourlyHello), cfg.Days)
+	}
+	for _, gs := range []struct {
+		name string
+		s    map[string][]int
+	}{
+		{"Fig5", rep.HelloPeersByGroup.Groups},
+		{"Fig6", rep.StartUploadPeersByGroup.Groups},
+		{"Fig7", rep.RequestPartsByGroup.Groups},
+	} {
+		if len(gs.s["random-content"]) == 0 || len(gs.s["no-content"]) == 0 {
+			t.Errorf("%s missing a group", gs.name)
+		}
+	}
+	if rep.TopPeer == "" || rep.TopPeerQueries == 0 {
+		t.Error("top peer not identified")
+	}
+	if len(rep.HoneypotSubsets.N) != cfg.Honeypots+1 { // includes n=0
+		t.Errorf("Fig10 rows: %d", len(rep.HoneypotSubsets.N))
+	}
+	// Greedy-only fields stay empty for distributed campaigns.
+	if len(rep.RandomFiles) != 0 || len(rep.PopularFiles) != 0 {
+		t.Error("file subsets computed for a distributed campaign")
+	}
+	if rep.CoInterest.Peers == 0 || rep.CoInterest.Edges == 0 {
+		t.Error("co-interest graph empty")
+	}
+	if rep.CoInterest.LargestComponent < rep.CoInterest.Peers/2 {
+		t.Errorf("4 shared bait files should form a giant component; largest=%d of %d",
+			rep.CoInterest.LargestComponent, rep.CoInterest.Peers+rep.CoInterest.Files)
+	}
+}
+
+func TestAnalyzeGreedyFileSubsetsRespectOptions(t *testing.T) {
+	cfg := repro.ScaledGreedy(0.004)
+	cfg.Days = 3
+	cfg.MaxAdopted = 120
+	cfg.Catalog = catalog.Config{NumFiles: 2000, Vocabulary: 400, PopularityExp: 0.9, Seed: 4}
+	res, err := repro.RunGreedy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := repro.DefaultAnalyzeOptions()
+	opt.FileSubsetSize = 30
+	rep := repro.AnalyzeWith(res, opt)
+	if len(rep.RandomFiles) != 30 {
+		t.Errorf("random files: %d", len(rep.RandomFiles))
+	}
+	if len(rep.PopularFiles) != 30 {
+		t.Errorf("popular files: %d", len(rep.PopularFiles))
+	}
+	if len(rep.RandomFileSubsets.N) != 30 || len(rep.PopularFileSubsets.N) != 30 {
+		t.Error("subset rows mismatch")
+	}
+	// Popular files are ranked by distinct peers: the first must receive
+	// at least as many peers as a random pick's average.
+	if rep.PopularFileSubsets.Avg[0] < rep.RandomFileSubsets.Avg[0] {
+		t.Errorf("popular n=1 avg %.0f < random n=1 avg %.0f",
+			rep.PopularFileSubsets.Avg[0], rep.RandomFileSubsets.Avg[0])
+	}
+}
