@@ -6,13 +6,18 @@
 package repro_test
 
 import (
+	"errors"
+	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/analysis"
 	"repro/internal/catalog"
+	"repro/internal/ed2k"
 	"repro/internal/logging"
+	"repro/internal/logstore"
 	"repro/internal/stats"
 )
 
@@ -221,6 +226,101 @@ func BenchmarkFig12(b *testing.B) {
 		u = stats.UnionEstimate(sets, universe, stats.SubsetUnionConfig{Samples: 100, Seed: 1})
 	}
 	b.ReportMetric(u.Avg[len(u.Avg)-1], "peers_at_max_files")
+}
+
+// logstoreBenchRecord is a representative honeypot record (START-UPLOAD
+// with the usual peer metadata).
+func logstoreBenchRecord() logging.Record {
+	return logging.Record{
+		Time:          time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC),
+		Honeypot:      "hp-00",
+		Kind:          logging.KindStartUpload,
+		PeerIP:        "4fa1b2c3d4e5f607",
+		PeerPort:      4662,
+		PeerName:      "aMule 2.2.2",
+		UserHash:      ed2k.NewUserHash("bench").String(),
+		HighID:        true,
+		ClientVersion: 0x3C,
+		FileHash:      ed2k.SyntheticHash("bench-file"),
+		FileName:      "some.popular.movie.2008.avi",
+		Server:        "10.0.0.1:4661",
+	}
+}
+
+// BenchmarkLogstoreIngest measures the on-disk event store's append path
+// (encode + CRC frame + buffered write + rotation): the rate every
+// honeypot shard sustains while logging live traffic.
+func BenchmarkLogstoreIngest(b *testing.B) {
+	store, err := logstore.Open(b.TempDir(), logstore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	sh, err := store.Shard("hp-00")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := logstoreBenchRecord()
+	base := r.Time
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Time = base.Add(time.Duration(i) * time.Microsecond)
+		if err := sh.AppendRecord(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkLogstoreScan measures the k-way-merged streaming cursor over
+// a multi-shard store — the analysis-side read path.
+func BenchmarkLogstoreScan(b *testing.B) {
+	const shards, perShard = 4, 50_000
+	store, err := logstore.Open(b.TempDir(), logstore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	r := logstoreBenchRecord()
+	base := r.Time
+	for s := 0; s < shards; s++ {
+		sh, err := store.Shard("hp-0" + string(rune('0'+s)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < perShard; i++ {
+			r.Time = base.Add(time.Duration(i*shards+s) * time.Microsecond)
+			if err := sh.AppendRecord(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := store.Iterator()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, err := it.Next(); err != nil {
+				if !errors.Is(err, io.EOF) {
+					b.Fatal(err)
+				}
+				break
+			}
+			n++
+		}
+		it.Close()
+		if n != shards*perShard {
+			b.Fatalf("scanned %d records, want %d", n, shards*perShard)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*float64(shards*perShard)/b.Elapsed().Seconds(), "records/s")
 }
 
 // BenchmarkCampaignDistributed measures the full distributed simulation

@@ -15,11 +15,13 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/control"
 	"repro/internal/honeypot"
 	"repro/internal/livenet"
+	"repro/internal/logstore"
 )
 
 func main() {
@@ -34,6 +36,7 @@ func main() {
 		secret   = flag.String("secret", "", "campaign anonymization secret (required)")
 		browse   = flag.Bool("browse", true, "retrieve shared lists of contacting peers")
 		statusIv = flag.Duration("status", time.Minute, "status log interval (0 disables)")
+		storeDir = flag.String("store", "", "durable record store directory: records land in segment files and the manager collects incrementally (take-records-since), surviving restarts")
 	)
 	flag.Parse()
 
@@ -54,25 +57,51 @@ func main() {
 		log.Fatalf("unknown -strategy %q (want random or none)", *strategy)
 	}
 
+	// With -store, records are durable: the store recovers torn tails
+	// from a previous crash, and the manager's checkpoints mean nothing
+	// already collected is ever re-sent.
+	var shard *logstore.Shard
+	if *storeDir != "" {
+		// FlushEvery bounds what a hard kill can lose to about a second
+		// of buffered records; a graceful shutdown loses nothing.
+		store, err := logstore.Open(*storeDir, logstore.Options{FlushEvery: time.Second})
+		if err != nil {
+			log.Fatalf("opening -store: %v", err)
+		}
+		defer store.Close()
+		if shard, err = store.Shard(*id); err != nil {
+			log.Fatalf("opening shard: %v", err)
+		}
+		log.Printf("store %s: resuming shard %s with %d records", *storeDir, *id, shard.Count())
+	}
+
 	host := livenet.NewHost(addr, time.Now().UnixNano())
 	defer host.Close()
 
 	errCh := make(chan error, 1)
 	host.Post(func() {
-		hp := honeypot.New(host, honeypot.Config{
+		cfg := honeypot.Config{
 			ID:             *id,
 			Strategy:       strat,
 			Port:           uint16(*peerPort),
 			Secret:         []byte(*secret),
 			BrowseContacts: *browse,
-		})
+		}
+		if shard != nil {
+			cfg.Sink = shard
+		}
+		hp := honeypot.New(host, cfg)
 		if err := hp.Client().Listen(); err != nil {
 			errCh <- err
 			return
 		}
-		if _, err := control.NewAgent(host, hp, uint16(*ctlPort)); err != nil {
+		agent, err := control.NewAgent(host, hp, uint16(*ctlPort))
+		if err != nil {
 			errCh <- err
 			return
+		}
+		if shard != nil {
+			agent.SetSource(shard)
 		}
 		if *statusIv > 0 {
 			var tick func()
@@ -94,7 +123,7 @@ func main() {
 		*id, strat, *ip, *peerPort, *ip, *ctlPort)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
 }

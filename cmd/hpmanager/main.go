@@ -31,6 +31,7 @@ import (
 	"repro/internal/ed2k"
 	"repro/internal/livenet"
 	"repro/internal/logging"
+	"repro/internal/logstore"
 	"repro/internal/manager"
 )
 
@@ -46,6 +47,7 @@ func main() {
 		health   = flag.Duration("health-every", 5*time.Second, "status poll period")
 		out      = flag.String("out", "dataset.jsonl", "output JSONL dataset")
 		ip       = flag.String("ip", "127.0.0.1", "address to bind the manager")
+		storeDir = flag.String("store", "", "spill collected records into a segmented on-disk logstore instead of holding them in memory")
 	)
 	flag.Parse()
 
@@ -73,6 +75,15 @@ func main() {
 	cfg.CollectEvery = *collect
 	cfg.HealthEvery = *health
 	mgr := manager.New(host, cfg)
+	if *storeDir != "" {
+		store, err := logstore.Open(*storeDir, logstore.Options{})
+		if err != nil {
+			log.Fatalf("opening -store: %v", err)
+		}
+		defer store.Close()
+		mgr.SetStore(store)
+		log.Printf("spilling collected records to %s", *storeDir)
+	}
 
 	// Dial every honeypot's control port and register it.
 	endpoints := strings.Split(*hpList, ",")

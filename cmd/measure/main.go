@@ -22,6 +22,7 @@ import (
 	"repro"
 	"repro/internal/analysis"
 	"repro/internal/logging"
+	"repro/internal/logstore"
 	"repro/internal/stats"
 )
 
@@ -35,6 +36,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		jsonl    = flag.Bool("jsonl", false, "also dump the anonymized dataset as JSONL into -out")
 		servers  = flag.Int("servers", 1, "directory servers for the distributed campaign (1 = paper setup)")
+		storeDir = flag.String("store", "", "spill records to a segmented on-disk logstore under this directory (per-campaign subdirectory)")
 	)
 	flag.Parse()
 
@@ -54,6 +56,9 @@ func main() {
 		cfg := repro.ScaledDistributed(*scale)
 		cfg.Seed = *seed
 		cfg.Servers = *servers
+		if *storeDir != "" {
+			cfg.StoreDir = filepath.Join(*storeDir, "distributed")
+		}
 		fmt.Printf("=== distributed campaign (24 honeypots, %d days, scale %g, %d server(s)) ===\n",
 			cfg.Days, *scale, *servers)
 		start := time.Now()
@@ -61,9 +66,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("distributed: %v", err)
 		}
-		fmt.Printf("simulated %d events in %v; %d records, %d distinct peers\n\n",
+		fmt.Printf("simulated %d events in %v; %d records, %d distinct peers\n",
 			res.Events, time.Since(start).Round(time.Millisecond),
 			len(res.Dataset.Records), res.Dataset.DistinctPeers)
+		reportStore(res)
+		fmt.Println()
 		rep := repro.Analyze(res)
 		printDistributed(res, rep)
 		if *outDir != "" {
@@ -74,20 +81,55 @@ func main() {
 	if runG {
 		cfg := repro.ScaledGreedy(*scale)
 		cfg.Seed = *seed + 1
+		if *storeDir != "" {
+			cfg.StoreDir = filepath.Join(*storeDir, "greedy")
+		}
 		fmt.Printf("=== greedy campaign (1 honeypot, %d days, scale %g) ===\n", cfg.Days, *scale)
 		start := time.Now()
 		res, err := repro.RunGreedy(cfg)
 		if err != nil {
 			log.Fatalf("greedy: %v", err)
 		}
-		fmt.Printf("simulated %d events in %v; %d records, %d distinct peers\n\n",
+		fmt.Printf("simulated %d events in %v; %d records, %d distinct peers\n",
 			res.Events, time.Since(start).Round(time.Millisecond),
 			len(res.Dataset.Records), res.Dataset.DistinctPeers)
+		reportStore(res)
+		fmt.Println()
 		rep := repro.Analyze(res)
 		printGreedy(res, rep)
 		if *outDir != "" {
 			writeGreedy(*outDir, res, rep, *jsonl)
 		}
+	}
+}
+
+// reportStore summarizes the campaign's on-disk store and re-derives the
+// distinct-peer count by streaming it — the at-scale analysis path that
+// never loads the campaign into memory. (Distinct counts agree with the
+// dataset because the step-2 renumbering is a bijection.)
+func reportStore(res *repro.Result) {
+	if res.StoreDir == "" {
+		return
+	}
+	store, err := logstore.Open(res.StoreDir, logstore.Options{})
+	if err != nil {
+		log.Fatalf("reopening store: %v", err)
+	}
+	defer store.Close()
+	it, err := store.Iterator()
+	if err != nil {
+		log.Fatalf("store iterator: %v", err)
+	}
+	defer it.Close()
+	table, err := analysis.StreamTableI(it, len(res.HoneypotIDs), res.Days, len(res.Advertised))
+	if err != nil {
+		log.Fatalf("streaming store: %v", err)
+	}
+	fmt.Printf("store: %d records in %d shard(s) under %s; streamed re-count: %d distinct peers\n",
+		res.StoredRecords, len(store.ShardNames()), res.StoreDir, table.DistinctPeers)
+	if table.DistinctPeers != res.Dataset.DistinctPeers {
+		log.Fatalf("store stream disagrees with dataset: %d vs %d distinct peers",
+			table.DistinctPeers, res.Dataset.DistinctPeers)
 	}
 }
 

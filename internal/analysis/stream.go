@@ -1,0 +1,115 @@
+package analysis
+
+// This file holds the streaming extractors: the same artifacts as the
+// slice-based functions, computed from a record iterator — typically a
+// logstore.Iterator over a spill-to-disk campaign — so the analysis
+// never materializes the merged log. Memory use is bounded by the
+// artifact being built (a map of distinct keys, a bucket array), not by
+// the campaign size.
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"repro/internal/ed2k"
+	"repro/internal/logging"
+	"repro/internal/stats"
+)
+
+// RecordIter is a streaming record source: Next returns records in
+// timestamp order and io.EOF at the end. logstore's Iterator satisfies
+// it.
+type RecordIter interface {
+	Next() (logging.Record, error)
+}
+
+// SliceIter adapts an in-memory record slice to RecordIter.
+type SliceIter struct {
+	recs []logging.Record
+	i    int
+}
+
+// NewSliceIter iterates over recs.
+func NewSliceIter(recs []logging.Record) *SliceIter { return &SliceIter{recs: recs} }
+
+// Next implements RecordIter.
+func (s *SliceIter) Next() (logging.Record, error) {
+	if s.i >= len(s.recs) {
+		return logging.Record{}, io.EOF
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, nil
+}
+
+// each drains the iterator, invoking fn per record.
+func each(it RecordIter, fn func(r *logging.Record)) error {
+	for {
+		r, err := it.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fn(&r)
+	}
+}
+
+// StreamTableI is ComputeTableI over a record stream.
+func StreamTableI(it RecordIter, honeypots, days, sharedFiles int) (TableI, error) {
+	peers := map[string]bool{}
+	files := map[ed2k.Hash]int64{}
+	err := each(it, func(r *logging.Record) {
+		if r.PeerIP != "" {
+			peers[r.PeerIP] = true
+		}
+		for _, f := range r.Files {
+			files[f.Hash] = f.Size
+		}
+	})
+	if err != nil {
+		return TableI{}, err
+	}
+	var space int64
+	for _, sz := range files {
+		space += sz
+	}
+	return TableI{
+		Honeypots:     honeypots,
+		DurationDays:  days,
+		SharedFiles:   sharedFiles,
+		DistinctPeers: len(peers),
+		DistinctFiles: len(files),
+		SpaceBytes:    space,
+	}, nil
+}
+
+// StreamPeerGrowth is PeerGrowth over a record stream.
+func StreamPeerGrowth(it RecordIter, start time.Time, days int) (stats.GrowthCurve, error) {
+	tr := stats.NewDistinctTracker(start, Day, days)
+	err := each(it, func(r *logging.Record) {
+		if r.PeerIP != "" {
+			tr.Observe(r.Time, r.PeerIP)
+		}
+	})
+	if err != nil {
+		return stats.GrowthCurve{}, err
+	}
+	return tr.Curve(), nil
+}
+
+// StreamHourlyHello is HourlyHello over a record stream.
+func StreamHourlyHello(it RecordIter, start time.Time, hours int) ([]int, error) {
+	b := stats.NewBuckets(start, time.Hour, hours)
+	err := each(it, func(r *logging.Record) {
+		if r.Kind == logging.KindHello {
+			b.Add(r.Time)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b.Counts, nil
+}

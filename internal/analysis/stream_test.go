@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/ed2k"
+	"repro/internal/logging"
+)
+
+// streamSample fabricates a merged log with the shapes the extractors
+// care about: several peers, several days, HELLOs and shared lists.
+func streamSample(start time.Time) []logging.Record {
+	var recs []logging.Record
+	peers := []string{"1", "2", "3", "4"}
+	for day := 0; day < 5; day++ {
+		for h, p := range peers {
+			if day%(h+1) != 0 {
+				continue
+			}
+			t := start.Add(time.Duration(day)*Day + time.Duration(h)*time.Hour)
+			recs = append(recs, logging.Record{
+				Time: t, Honeypot: "hp-00", Kind: logging.KindHello, PeerIP: p,
+			})
+			recs = append(recs, logging.Record{
+				Time: t.Add(time.Minute), Honeypot: "hp-00", Kind: logging.KindSharedList, PeerIP: p,
+				Files: []logging.SharedFile{{Hash: ed2k.SyntheticHash(p), Name: p + ".mp3", Size: int64(h+1) << 20}},
+			})
+		}
+	}
+	return recs
+}
+
+func TestStreamExtractorsMatchSliceExtractors(t *testing.T) {
+	start := time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC)
+	recs := streamSample(start)
+
+	wantTable := ComputeTableI(recs, 24, 5, 4)
+	gotTable, err := StreamTableI(NewSliceIter(recs), 24, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTable != wantTable {
+		t.Errorf("StreamTableI:\n got %+v\nwant %+v", gotTable, wantTable)
+	}
+
+	wantGrowth := PeerGrowth(recs, start, 5)
+	gotGrowth, err := StreamPeerGrowth(NewSliceIter(recs), start, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotGrowth, wantGrowth) {
+		t.Errorf("StreamPeerGrowth:\n got %+v\nwant %+v", gotGrowth, wantGrowth)
+	}
+
+	wantHourly := HourlyHello(recs, start, 48)
+	gotHourly, err := StreamHourlyHello(NewSliceIter(recs), start, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotHourly, wantHourly) {
+		t.Errorf("StreamHourlyHello:\n got %v\nwant %v", gotHourly, wantHourly)
+	}
+}
+
+func TestSliceIterEmpty(t *testing.T) {
+	table, err := StreamTableI(NewSliceIter(nil), 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.DistinctPeers != 0 || table.DistinctFiles != 0 {
+		t.Errorf("empty stream: %+v", table)
+	}
+}

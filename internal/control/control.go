@@ -10,16 +10,31 @@ package control
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/netip"
+	"strings"
 
 	"repro/internal/client"
 	"repro/internal/ed2k"
 	"repro/internal/honeypot"
 	"repro/internal/logging"
+	"repro/internal/logstore"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
+
+// errNoSource is reported (as a string across the wire) when the
+// honeypot has no durable record source; the manager falls back to
+// take-records on seeing it.
+var errNoSource = errors.New("control: honeypot has no record source")
+
+// IsNoSource recognizes the no-record-source condition, including after
+// the error crossed the control plane as a string. Other collection
+// errors are transient and must not demote a honeypot to the drain path.
+func IsNoSource(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "no record source")
+}
 
 // DefaultPort is the conventional control port.
 const DefaultPort = 4700
@@ -30,7 +45,14 @@ const (
 	TypeAdvertise   = "advertise"
 	TypeConnect     = "connect-server"
 	TypeTakeRecords = "take-records"
-	TypeResponse    = "response"
+	// TypeTakeRecordsSince is the incremental-collection pair of
+	// TypeTakeRecords: the manager sends the checkpoint it last acked and
+	// receives only records logged after it, plus the next checkpoint.
+	// Requires the honeypot to run a durable record source (a logstore
+	// shard); every record crosses the control plane at most once, even
+	// across honeypot restarts.
+	TypeTakeRecordsSince = "take-records-since"
+	TypeResponse         = "response"
 )
 
 // Envelope frames one control message.
@@ -78,6 +100,25 @@ type RecordsResponse struct {
 	Records []logging.Record `json:"records"`
 }
 
+// SinceRequest asks for records after a checkpoint, at most Max (0 means
+// no bound — avoid on large shards).
+type SinceRequest struct {
+	Since logstore.Checkpoint `json:"since"`
+	Max   int                 `json:"max"`
+}
+
+// SinceResponse carries the records and the checkpoint to ack next.
+type SinceResponse struct {
+	Records []logging.Record    `json:"records"`
+	Next    logstore.Checkpoint `json:"next"`
+}
+
+// RecordSource serves records from a durable position; logstore.Shard
+// implements it.
+type RecordSource interface {
+	ReadSince(cp logstore.Checkpoint, max int) ([]logging.Record, logstore.Checkpoint, error)
+}
+
 func marshalEnvelope(e Envelope) wire.Message {
 	b, err := json.Marshal(e)
 	if err != nil {
@@ -106,7 +147,13 @@ func unmarshalEnvelope(m wire.Message) (Envelope, error) {
 type Agent struct {
 	hp       *honeypot.Honeypot
 	listener transport.Listener
+	src      RecordSource
 }
+
+// SetSource attaches the durable record source serving take-records-since
+// requests (typically the logstore shard the honeypot's Sink writes to).
+// Call it right after NewAgent, on the host's executor.
+func (a *Agent) SetSource(src RecordSource) { a.src = src }
 
 // NewAgent starts serving control requests on the given port of the
 // honeypot's host.
@@ -179,6 +226,23 @@ func (a *Agent) handle(req Envelope) Envelope {
 		a.hp.ConnectServer(addr)
 	case TypeTakeRecords:
 		b, err := json.Marshal(RecordsResponse{Records: a.hp.TakeRecords()})
+		if err != nil {
+			return fail(err)
+		}
+		resp.Payload = b
+	case TypeTakeRecordsSince:
+		if a.src == nil {
+			return fail(errNoSource)
+		}
+		var sr SinceRequest
+		if err := json.Unmarshal(req.Payload, &sr); err != nil {
+			return fail(err)
+		}
+		recs, next, err := a.src.ReadSince(sr.Since, sr.Max)
+		if err != nil {
+			return fail(err)
+		}
+		b, err := json.Marshal(SinceResponse{Records: recs, Next: next})
 		if err != nil {
 			return fail(err)
 		}
@@ -315,6 +379,28 @@ func (l *Link) Advertise(files []client.SharedFile, cb func(error)) {
 func (l *Link) ConnectServer(server netip.AddrPort, cb func(error)) {
 	l.request(TypeConnect, ConnectRequest{Server: server.String()}, func(env Envelope, err error) {
 		cb(respErr(env, err))
+	})
+}
+
+// TakeRecordsSince asks for records after the given checkpoint (at most
+// max; 0 = unbounded) and the checkpoint to use next. Implements the
+// manager's IncrementalHandle.
+func (l *Link) TakeRecordsSince(since logstore.Checkpoint, max int, cb func([]logging.Record, logstore.Checkpoint, error)) {
+	l.request(TypeTakeRecordsSince, SinceRequest{Since: since, Max: max}, func(env Envelope, err error) {
+		if err != nil {
+			cb(nil, since, err)
+			return
+		}
+		if env.Error != "" {
+			cb(nil, since, fmt.Errorf("control: %s", env.Error))
+			return
+		}
+		var sr SinceResponse
+		if err := json.Unmarshal(env.Payload, &sr); err != nil {
+			cb(nil, since, err)
+			return
+		}
+		cb(sr.Records, sr.Next, nil)
 	})
 }
 

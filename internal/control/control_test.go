@@ -11,6 +11,7 @@ import (
 	"repro/internal/ed2k"
 	"repro/internal/honeypot"
 	"repro/internal/logging"
+	"repro/internal/logstore"
 	"repro/internal/netsim"
 	"repro/internal/server"
 	"repro/internal/transport"
@@ -29,7 +30,12 @@ type world struct {
 
 func (w *world) settle() { w.loop.RunUntil(w.loop.Now().Add(time.Minute)) }
 
-func newWorld(t *testing.T) *world {
+func newWorld(t *testing.T) *world { return newWorldWithSink(t, nil, nil) }
+
+// newWorldWithSink builds the control test world; with a non-nil sink the
+// honeypot writes through it, and src (if non-nil) is attached to the
+// agent as the take-records-since source.
+func newWorldWithSink(t *testing.T, sink logging.Sink, src RecordSource) *world {
 	t.Helper()
 	loop := des.NewLoop(t0, 41)
 	nw := netsim.New(loop, netsim.DefaultConfig())
@@ -42,12 +48,17 @@ func newWorld(t *testing.T) *world {
 	hpHost := nw.NewHost("hp")
 	w.hp = honeypot.New(hpHost, honeypot.Config{
 		ID: "hp-0", Strategy: honeypot.RandomContent, Port: 4662, Secret: []byte("s"),
+		Sink: sink,
 	})
 	if err := w.hp.Client().Listen(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewAgent(hpHost, w.hp, DefaultPort); err != nil {
+	agent, err := NewAgent(hpHost, w.hp, DefaultPort)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if src != nil {
+		agent.SetSource(src)
 	}
 
 	mgrHost := nw.NewHost("manager")
@@ -167,6 +178,115 @@ func TestTakeRecordsViaControl(t *testing.T) {
 		}
 	})
 	w.settle()
+}
+
+// contact drives one HELLO + START-UPLOAD from a fresh peer.
+func (w *world) contact(t *testing.T, label string, file ed2k.Hash) {
+	t.Helper()
+	peer := client.New(w.net.NewHost(label), client.Config{
+		Label: label, UserHash: ed2k.NewUserHash(label), Port: 4663,
+	})
+	if err := peer.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	hpAddr := netip.AddrPortFrom(w.hp.Client().Host().Addr(), 4662)
+	peer.DialPeer(hpAddr, func(ps *client.PeerSession, err error) {
+		if err != nil {
+			t.Errorf("dial hp: %v", err)
+			return
+		}
+		ps.SendHello()
+		ps.StartUpload(file)
+	})
+	w.settle()
+}
+
+func TestTakeRecordsSinceViaControl(t *testing.T) {
+	store, err := logstore.Open(t.TempDir(), logstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	shard, err := store.Shard("hp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWorldWithSink(t, shard, shard)
+	w.link.ConnectServer(w.srv.Addr(), func(error) {})
+	w.settle()
+	bait := client.SharedFile{Hash: ed2k.SyntheticHash("bait"), Name: "bait.avi", Size: 1 << 20, Type: "Video"}
+	w.link.Advertise([]client.SharedFile{bait}, func(error) {})
+	w.settle()
+
+	w.contact(t, "peer-a", bait.Hash)
+
+	// With a store-backed sink the legacy drain has nothing: collection
+	// must go through checkpoints.
+	w.link.TakeRecords(func(r []logging.Record, err error) {
+		if err != nil {
+			t.Errorf("take: %v", err)
+		}
+		if len(r) != 0 {
+			t.Errorf("legacy drain returned %d records from a store-backed honeypot", len(r))
+		}
+	})
+	w.settle()
+
+	var got []logging.Record
+	var cp logstore.Checkpoint
+	pull := func() int {
+		t.Helper()
+		n := -1
+		w.link.TakeRecordsSince(cp, 0, func(r []logging.Record, next logstore.Checkpoint, err error) {
+			if err != nil {
+				t.Errorf("take-since: %v", err)
+				return
+			}
+			got = append(got, r...)
+			cp = next
+			n = len(r)
+		})
+		w.settle()
+		return n
+	}
+	if n := pull(); n < 2 {
+		t.Fatalf("first pull transferred %d records", n)
+	}
+	if n := pull(); n != 0 {
+		t.Errorf("second pull re-transferred %d records", n)
+	}
+	w.contact(t, "peer-b", bait.Hash)
+	if n := pull(); n < 2 {
+		t.Errorf("pull after new contact transferred %d records", n)
+	}
+	// Everything transferred exactly matches the shard's content.
+	want, _, err := shard.ReadSince(logstore.Checkpoint{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("transferred %d records, shard holds %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Time.Equal(want[i].Time) || got[i].PeerIP != want[i].PeerIP || got[i].Kind != want[i].Kind {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTakeRecordsSinceWithoutSource(t *testing.T) {
+	w := newWorld(t)
+	var gotErr error
+	w.link.TakeRecordsSince(logstore.Checkpoint{}, 0, func(_ []logging.Record, _ logstore.Checkpoint, err error) {
+		gotErr = err
+	})
+	w.settle()
+	if gotErr == nil {
+		t.Fatal("take-records-since must fail without a record source")
+	}
+	if !strings.Contains(gotErr.Error(), "no record source") {
+		t.Errorf("unexpected error: %v", gotErr)
+	}
 }
 
 func TestLinkFailurePropagatesToPending(t *testing.T) {

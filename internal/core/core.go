@@ -28,6 +28,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/ed2k"
 	"repro/internal/honeypot"
+	"repro/internal/logstore"
 	"repro/internal/manager"
 	"repro/internal/netsim"
 	"repro/internal/peersim"
@@ -61,6 +62,12 @@ type Result struct {
 	HoneypotStats map[string]honeypot.Stats
 	// Events is the number of simulation events executed.
 	Events uint64
+	// StoreDir, when the campaign ran in spill-to-disk mode, is the
+	// logstore directory holding every record in segmented files (one
+	// shard per honeypot). Empty for in-memory campaigns.
+	StoreDir string
+	// StoredRecords is the record count persisted in StoreDir.
+	StoredRecords uint64
 }
 
 // DistributedConfig parameterizes the distributed campaign.
@@ -94,6 +101,12 @@ type DistributedConfig struct {
 	LibraryRegion int
 	// CollectEvery is the manager's log-gathering period.
 	CollectEvery time.Duration
+	// StoreDir enables spill-to-disk mode: every honeypot writes its
+	// records through a logstore shard under this directory and the
+	// manager streams them back at finalize, so the campaign never holds
+	// more than the working set in memory. Empty keeps the in-memory
+	// path.
+	StoreDir string
 }
 
 // DefaultDistributedConfig returns the paper's distributed setup.
@@ -139,6 +152,8 @@ type GreedyConfig struct {
 	Catalog catalog.Config
 	// CollectEvery is the manager's log-gathering period.
 	CollectEvery time.Duration
+	// StoreDir enables spill-to-disk mode (see DistributedConfig).
+	StoreDir string
 }
 
 // DefaultGreedyConfig returns the paper's greedy setup.
@@ -160,17 +175,49 @@ func DefaultGreedyConfig() GreedyConfig {
 
 // campaignWorld is the shared scaffolding of both campaigns.
 type campaignWorld struct {
-	loop *des.Loop
-	net  *netsim.Network
-	srv  *server.Server // first server (single-server campaigns use it)
-	srvs []*server.Server
-	mgr  *manager.Manager
-	hps  []*honeypot.Honeypot
-	ids  []string
+	loop  *des.Loop
+	net   *netsim.Network
+	srv   *server.Server // first server (single-server campaigns use it)
+	srvs  []*server.Server
+	mgr   *manager.Manager
+	hps   []*honeypot.Honeypot
+	ids   []string
+	store *logstore.Store // non-nil in spill-to-disk mode
 }
 
 func buildWorld(seed int64, collectEvery time.Duration) (*campaignWorld, error) {
 	return buildWorldN(seed, collectEvery, 1)
+}
+
+// attachStore switches the world to spill-to-disk mode: honeypots added
+// afterwards write through shards of a store at dir, and the manager
+// streams the store at finalize instead of holding logs in memory.
+func (w *campaignWorld) attachStore(dir string) error {
+	store, err := logstore.Open(dir, logstore.Options{})
+	if err != nil {
+		return fmt.Errorf("core: opening store: %w", err)
+	}
+	// A simulated campaign starts from nothing; records left by an
+	// earlier run would silently merge into (and double) the dataset.
+	// Live honeypots resume dirty stores on purpose — campaigns refuse.
+	if n := store.TotalRecords(); n > 0 {
+		store.Close()
+		return fmt.Errorf("core: store %s already holds %d records from a previous run; point -store at a fresh directory", dir, n)
+	}
+	w.store = store
+	w.mgr.SetStore(store)
+	return nil
+}
+
+// closeStore releases the spill store; safe to call twice, so campaign
+// runners can defer it for error paths while finish() handles success.
+func (w *campaignWorld) closeStore() error {
+	if w.store == nil {
+		return nil
+	}
+	err := w.store.Close()
+	w.store = nil
+	return err
 }
 
 // buildWorldN creates a world with n federated directory servers.
@@ -219,6 +266,14 @@ func (w *campaignWorld) serverAddrs() []netip.AddrPort {
 // addHoneypot creates, registers and places one honeypot on the given
 // directory server (zero AddrPort means the first server).
 func (w *campaignWorld) addHoneypot(cfg honeypot.Config, files []client.SharedFile, on netip.AddrPort) (*honeypot.Honeypot, error) {
+	var shard *logstore.Shard
+	if w.store != nil {
+		var err error
+		if shard, err = w.store.Shard(cfg.ID); err != nil {
+			return nil, fmt.Errorf("core: honeypot %s: %w", cfg.ID, err)
+		}
+		cfg.Sink = shard
+	}
 	hp := honeypot.New(w.net.NewHost(cfg.ID), cfg)
 	if err := hp.Client().Listen(); err != nil {
 		return nil, fmt.Errorf("core: honeypot %s: %w", cfg.ID, err)
@@ -226,7 +281,11 @@ func (w *campaignWorld) addHoneypot(cfg honeypot.Config, files []client.SharedFi
 	if !on.IsValid() {
 		on = w.srv.Addr()
 	}
-	w.mgr.Add(manager.NewLocalHandle(cfg.ID, hp, w.mgr.Host()), manager.Assignment{
+	handle := manager.NewLocalHandle(cfg.ID, hp, w.mgr.Host())
+	if shard != nil {
+		handle = manager.NewLocalHandleWithStore(cfg.ID, hp, shard, w.mgr.Host())
+	}
+	w.mgr.Add(handle, manager.Assignment{
 		Server: on,
 		Files:  files,
 	})
@@ -275,6 +334,13 @@ func (w *campaignWorld) finish(name string, days int, pop *peersim.Population, g
 	if len(w.hps) > 0 {
 		res.Advertised = append([]client.SharedFile(nil), w.hps[0].Advertised()...)
 	}
+	if w.store != nil {
+		res.StoreDir = w.store.Dir()
+		res.StoredRecords = w.store.TotalRecords()
+		if err := w.closeStore(); err != nil {
+			return nil, fmt.Errorf("core: closing store: %w", err)
+		}
+	}
 	return res, nil
 }
 
@@ -303,6 +369,12 @@ func RunDistributed(cfg DistributedConfig) (*Result, error) {
 	w, err := buildWorldN(cfg.Seed, cfg.CollectEvery, cfg.Servers)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.StoreDir != "" {
+		if err := w.attachStore(cfg.StoreDir); err != nil {
+			return nil, err
+		}
+		defer w.closeStore() // error paths; finish() closes on success
 	}
 	cat := catalog.Generate(cfg.Catalog)
 	bait := FourBaitFiles(cat)
@@ -375,6 +447,12 @@ func RunGreedy(cfg GreedyConfig) (*Result, error) {
 	w, err := buildWorld(cfg.Seed, cfg.CollectEvery)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.StoreDir != "" {
+		if err := w.attachStore(cfg.StoreDir); err != nil {
+			return nil, err
+		}
+		defer w.closeStore() // error paths; finish() closes on success
 	}
 	cat := catalog.Generate(cfg.Catalog)
 	secret := []byte(fmt.Sprintf("greedy-campaign-%d", cfg.Seed))

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"errors"
+	"io"
 	"testing"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/honeypot"
 	"repro/internal/logging"
+	"repro/internal/logstore"
 )
 
 // tinyDistributed returns a distributed campaign small enough for unit
@@ -92,6 +95,116 @@ func TestRunDistributedDeterministic(t *testing.T) {
 			a.Dataset.DistinctPeers, b.Dataset.DistinctPeers,
 			len(a.Dataset.Records), len(b.Dataset.Records),
 			a.Events, b.Events)
+	}
+}
+
+// TestRunDistributedWithStore is the acceptance check for spill-to-disk
+// campaigns: every record is persisted to segmented files, the logstore
+// Iterator streams them back in the exact timestamp order logging.Merge
+// gives the in-memory path, and the resulting dataset is identical.
+func TestRunDistributedWithStore(t *testing.T) {
+	cfg := tinyDistributed()
+	cfg.Days = 2
+	cfg.Scale = 0.01
+
+	mem, err := RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.StoreDir = t.TempDir()
+	disk, err := RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disk.StoreDir == "" || disk.StoredRecords == 0 {
+		t.Fatalf("store metadata missing: %q / %d", disk.StoreDir, disk.StoredRecords)
+	}
+	if int(disk.StoredRecords) != len(disk.Dataset.Records) {
+		t.Errorf("store persisted %d records, dataset has %d", disk.StoredRecords, len(disk.Dataset.Records))
+	}
+
+	// Same seed, same world: the spill-to-disk dataset must match the
+	// in-memory one record for record (renumbering included, since both
+	// merges order ties identically).
+	if len(mem.Dataset.Records) != len(disk.Dataset.Records) {
+		t.Fatalf("record counts differ: memory %d, store %d", len(mem.Dataset.Records), len(disk.Dataset.Records))
+	}
+	for i := range mem.Dataset.Records {
+		a, b := mem.Dataset.Records[i], disk.Dataset.Records[i]
+		if !a.Time.Equal(b.Time) || a.Honeypot != b.Honeypot || a.Kind != b.Kind || a.PeerIP != b.PeerIP {
+			t.Fatalf("record %d differs:\n memory %+v\n store  %+v", i, a, b)
+		}
+	}
+	if mem.Dataset.DistinctPeers != disk.Dataset.DistinctPeers {
+		t.Errorf("distinct peers differ: %d vs %d", mem.Dataset.DistinctPeers, disk.Dataset.DistinctPeers)
+	}
+
+	// Reopen the store and stream it: same count, same order as the
+	// dataset (modulo the step-2 renumbering, which happens after the
+	// merge and only rewrites PeerIP).
+	store, err := logstore.Open(disk.StoreDir, logstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if len(store.ShardNames()) != cfg.Honeypots {
+		t.Errorf("store has %d shards, want %d", len(store.ShardNames()), cfg.Honeypots)
+	}
+	it, err := store.Iterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	i := 0
+	for {
+		r, err := it.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= len(disk.Dataset.Records) {
+			t.Fatal("iterator streams more records than the dataset")
+		}
+		want := disk.Dataset.Records[i]
+		if !r.Time.Equal(want.Time) || r.Honeypot != want.Honeypot || r.Kind != want.Kind {
+			t.Fatalf("stream record %d differs: %+v vs %+v", i, r, want)
+		}
+		i++
+	}
+	if i != len(disk.Dataset.Records) {
+		t.Fatalf("iterator streamed %d records, dataset has %d", i, len(disk.Dataset.Records))
+	}
+}
+
+func TestRunWithDirtyStoreRefused(t *testing.T) {
+	cfg := tinyDistributed()
+	cfg.Days = 2
+	cfg.Scale = 0.005
+	cfg.StoreDir = t.TempDir()
+	if _, err := RunDistributed(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// A second campaign into the same directory would double the
+	// dataset; it must be refused, not silently merged.
+	if _, err := RunDistributed(cfg); err == nil {
+		t.Fatal("second campaign into a dirty store must fail")
+	}
+}
+
+func TestRunGreedyWithStoreSmoke(t *testing.T) {
+	cfg := tinyGreedy()
+	cfg.Days = 2
+	cfg.Scale = 0.002
+	cfg.StoreDir = t.TempDir()
+	res, err := RunGreedy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(res.StoredRecords) != len(res.Dataset.Records) {
+		t.Errorf("store persisted %d records, dataset has %d", res.StoredRecords, len(res.Dataset.Records))
 	}
 }
 

@@ -74,6 +74,11 @@ type Config struct {
 	KeepAlive time.Duration
 	// MaxPartBytes caps bytes served per SENDING-PART reply.
 	MaxPartBytes int
+	// Sink, when set, receives every record as it is produced — e.g. a
+	// logstore shard, making the honeypot's log durable and incrementally
+	// collectable. When nil, records accumulate in an internal memory
+	// buffer drained by TakeRecords (the legacy collection path).
+	Sink logging.Sink
 }
 
 // Stats counts honeypot activity.
@@ -108,7 +113,9 @@ type Honeypot struct {
 	hasher *anonymize.IPHasher
 
 	serverAddr netip.AddrPort
-	records    []logging.Record
+	sink       logging.Sink
+	mem        *logging.MemorySink // non-nil when sink is the default buffer
+	logged     int                 // total records appended
 	stats      Stats
 	started    time.Time
 	greedyOver bool
@@ -137,6 +144,12 @@ func New(host transport.Host, cfg Config) *Honeypot {
 	hp := &Honeypot{
 		cfg:    cfg,
 		hasher: anonymize.NewIPHasher(cfg.Secret),
+	}
+	if cfg.Sink != nil {
+		hp.sink = cfg.Sink
+	} else {
+		hp.mem = &logging.MemorySink{}
+		hp.sink = hp.mem
 	}
 	hp.cl = client.New(host, client.Config{
 		Label:      cfg.ID,
@@ -197,26 +210,35 @@ func (hp *Honeypot) Advertise(files ...client.SharedFile) {
 // Advertised returns the currently advertised list.
 func (hp *Honeypot) Advertised() []client.SharedFile { return hp.cl.Shared() }
 
-// Status implements the manager's health poll.
+// Status implements the manager's health poll. Records is the number of
+// records awaiting collection (with an external sink, which keeps its own
+// inventory, it is the total produced so far).
 func (hp *Honeypot) Status() Status {
+	records := hp.logged
+	if hp.mem != nil {
+		records = hp.mem.Len()
+	}
 	return Status{
 		ID:         hp.cfg.ID,
 		Connected:  hp.cl.Connected(),
 		ClientID:   uint32(hp.cl.ClientID()),
 		HighID:     !hp.cl.ClientID().Low(),
 		Server:     hp.serverAddr.String(),
-		Records:    len(hp.records),
+		Records:    records,
 		Advertised: len(hp.cl.Shared()),
 		Stats:      hp.stats,
 	}
 }
 
 // TakeRecords drains the honeypot's log buffer; the manager collects
-// periodically. Records carry step-1 hashed peer addresses only.
+// periodically. Records carry step-1 hashed peer addresses only. With an
+// external sink there is no buffer to drain — collection then goes
+// through the sink's own reader (e.g. logstore checkpoints).
 func (hp *Honeypot) TakeRecords() []logging.Record {
-	out := hp.records
-	hp.records = nil
-	return out
+	if hp.mem == nil {
+		return nil
+	}
+	return hp.mem.Take()
 }
 
 // Stats returns the activity counters.
@@ -229,7 +251,8 @@ func (hp *Honeypot) log(r logging.Record) {
 	r.Time = hp.cl.Host().Now()
 	r.Honeypot = hp.cfg.ID
 	r.Server = hp.serverAddr.String()
-	hp.records = append(hp.records, r)
+	hp.sink.Append(r)
+	hp.logged++
 	if hp.OnRecord != nil {
 		hp.OnRecord(r)
 	}

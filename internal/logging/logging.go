@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/ed2k"
@@ -104,12 +105,35 @@ type Sink interface {
 }
 
 // MemorySink collects records in memory; the simulation campaigns use it.
+// It is safe for concurrent use: livenet honeypots append from multiple
+// connection goroutines.
 type MemorySink struct {
+	mu      sync.Mutex
 	Records []Record
 }
 
 // Append implements Sink.
-func (m *MemorySink) Append(r Record) { m.Records = append(m.Records, r) }
+func (m *MemorySink) Append(r Record) {
+	m.mu.Lock()
+	m.Records = append(m.Records, r)
+	m.mu.Unlock()
+}
+
+// Take drains the sink, returning everything appended so far.
+func (m *MemorySink) Take() []Record {
+	m.mu.Lock()
+	out := m.Records
+	m.Records = nil
+	m.mu.Unlock()
+	return out
+}
+
+// Len returns the number of buffered records.
+func (m *MemorySink) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.Records)
+}
 
 // ---------------------------------------------------------------------------
 // Binary stream codec.
@@ -150,6 +174,14 @@ func (w *Writer) Write(r Record) error {
 
 // Flush flushes buffered output.
 func (w *Writer) Flush() error { return w.w.Flush() }
+
+// EncodeRecord appends r's binary encoding — the frame body used by the
+// stream codec above and by logstore segment files — to dst and returns
+// the extended slice.
+func EncodeRecord(dst []byte, r Record) []byte { return appendRecord(dst, r) }
+
+// DecodeRecord decodes one record previously encoded with EncodeRecord.
+func DecodeRecord(b []byte) (Record, error) { return decodeRecord(b) }
 
 func appendString(b []byte, s string) []byte {
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -142,6 +143,45 @@ func TestMergeStableOnTies(t *testing.T) {
 	}
 }
 
+func TestMergeStableAcrossEqualTimestampRuns(t *testing.T) {
+	// Several sources with runs of equal timestamps: the merge must keep
+	// each source's internal order and break cross-source ties by source
+	// index, for every tied instant.
+	mk := func(hp string, secs ...int) []Record {
+		out := make([]Record, len(secs))
+		for i, s := range secs {
+			out[i] = Record{Time: t0.Add(time.Duration(s) * time.Second), Honeypot: hp, PeerIP: hp + "-" + string(rune('0'+i))}
+		}
+		return out
+	}
+	a := mk("a", 0, 0, 1, 2, 2)
+	b := mk("b", 0, 1, 1, 2)
+	c := mk("c", 2, 2)
+	merged := Merge(a, b, c)
+	if len(merged) != len(a)+len(b)+len(c) {
+		t.Fatalf("merged %d records", len(merged))
+	}
+	// Within each timestamp, sources must appear in a<b<c order, and each
+	// source's own records in append order.
+	for i := 1; i < len(merged); i++ {
+		prev, cur := merged[i-1], merged[i]
+		if cur.Time.Before(prev.Time) {
+			t.Fatalf("out of order at %d", i)
+		}
+		if cur.Time.Equal(prev.Time) && cur.Honeypot < prev.Honeypot {
+			t.Errorf("tie at %v: source %q before %q", cur.Time, prev.Honeypot, cur.Honeypot)
+		}
+	}
+	// Per-source order preserved.
+	pos := map[string]int{}
+	for _, r := range merged {
+		if want := string(rune('0' + pos[r.Honeypot])); r.PeerIP[len(r.PeerIP)-1:] != want {
+			t.Errorf("source %s record %q out of append order (want index %s)", r.Honeypot, r.PeerIP, want)
+		}
+		pos[r.Honeypot]++
+	}
+}
+
 func TestMergeEmpty(t *testing.T) {
 	if got := Merge(); len(got) != 0 {
 		t.Error("Merge() should be empty")
@@ -157,6 +197,28 @@ func TestMemorySink(t *testing.T) {
 	s.Append(sampleRecord(1))
 	if len(s.Records) != 2 {
 		t.Errorf("sink holds %d", len(s.Records))
+	}
+}
+
+func TestMemorySinkConcurrentAppend(t *testing.T) {
+	var s MemorySink
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Append(Record{Honeypot: "hp", PeerPort: uint16(g)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != goroutines*per {
+		t.Errorf("sink holds %d records, want %d", s.Len(), goroutines*per)
+	}
+	if got := s.Take(); len(got) != goroutines*per || s.Len() != 0 {
+		t.Error("Take did not drain the sink")
 	}
 }
 

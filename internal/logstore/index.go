@@ -1,0 +1,67 @@
+package logstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Index sidecars persist a sealed segment's SegmentInfo as one small JSON
+// object, so reopening a shard with thousands of segments costs one stat
+// and one tiny read per segment instead of a full scan. Sidecars are
+// advisory: a missing or stale one (size mismatch with the segment, e.g.
+// after a crash between seal and sidecar write) is rebuilt by scanning.
+
+// writeIndex persists info next to its segment, atomically via rename.
+func writeIndex(dir string, info SegmentInfo) error {
+	b, err := json.Marshal(info)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, idxName(info.Seq)+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, idxName(info.Seq)))
+}
+
+// loadIndex reads a sealed segment's sidecar and validates it against the
+// segment's size; on any mismatch it falls back to scanning the segment
+// (and repairs the sidecar).
+func loadIndex(dir string, seq uint64) (SegmentInfo, error) {
+	segPath := filepath.Join(dir, segName(seq))
+	st, err := os.Stat(segPath)
+	if err != nil {
+		return SegmentInfo{}, err
+	}
+	b, err := os.ReadFile(filepath.Join(dir, idxName(seq)))
+	if err == nil {
+		var info SegmentInfo
+		if jerr := json.Unmarshal(b, &info); jerr == nil && info.Seq == seq && info.Bytes == st.Size() {
+			return info, nil
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return SegmentInfo{}, err
+	}
+	// Missing or stale: rebuild from the segment itself.
+	info, good, err := scanSegment(segPath, seq)
+	if err != nil {
+		return SegmentInfo{}, fmt.Errorf("logstore: rebuilding index of %s: %w", segPath, err)
+	}
+	if good != st.Size() {
+		// A sealed segment normally has no torn tail (only the active one
+		// can), but a crash can still cut a sealed file short of its last
+		// flush. Truncate to the intact prefix so the sidecar stays valid.
+		if terr := os.Truncate(segPath, good); terr != nil {
+			return SegmentInfo{}, terr
+		}
+	}
+	info.Bytes = good
+	if werr := writeIndex(dir, info); werr != nil {
+		return SegmentInfo{}, werr
+	}
+	return info, nil
+}

@@ -1,0 +1,183 @@
+package logstore
+
+import (
+	"container/heap"
+	"errors"
+	"io"
+	"path/filepath"
+	"time"
+
+	"repro/internal/logging"
+)
+
+// Iterator streams the records of several shards k-way merged into
+// timestamp order without materializing them: memory use is one open
+// segment reader and one record per shard, regardless of campaign size.
+// Ties are broken by shard position (lexicographic shard name), then by
+// append order within a shard — the exact ordering contract of
+// logging.Merge over per-honeypot slices.
+type Iterator struct {
+	cursors []*shardCursor
+	h       iterHeap
+	inited  bool
+}
+
+// newIterator builds a merged iterator over the given shards (already in
+// tie-break order), bounded to [from, to) when the bounds are non-zero.
+func newIterator(shards []*Shard, from, to time.Time) (*Iterator, error) {
+	it := &Iterator{}
+	for _, sh := range shards {
+		segs, err := sh.snapshotFlushed()
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		it.cursors = append(it.cursors, &shardCursor{sh: sh, segs: segs, from: from, to: to})
+	}
+	return it, nil
+}
+
+// Next returns the next record in merged timestamp order; io.EOF marks
+// the end of the stream.
+func (it *Iterator) Next() (logging.Record, error) {
+	if !it.inited {
+		it.inited = true
+		for i, c := range it.cursors {
+			rec, err := c.next()
+			if errors.Is(err, io.EOF) {
+				continue
+			}
+			if err != nil {
+				return logging.Record{}, err
+			}
+			it.h = append(it.h, iterItem{rec: rec, src: i})
+		}
+		heap.Init(&it.h)
+	}
+	if it.h.Len() == 0 {
+		return logging.Record{}, io.EOF
+	}
+	top := it.h[0]
+	rec, err := it.cursors[top.src].next()
+	switch {
+	case errors.Is(err, io.EOF):
+		heap.Pop(&it.h)
+	case err != nil:
+		return logging.Record{}, err
+	default:
+		it.h[0] = iterItem{rec: rec, src: top.src}
+		heap.Fix(&it.h, 0)
+	}
+	return top.rec, nil
+}
+
+// Close releases any open segment readers. The iterator is unusable
+// afterwards.
+func (it *Iterator) Close() error {
+	var first error
+	for _, c := range it.cursors {
+		if err := c.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	it.cursors = nil
+	it.h = nil
+	return first
+}
+
+type iterItem struct {
+	rec logging.Record
+	src int
+}
+
+type iterHeap []iterItem
+
+func (h iterHeap) Len() int { return len(h) }
+
+func (h iterHeap) Less(i, j int) bool {
+	if !h[i].rec.Time.Equal(h[j].rec.Time) {
+		return h[i].rec.Time.Before(h[j].rec.Time)
+	}
+	return h[i].src < h[j].src
+}
+
+func (h iterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *iterHeap) Push(x any) { *h = append(*h, x.(iterItem)) }
+
+func (h *iterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// shardCursor streams one shard's records in append order within the
+// snapshot taken at iterator creation, skipping whole segments whose
+// index falls outside the time window.
+type shardCursor struct {
+	sh       *Shard
+	segs     []SegmentInfo
+	from, to time.Time
+	seg      int // index into segs of the segment being read
+	r        *segmentReader
+}
+
+func (c *shardCursor) next() (logging.Record, error) {
+	for {
+		if c.r == nil {
+			// Advance to the next segment that can contain records in
+			// the window.
+			for c.seg < len(c.segs) && !c.segs[c.seg].overlaps(c.from, c.to) {
+				c.seg++
+			}
+			if c.seg >= len(c.segs) {
+				return logging.Record{}, io.EOF
+			}
+			r, err := openSegmentReader(filepath.Join(c.sh.dir, segName(c.segs[c.seg].Seq)), 0)
+			if errors.Is(err, io.EOF) {
+				c.seg++
+				continue
+			}
+			if err != nil {
+				return logging.Record{}, err
+			}
+			c.r = r
+		}
+		si := c.segs[c.seg]
+		if c.r.off >= si.Bytes {
+			c.closeReader()
+			c.seg++
+			continue
+		}
+		rec, _, err := c.r.next()
+		if errors.Is(err, io.EOF) {
+			c.closeReader()
+			c.seg++
+			continue
+		}
+		if err != nil {
+			return logging.Record{}, err
+		}
+		if !c.from.IsZero() && rec.Time.Before(c.from) {
+			continue
+		}
+		if !c.to.IsZero() && !rec.Time.Before(c.to) {
+			continue
+		}
+		return rec, nil
+	}
+}
+
+func (c *shardCursor) closeReader() {
+	if c.r != nil {
+		c.r.Close()
+		c.r = nil
+	}
+}
+
+func (c *shardCursor) close() error {
+	c.closeReader()
+	return nil
+}

@@ -1,0 +1,262 @@
+// Package logstore is the campaign's on-disk event store: a sharded,
+// segmented, append-only log of measurement records.
+//
+// The paper's platform collects honeypot query logs for weeks at a time;
+// at the target scale (hundreds of millions of records, cf. "Ten weeks in
+// the life of an eDonkey server") neither the honeypots nor the manager
+// can hold a campaign in memory. The store gives every honeypot a shard —
+// a directory of numbered segment files — and gives readers a k-way-merged
+// streaming cursor over all shards, so collection and analysis touch one
+// record at a time.
+//
+// Layout:
+//
+//	<dir>/<shard>/00000001.seg   CRC-framed records (logging binary codec)
+//	<dir>/<shard>/00000001.idx   sparse index sidecar of a sealed segment
+//	<dir>/<shard>/00000002.seg   active segment (tail of the shard)
+//
+// Each segment frame is [u32 length][u32 crc32][body], body being the
+// exact bytes of logging.EncodeRecord. Segments rotate at a size
+// threshold; sealed segments get an index sidecar recording record count
+// and min/max timestamp, which lets time-bounded scans skip whole
+// segments. On open, a torn tail (crash mid-append) is detected by CRC
+// and truncated, and appends resume at the last good frame.
+//
+// Readers address positions with Checkpoints (segment sequence + byte
+// offset); the control plane's incremental collection stores a checkpoint
+// per honeypot so every record crosses the network at most once, even
+// across honeypot restarts.
+package logstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
+// is zero: large enough to amortize file overhead, small enough that a
+// sparse index skips meaningful chunks of a campaign.
+const DefaultSegmentBytes = 4 << 20
+
+// Options tunes a Store.
+type Options struct {
+	// SegmentBytes is the size threshold at which the active segment is
+	// sealed and a new one started (0 = DefaultSegmentBytes).
+	SegmentBytes int64
+	// SyncOnRotate fsyncs a segment as it is sealed. Appends themselves
+	// never fsync: the recovery path makes torn tails safe.
+	SyncOnRotate bool
+	// FlushEvery, when positive, runs a background flusher that pushes
+	// buffered appends to the OS on this cadence, bounding what a crash
+	// can lose to roughly one period. Zero leaves flushing to rotation,
+	// readers and Close — right for simulations, wrong for live
+	// honeypots, whose records must outlive the process.
+	FlushEvery time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	return o
+}
+
+// Checkpoint addresses a position in a shard: the segment sequence number
+// and the byte offset within it. The zero value means "start of the
+// shard". Checkpoints are stable across restarts (segments are never
+// rewritten), which is what makes incremental collection idempotent.
+type Checkpoint struct {
+	Seg uint64 `json:"seg"`
+	Off int64  `json:"off"`
+}
+
+// Before reports whether c addresses an earlier position than d.
+func (c Checkpoint) Before(d Checkpoint) bool {
+	return c.Seg < d.Seg || (c.Seg == d.Seg && c.Off < d.Off)
+}
+
+// Store is a directory of shards, one per honeypot.
+type Store struct {
+	dir string
+	opt Options
+
+	mu     sync.Mutex
+	shards map[string]*Shard
+
+	flushStop chan struct{} // closes the background flusher, if any
+	flushDone chan struct{}
+}
+
+// Open opens (or creates) a store rooted at dir. Existing shards are
+// recovered: each one's last segment is scanned and any torn tail
+// truncated, so appends resume cleanly after a crash.
+func Open(dir string, opt Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("logstore: %w", err)
+	}
+	s := &Store{dir: dir, opt: opt.withDefaults(), shards: make(map[string]*Shard)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("logstore: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sh, err := openShard(filepath.Join(dir, e.Name()), e.Name(), s.opt)
+		if err != nil {
+			return nil, err
+		}
+		sh.store = s
+		s.shards[e.Name()] = sh
+	}
+	if s.opt.FlushEvery > 0 {
+		s.flushStop = make(chan struct{})
+		s.flushDone = make(chan struct{})
+		go s.flushLoop()
+	}
+	return s, nil
+}
+
+// flushLoop periodically pushes buffered appends to the OS until Close.
+func (s *Store) flushLoop() {
+	defer close(s.flushDone)
+	t := time.NewTicker(s.opt.FlushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.flushStop:
+			return
+		case <-t.C:
+			s.Flush() // per-shard errors stick in Shard.Err
+		}
+	}
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Shard returns the named shard, creating it if needed. Shard names map
+// to directories, so they must not contain path separators.
+func (s *Store) Shard(name string) (*Shard, error) {
+	if name == "" || strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+		return nil, fmt.Errorf("logstore: invalid shard name %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sh, ok := s.shards[name]; ok {
+		return sh, nil
+	}
+	sh, err := openShard(filepath.Join(s.dir, name), name, s.opt)
+	if err != nil {
+		return nil, err
+	}
+	sh.store = s
+	s.shards[name] = sh
+	return sh, nil
+}
+
+// ShardNames lists existing shards in lexicographic order — the tie-break
+// order the Iterator uses for equal timestamps.
+func (s *Store) ShardNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.shards))
+	for name := range s.shards {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalRecords sums record counts over all shards.
+func (s *Store) TotalRecords() uint64 {
+	s.mu.Lock()
+	shards := make([]*Shard, 0, len(s.shards))
+	for _, sh := range s.shards {
+		shards = append(shards, sh)
+	}
+	s.mu.Unlock()
+	var n uint64
+	for _, sh := range shards {
+		n += sh.Count()
+	}
+	return n
+}
+
+// Err returns the first sticky I/O error of any shard. Sinks write
+// through the error-less logging.Sink interface, so failures park here;
+// anything assembling a dataset from the store must consult it or risk
+// silently shipping a truncated campaign.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	shards := make([]*Shard, 0, len(s.shards))
+	for _, sh := range s.shards {
+		shards = append(shards, sh)
+	}
+	s.mu.Unlock()
+	for _, sh := range shards {
+		if err := sh.Err(); err != nil {
+			return fmt.Errorf("logstore: shard %s: %w", sh.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Flush flushes every shard's buffered writes to the OS.
+func (s *Store) Flush() error {
+	for _, name := range s.ShardNames() {
+		s.mu.Lock()
+		sh := s.shards[name]
+		s.mu.Unlock()
+		if err := sh.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes every shard. The store must not be used after.
+func (s *Store) Close() error {
+	if s.flushStop != nil {
+		close(s.flushStop)
+		<-s.flushDone
+		s.flushStop = nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.shards = make(map[string]*Shard)
+	return first
+}
+
+// Iterator streams every record of every shard, k-way merged into
+// timestamp order (ties broken by shard name, then shard append order) —
+// the streaming equivalent of logging.Merge over per-honeypot logs.
+func (s *Store) Iterator() (*Iterator, error) {
+	return s.IteratorRange(time.Time{}, time.Time{})
+}
+
+// IteratorRange is Iterator restricted to records with from ≤ t < to
+// (zero bounds are open). Whole segments outside the window are skipped
+// via the sparse per-segment indexes.
+func (s *Store) IteratorRange(from, to time.Time) (*Iterator, error) {
+	names := s.ShardNames()
+	shards := make([]*Shard, 0, len(names))
+	s.mu.Lock()
+	for _, n := range names {
+		shards = append(shards, s.shards[n])
+	}
+	s.mu.Unlock()
+	return newIterator(shards, from, to)
+}

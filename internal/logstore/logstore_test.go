@@ -1,0 +1,463 @@
+package logstore
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ed2k"
+	"repro/internal/logging"
+)
+
+var t0 = time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC)
+
+// rec builds a deterministic record for shard hp at sequence i.
+func rec(hp string, i int) logging.Record {
+	return logging.Record{
+		Time:     t0.Add(time.Duration(i) * time.Second),
+		Honeypot: hp,
+		Kind:     logging.KindHello,
+		PeerIP:   "peer-" + hp,
+		PeerPort: uint16(i),
+		UserHash: ed2k.NewUserHash(hp).String(),
+		FileHash: ed2k.SyntheticHash(hp),
+		FileName: "file.avi",
+		Server:   "10.0.0.1:4661",
+	}
+}
+
+// smallOpts rotates aggressively so even small tests exercise multiple
+// segments.
+func smallOpts() Options { return Options{SegmentBytes: 1 << 10} }
+
+func drain(t *testing.T, it *Iterator) []logging.Record {
+	t.Helper()
+	defer it.Close()
+	var out []logging.Record
+	for {
+		r, err := it.Next()
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("iterator: %v", err)
+		}
+		out = append(out, r)
+	}
+}
+
+func TestAppendIterateRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Three shards with interleaved timestamps, enough volume to rotate.
+	shardIDs := []string{"hp-00", "hp-01", "hp-02"}
+	perShard := map[string][]logging.Record{}
+	for i := 0; i < 300; i++ {
+		hp := shardIDs[i%3]
+		r := rec(hp, i)
+		perShard[hp] = append(perShard[hp], r)
+		sh, err := st.Shard(hp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sh.AppendRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := logging.Merge(perShard["hp-00"], perShard["hp-01"], perShard["hp-02"])
+	it, err := st.Iterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, it)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("iterator != logging.Merge: got %d records, want %d", len(got), len(want))
+	}
+	if n := st.TotalRecords(); n != 300 {
+		t.Errorf("TotalRecords = %d, want 300", n)
+	}
+
+	// The volume must have rotated: multiple segments with sidecars.
+	sh, _ := st.Shard("hp-00")
+	segs := sh.Segments()
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation, got %d segments", len(segs))
+	}
+	for _, si := range segs[:len(segs)-1] {
+		if _, err := os.Stat(filepath.Join(sh.dir, idxName(si.Seq))); err != nil {
+			t.Errorf("sealed segment %d lacks index sidecar: %v", si.Seq, err)
+		}
+		if si.Records == 0 || si.MinUnixNano > si.MaxUnixNano {
+			t.Errorf("segment %d index implausible: %+v", si.Seq, si)
+		}
+	}
+}
+
+func TestReopenPreservesRecords(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, _ := st.Shard("hp-00")
+	var want []logging.Record
+	for i := 0; i < 120; i++ {
+		r := rec("hp-00", i)
+		want = append(want, r)
+		sh.Append(r)
+	}
+	if sh.Err() != nil {
+		t.Fatal(sh.Err())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.ShardNames(); len(got) != 1 || got[0] != "hp-00" {
+		t.Fatalf("shards after reopen: %v", got)
+	}
+	it, err := st2.Iterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, it); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopen lost records: got %d, want %d", len(got), len(want))
+	}
+	// Appends resume.
+	sh2, _ := st2.Shard("hp-00")
+	if err := sh2.AppendRecord(rec("hp-00", 200)); err != nil {
+		t.Fatal(err)
+	}
+	if n := sh2.Count(); n != 121 {
+		t.Errorf("count after resume = %d, want 121", n)
+	}
+}
+
+func TestReadSinceIncremental(t *testing.T) {
+	st, err := Open(t.TempDir(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sh, _ := st.Shard("hp-00")
+
+	var all []logging.Record
+	appendN := func(n int) {
+		for i := 0; i < n; i++ {
+			r := rec("hp-00", len(all))
+			all = append(all, r)
+			if err := sh.AppendRecord(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	appendN(75)
+	var got []logging.Record
+	var cp Checkpoint
+	// Small batches force batch continuation across segment boundaries.
+	for {
+		recs, next, err := sh.ReadSince(cp, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		got = append(got, recs...)
+		if !cp.Before(next) {
+			t.Fatalf("checkpoint did not advance: %+v -> %+v", cp, next)
+		}
+		cp = next
+	}
+	if !reflect.DeepEqual(got, all) {
+		t.Fatalf("first drain mismatch: %d vs %d", len(got), len(all))
+	}
+
+	// No new data: repeated reads at the frontier return nothing.
+	recs, cp2, err := sh.ReadSince(cp, 10)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("read at frontier: %d records, %v", len(recs), err)
+	}
+
+	// New appends are seen exactly once, from either checkpoint.
+	appendN(30)
+	recs, _, err = sh.ReadSince(cp2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, all[75:]) {
+		t.Fatalf("incremental read mismatch: got %d, want 30", len(recs))
+	}
+}
+
+func TestReadSinceSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, _ := st.Shard("hp-00")
+	for i := 0; i < 50; i++ {
+		sh.Append(rec("hp-00", i))
+	}
+	recs, cp, err := sh.ReadSince(Checkpoint{}, 20)
+	if err != nil || len(recs) != 20 {
+		t.Fatalf("first batch: %d, %v", len(recs), err)
+	}
+	st.Close()
+
+	// The honeypot restarts; the collector still holds cp.
+	st2, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	sh2, _ := st2.Shard("hp-00")
+	rest, _, err := sh2.ReadSince(cp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 30 {
+		t.Fatalf("resumed read returned %d records, want 30 (no resend)", len(rest))
+	}
+	if rest[0].PeerPort != 20 {
+		t.Errorf("resumed read starts at record %d, want 20", rest[0].PeerPort)
+	}
+}
+
+func TestIteratorRangeSkipsAndBounds(t *testing.T) {
+	st, err := Open(t.TempDir(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sh, _ := st.Shard("hp-00")
+	var all []logging.Record
+	for i := 0; i < 200; i++ {
+		r := rec("hp-00", i)
+		all = append(all, r)
+		sh.Append(r)
+	}
+	from, to := t0.Add(30*time.Second), t0.Add(90*time.Second)
+	it, err := st.IteratorRange(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, it)
+	var want []logging.Record
+	for _, r := range all {
+		if !r.Time.Before(from) && r.Time.Before(to) {
+			want = append(want, r)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("range iterator: got %d records, want %d", len(got), len(want))
+	}
+}
+
+func TestIndexSidecarRebuilt(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, _ := st.Shard("hp-00")
+	for i := 0; i < 120; i++ {
+		sh.Append(rec("hp-00", i))
+	}
+	segs := sh.Segments()
+	if len(segs) < 3 {
+		t.Fatalf("want ≥3 segments, got %d", len(segs))
+	}
+	st.Close()
+
+	// Delete one sidecar and corrupt another: reopen must rebuild both.
+	shardDir := filepath.Join(dir, "hp-00")
+	if err := os.Remove(filepath.Join(shardDir, idxName(segs[0].Seq))); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(shardDir, idxName(segs[1].Seq)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	sh2, _ := st2.Shard("hp-00")
+	if n := sh2.Count(); n != 120 {
+		t.Errorf("count after sidecar rebuild = %d, want 120", n)
+	}
+	segs2 := sh2.Segments()
+	for i := range segs2[:len(segs2)-1] {
+		if !reflect.DeepEqual(segs2[i], segs[i]) {
+			t.Errorf("segment %d index mismatch after rebuild:\n got %+v\nwant %+v", i, segs2[i], segs[i])
+		}
+	}
+}
+
+func TestShardNameValidation(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, bad := range []string{"", "a/b", `a\b`, ".", ".."} {
+		if _, err := st.Shard(bad); err == nil {
+			t.Errorf("Shard(%q) accepted", bad)
+		}
+	}
+	if _, err := st.Shard("hp-00"); err != nil {
+		t.Errorf("Shard(hp-00): %v", err)
+	}
+}
+
+func TestConcurrentAppendAndRead(t *testing.T) {
+	st, err := Open(t.TempDir(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sh, _ := st.Shard("hp-00")
+
+	const writers, per = 4, 250
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sh.Append(rec("hp-00", w*per+i))
+			}
+		}(w)
+	}
+	// Concurrent incremental reader.
+	done := make(chan int)
+	go func() {
+		total := 0
+		var cp Checkpoint
+		for total < writers*per {
+			recs, next, err := sh.ReadSince(cp, 64)
+			if err != nil {
+				t.Errorf("ReadSince: %v", err)
+				break
+			}
+			total += len(recs)
+			cp = next
+		}
+		done <- total
+	}()
+	wg.Wait()
+	if sh.Err() != nil {
+		t.Fatal(sh.Err())
+	}
+	if total := <-done; total != writers*per {
+		t.Errorf("reader saw %d records, want %d", total, writers*per)
+	}
+	if n := sh.Count(); n != writers*per {
+		t.Errorf("count = %d", n)
+	}
+}
+
+func TestReadSinceStaleCheckpointReconciled(t *testing.T) {
+	st, err := Open(t.TempDir(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sh, _ := st.Shard("hp-00")
+	for i := 0; i < 10; i++ {
+		sh.Append(rec("hp-00", i))
+	}
+	end := sh.End()
+
+	// Checkpoint beyond the newest segment: the shard was wiped and
+	// recreated, so the collector must restart from the beginning
+	// rather than silently starve.
+	recs, next, err := sh.ReadSince(Checkpoint{Seg: end.Seg + 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 || next != end {
+		t.Errorf("wiped-shard checkpoint: %d records, next %+v; want 10, %+v", len(recs), next, end)
+	}
+
+	// Checkpoint past the tail's end in the same segment: a truncated
+	// torn tail. Clamp to the truncation point — no re-send of already
+	// collected records, and new appends flow from there.
+	stale := Checkpoint{Seg: end.Seg, Off: end.Off + 99}
+	recs, next, err = sh.ReadSince(stale, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || next != end {
+		t.Errorf("torn-tail checkpoint: %d records re-sent, next %+v; want 0, %+v", len(recs), next, end)
+	}
+	sh.Append(rec("hp-00", 42))
+	recs, _, err = sh.ReadSince(next, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].PeerPort != 42 {
+		t.Errorf("append after clamp: got %d records (%+v), want just the new one", len(recs), recs)
+	}
+}
+
+func TestBackgroundFlusherBoundsCrashLoss(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{FlushEvery: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sh, _ := st.Shard("hp-00")
+	for i := 0; i < 5; i++ {
+		sh.Append(rec("hp-00", i))
+	}
+	// Without any reader or Close, the records must reach the OS within
+	// a few flush periods — scan the segment file directly, as a
+	// post-kill recovery would.
+	path := filepath.Join(dir, "hp-00", segName(1))
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		info, _, err := scanSegment(path, 1)
+		if err == nil && info.Records == 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flusher never persisted: %d records on disk", info.Records)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestStoreIteratorEmpty(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	it, err := st.Iterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, it); len(got) != 0 {
+		t.Errorf("empty store yielded %d records", len(got))
+	}
+}

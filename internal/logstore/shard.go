@@ -1,0 +1,399 @@
+package logstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/logging"
+)
+
+// Shard is one honeypot's append-only log: a directory of segments. It
+// implements logging.Sink, so a honeypot writes through it directly; all
+// methods are safe for concurrent use.
+type Shard struct {
+	dir   string
+	name  string
+	opt   Options
+	store *Store // owning store, nil for a standalone shard
+
+	mu     sync.Mutex
+	sealed []SegmentInfo // all segments before the active one
+	active SegmentInfo   // live index of the tail segment
+	f      *os.File      // active segment, positioned at its end
+	w      *bufio.Writer
+	buf    []byte // frame scratch: [8-byte header][encoded record]
+	closed bool
+	err    error // sticky I/O error (logging.Sink has no error return)
+}
+
+// openShard opens or creates the shard directory, recovering the active
+// segment's torn tail if the last run crashed mid-append.
+func openShard(dir, name string, opt Options) (*Shard, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("logstore: %w", err)
+	}
+	sh := &Shard{dir: dir, name: name, opt: opt}
+
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) == 0 {
+		return sh, sh.startSegment(1)
+	}
+	for _, seq := range seqs[:len(seqs)-1] {
+		info, err := loadIndex(dir, seq)
+		if err != nil {
+			return nil, err
+		}
+		sh.sealed = append(sh.sealed, info)
+	}
+
+	// Recover the tail segment: scan it, truncate anything torn, reopen
+	// for appending at the last intact frame.
+	last := seqs[len(seqs)-1]
+	path := filepath.Join(dir, segName(last))
+	info, good, err := scanSegment(path, last)
+	if err != nil && !errors.Is(err, errCorrupt) {
+		return nil, fmt.Errorf("logstore: recovering %s: %w", path, err)
+	}
+	// A corrupt frame in the tail segment is a crash artifact (partially
+	// persisted append): recover by truncating at the last intact frame,
+	// exactly like a short tail.
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if good == 0 {
+		// The crash even tore the header; rewrite it.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.WriteString(segMagic); err != nil {
+			f.Close()
+			return nil, err
+		}
+		good = segHeaderSize
+	} else if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	info.Bytes = good
+	sh.active = info
+	sh.f = f
+	sh.w = bufio.NewWriterSize(f, segBufSize)
+	return sh, nil
+}
+
+// listSegments returns the shard's segment sequence numbers in order.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("logstore: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(name, ".seg"), 10, 64)
+		if err != nil {
+			continue // not ours
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// startSegment creates and opens a fresh segment file. Caller holds mu
+// (or is the constructor).
+func (sh *Shard) startSegment(seq uint64) error {
+	path := filepath.Join(sh.dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("logstore: %w", err)
+	}
+	if _, err := f.WriteString(segMagic); err != nil {
+		f.Close()
+		return err
+	}
+	sh.active = SegmentInfo{Seq: seq, Bytes: segHeaderSize}
+	sh.f = f
+	sh.w = bufio.NewWriterSize(f, segBufSize)
+	return nil
+}
+
+// Name returns the shard's name (the honeypot ID).
+func (sh *Shard) Name() string { return sh.name }
+
+// Store returns the store this shard belongs to. The manager uses it to
+// recognize handles whose honeypot already writes into the manager's own
+// store, where collection has nothing to copy.
+func (sh *Shard) Store() *Store { return sh.store }
+
+// Append implements logging.Sink. Records are expected in non-decreasing
+// timestamp order (honeypots emit them that way); the merged Iterator
+// relies on it exactly like logging.Merge relies on sorted inputs. I/O
+// failures stick and are reported by Err.
+func (sh *Shard) Append(r logging.Record) {
+	_ = sh.AppendRecord(r) // error is sticky; Err() reports it
+}
+
+// AppendRecord appends one record, rotating the active segment when it
+// exceeds the size threshold.
+func (sh *Shard) AppendRecord(r logging.Record) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return fmt.Errorf("logstore: shard %s is closed", sh.name)
+	}
+	if sh.err != nil {
+		return sh.err
+	}
+	// Build the whole frame in one scratch buffer: header placeholder,
+	// then the record body, then backfill length and CRC.
+	frame := append(sh.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	frame = logging.EncodeRecord(frame, r)
+	sh.buf = frame
+	body := frame[frameOverhead:]
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
+	if _, err := sh.w.Write(frame); err != nil {
+		sh.err = err
+		return err
+	}
+	sh.active.observe(r.Time)
+	sh.active.Bytes += int64(len(frame))
+	if sh.active.Bytes >= sh.opt.SegmentBytes {
+		if err := sh.rotateLocked(); err != nil {
+			sh.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment (flush, optional fsync, index
+// sidecar) and starts the next one. Caller holds mu.
+func (sh *Shard) rotateLocked() error {
+	if err := sh.w.Flush(); err != nil {
+		return err
+	}
+	if sh.opt.SyncOnRotate {
+		if err := sh.f.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := sh.f.Close(); err != nil {
+		return err
+	}
+	if err := writeIndex(sh.dir, sh.active); err != nil {
+		return err
+	}
+	sh.sealed = append(sh.sealed, sh.active)
+	return sh.startSegment(sh.active.Seq + 1)
+}
+
+// Err returns the sticky I/O error, if any append failed.
+func (sh *Shard) Err() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.err
+}
+
+// Flush pushes buffered appends to the OS so readers observe them.
+func (sh *Shard) Flush() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.flushLocked()
+}
+
+func (sh *Shard) flushLocked() error {
+	if sh.closed || sh.w == nil {
+		return nil
+	}
+	if err := sh.w.Flush(); err != nil {
+		if sh.err == nil {
+			sh.err = err
+		}
+		return err
+	}
+	return nil
+}
+
+// Sync flushes and fsyncs the active segment.
+func (sh *Shard) Sync() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.flushLocked(); err != nil {
+		return err
+	}
+	if sh.closed {
+		return nil
+	}
+	return sh.f.Sync()
+}
+
+// Close flushes and closes the shard.
+func (sh *Shard) Close() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return nil
+	}
+	sh.closed = true
+	if sh.w != nil {
+		if err := sh.w.Flush(); err != nil {
+			return err
+		}
+	}
+	if sh.f != nil {
+		return sh.f.Close()
+	}
+	return nil
+}
+
+// Count returns the total number of records in the shard.
+func (sh *Shard) Count() uint64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n := sh.active.Records
+	for _, si := range sh.sealed {
+		n += si.Records
+	}
+	return n
+}
+
+// Segments snapshots the shard's segment index, active segment last.
+func (sh *Shard) Segments() []SegmentInfo {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]SegmentInfo, 0, len(sh.sealed)+1)
+	out = append(out, sh.sealed...)
+	out = append(out, sh.active)
+	return out
+}
+
+// End returns the checkpoint just past the last appended record.
+func (sh *Shard) End() Checkpoint {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return Checkpoint{Seg: sh.active.Seq, Off: sh.active.Bytes}
+}
+
+// snapshotFlushed flushes buffered writes and snapshots the segment list
+// atomically: every byte within the returned bounds is readable on disk.
+func (sh *Shard) snapshotFlushed() ([]SegmentInfo, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.flushLocked(); err != nil {
+		return nil, err
+	}
+	segs := make([]SegmentInfo, 0, len(sh.sealed)+1)
+	segs = append(segs, sh.sealed...)
+	segs = append(segs, sh.active)
+	return segs, nil
+}
+
+// ReadSince returns up to max records strictly after cp (the zero
+// checkpoint reads from the start), plus the checkpoint to pass next
+// time. It is the incremental-collection primitive: the caller owns the
+// checkpoint, so a crashed and restarted collector resumes exactly where
+// it left off and no record is delivered twice. Safe against concurrent
+// appends.
+func (sh *Shard) ReadSince(cp Checkpoint, max int) ([]logging.Record, Checkpoint, error) {
+	if max <= 0 {
+		max = 1 << 30
+	}
+	segs, err := sh.snapshotFlushed()
+	if err != nil {
+		return nil, cp, err
+	}
+	// Reconcile a checkpoint the shard no longer covers.
+	last := segs[len(segs)-1]
+	if cp.Seg > last.Seq {
+		// Beyond the newest segment: only a wiped-and-recreated shard
+		// looks like this (the acked records are gone either way), so
+		// restart from the beginning rather than silently starving.
+		cp = Checkpoint{}
+	} else if cp.Seg == last.Seq && cp.Off > last.Bytes {
+		// Past the tail's end within the same segment: crash recovery
+		// truncated a torn tail the collector had already seen (flushed
+		// but not fsynced). The torn records died with the crash; clamp
+		// to the truncation point — which is exactly where new appends
+		// resume — instead of resetting, which would re-send the whole
+		// shard and duplicate everything already collected.
+		cp.Off = last.Bytes
+	}
+	var out []logging.Record
+	for _, si := range segs {
+		if len(out) >= max {
+			break
+		}
+		if si.Seq < cp.Seg {
+			continue
+		}
+		off := segHeaderSize
+		if si.Seq == cp.Seg && cp.Off > off {
+			off = cp.Off
+		}
+		if off < si.Bytes {
+			next, err := sh.readSegment(si, off, max-len(out), &out)
+			if err != nil {
+				return out, cp, err
+			}
+			cp = Checkpoint{Seg: si.Seq, Off: next}
+			continue
+		}
+		// Empty or fully consumed segment: move the checkpoint past it so
+		// the next call starts at the successor.
+		cp = Checkpoint{Seg: si.Seq, Off: off}
+	}
+	return out, cp, nil
+}
+
+// readSegment appends records from one segment starting at byte offset
+// off, stopping after limit records or at the snapshot bound si.Bytes
+// (bytes appended after the snapshot wait for the next call). It returns
+// the offset just past the last record consumed.
+func (sh *Shard) readSegment(si SegmentInfo, off int64, limit int, out *[]logging.Record) (int64, error) {
+	r, err := openSegmentReader(filepath.Join(sh.dir, segName(si.Seq)), off)
+	if errors.Is(err, io.EOF) {
+		return off, nil
+	}
+	if err != nil {
+		return off, err
+	}
+	defer r.Close()
+	n := 0
+	for n < limit && r.off < si.Bytes {
+		rec, next, err := r.next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return off, err
+		}
+		*out = append(*out, rec)
+		off = next
+		n++
+	}
+	return off, nil
+}

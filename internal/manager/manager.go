@@ -8,14 +8,18 @@
 package manager
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"net/netip"
 	"time"
 
 	"repro/internal/anonymize"
 	"repro/internal/client"
+	"repro/internal/control"
 	"repro/internal/honeypot"
 	"repro/internal/logging"
+	"repro/internal/logstore"
 	"repro/internal/transport"
 )
 
@@ -33,11 +37,28 @@ type Handle interface {
 	Close()
 }
 
+// IncrementalHandle is the optional collection upgrade: handles whose
+// honeypot logs into a durable store can serve records from a checkpoint,
+// so each record crosses the control plane at most once and a honeypot
+// restart never re-sends what the manager already acked. control.Link
+// implements it (backed by the take-records-since request).
+type IncrementalHandle interface {
+	TakeRecordsSince(since logstore.Checkpoint, max int, cb func([]logging.Record, logstore.Checkpoint, error))
+}
+
+// StoreBackedHandle is implemented by handles whose honeypot appends
+// directly into a shard of the manager's own store (in-process
+// campaigns): collection then has nothing to transfer at all.
+type StoreBackedHandle interface {
+	Shard() *logstore.Shard
+}
+
 // LocalHandle drives an in-process honeypot, hopping executors so the
 // actor contracts of both sides hold.
 type LocalHandle struct {
 	id      string
 	hp      *honeypot.Honeypot
+	shard   *logstore.Shard
 	mgrHost transport.Host
 }
 
@@ -45,6 +66,15 @@ type LocalHandle struct {
 func NewLocalHandle(id string, hp *honeypot.Honeypot, mgrHost transport.Host) *LocalHandle {
 	return &LocalHandle{id: id, hp: hp, mgrHost: mgrHost}
 }
+
+// NewLocalHandleWithStore wraps a honeypot whose Sink is the given
+// logstore shard: the manager sees the records as already collected.
+func NewLocalHandleWithStore(id string, hp *honeypot.Honeypot, shard *logstore.Shard, mgrHost transport.Host) *LocalHandle {
+	return &LocalHandle{id: id, hp: hp, shard: shard, mgrHost: mgrHost}
+}
+
+// Shard implements StoreBackedHandle (nil without a store).
+func (h *LocalHandle) Shard() *logstore.Shard { return h.shard }
 
 // ID implements Handle.
 func (h *LocalHandle) ID() string { return h.id }
@@ -139,6 +169,14 @@ type HoneypotState struct {
 	Healthy    bool
 	Relaunches int
 	Collected  int // records gathered so far
+	// Checkpoint is the incremental-collection ack: everything before it
+	// has been gathered and must never be transferred again.
+	Checkpoint logstore.Checkpoint
+
+	// noIncremental is set when a take-records-since probe failed (the
+	// honeypot has no record source); collection falls back to the drain
+	// path. Reset on relaunch, since a replacement may gain a store.
+	noIncremental bool
 }
 
 // Manager coordinates a fleet of honeypots.
@@ -149,6 +187,13 @@ type Manager struct {
 	hps  []*HoneypotState
 	byID map[string]*HoneypotState
 	logs map[string][]logging.Record
+
+	// store, when set, is the on-disk event store: collected records
+	// spill into per-honeypot shards instead of the in-memory logs map,
+	// and Finalize streams them back through a merged iterator. Honeypots
+	// whose handle writes into this same store (StoreBackedHandle) are
+	// not copied at all.
+	store *logstore.Store
 
 	// Relaunch, when set, is invoked for a honeypot whose control path
 	// died; it must recreate the honeypot and return a fresh handle (the
@@ -178,6 +223,15 @@ func New(host transport.Host, cfg Config) *Manager {
 
 // Host returns the manager's transport host.
 func (m *Manager) Host() transport.Host { return m.host }
+
+// SetStore switches the manager to spill-to-disk collection: gathered
+// records land in per-honeypot shards of store and Finalize streams them
+// back instead of holding the campaign in memory. Set it before Add; the
+// caller keeps ownership of the store (and closes it after Finalize).
+func (m *Manager) SetStore(store *logstore.Store) { m.store = store }
+
+// Store returns the spill store, if any.
+func (m *Manager) Store() *logstore.Store { return m.store }
 
 // Add registers a honeypot and pushes its assignment (server first, then
 // the advertisement, mirroring the paper's setup order).
@@ -246,8 +300,16 @@ func (m *Manager) scheduleHealth() {
 	})
 }
 
+// collectBatch bounds one incremental transfer; collection loops until a
+// short batch, so one round still drains everything new while keeping
+// individual control frames small.
+const collectBatch = 2048
+
 // CollectNow gathers pending records from every honeypot; done (optional)
-// fires when all answered.
+// fires when all answered. Handles that serve checkpointed reads
+// (IncrementalHandle) transfer only records the manager has not acked
+// yet; handles writing straight into the manager's store transfer
+// nothing.
 func (m *Manager) CollectNow(done func()) {
 	remaining := len(m.hps)
 	if remaining == 0 {
@@ -256,23 +318,114 @@ func (m *Manager) CollectNow(done func()) {
 		}
 		return
 	}
-	for _, st := range m.hps {
-		st := st
-		st.Handle.TakeRecords(func(recs []logging.Record, err error) {
-			if err == nil && len(recs) > 0 {
-				id := st.Handle.ID()
-				m.logs[id] = append(m.logs[id], recs...)
-				st.Collected += len(recs)
-			}
-			if err != nil {
-				st.Healthy = false
-			}
-			remaining--
-			if remaining == 0 && done != nil {
-				done()
-			}
-		})
+	finish := func() {
+		remaining--
+		if remaining == 0 && done != nil {
+			done()
+		}
 	}
+	for _, st := range m.hps {
+		m.collectOne(st, finish)
+	}
+}
+
+func (m *Manager) collectOne(st *HoneypotState, finish func()) {
+	// In-process store-backed honeypots append into our own store: the
+	// records are already durable and collected; refresh the counter.
+	if m.store != nil {
+		if sb, ok := st.Handle.(StoreBackedHandle); ok {
+			if sh := sb.Shard(); sh != nil && sh.Store() == m.store {
+				st.Collected = int(sh.Count())
+				// The honeypot appends through the error-less Sink
+				// interface; a sticky write error means records are being
+				// dropped — surface it as ill health.
+				if sh.Err() != nil {
+					st.Healthy = false
+				}
+				finish()
+				return
+			}
+		}
+	}
+	if ih, ok := st.Handle.(IncrementalHandle); ok && !st.noIncremental {
+		m.collectIncremental(st, ih, finish)
+		return
+	}
+	m.collectDrain(st, finish)
+}
+
+// collectDrain is the legacy path: drain the honeypot's whole buffer.
+func (m *Manager) collectDrain(st *HoneypotState, finish func()) {
+	st.Handle.TakeRecords(func(recs []logging.Record, err error) {
+		if err != nil {
+			st.Healthy = false
+		} else if err := m.ingest(st, recs); err != nil {
+			st.Healthy = false
+		}
+		finish()
+	})
+}
+
+// collectIncremental pulls batches after the acked checkpoint until a
+// short batch signals the frontier.
+func (m *Manager) collectIncremental(st *HoneypotState, ih IncrementalHandle, finish func()) {
+	ih.TakeRecordsSince(st.Checkpoint, collectBatch, func(recs []logging.Record, next logstore.Checkpoint, err error) {
+		if control.IsNoSource(err) {
+			// The honeypot has no durable record source: drain its memory
+			// buffer instead, this round and onwards.
+			st.noIncremental = true
+			m.collectDrain(st, finish)
+			return
+		}
+		if err != nil {
+			// Transient (dead link, I/O hiccup): mark unhealthy and retry
+			// incrementally next round — falling back to the drain path
+			// would silently stop collecting from a store-backed honeypot
+			// forever, since its drain is always empty.
+			st.Healthy = false
+			finish()
+			return
+		}
+		if err := m.ingest(st, recs); err != nil {
+			// The batch was not persisted: do NOT ack it. Advancing the
+			// checkpoint here would drop it from the dataset forever,
+			// since the honeypot never re-serves acked records.
+			st.Healthy = false
+			finish()
+			return
+		}
+		st.Checkpoint = next
+		if len(recs) >= collectBatch {
+			m.collectIncremental(st, ih, finish)
+			return
+		}
+		finish()
+	})
+}
+
+// ingest files gathered records under the honeypot's ID — into the spill
+// store when configured, in memory otherwise. On error nothing may be
+// acked: the batch is possibly only partially stored.
+func (m *Manager) ingest(st *HoneypotState, recs []logging.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	id := st.Handle.ID()
+	if m.store != nil {
+		sh, err := m.store.Shard(id)
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			if err := sh.AppendRecord(r); err != nil {
+				return err
+			}
+		}
+	} else {
+		m.logs[id] = append(m.logs[id], recs...)
+	}
+	st.Collected += len(recs)
+	return nil
 }
 
 // HealthCheckNow polls every honeypot's status; dead or disconnected ones
@@ -325,6 +478,7 @@ func (m *Manager) relaunch(st *HoneypotState, finish func()) {
 			st.Handle = h
 			st.Relaunches++
 			st.Healthy = true
+			st.noIncremental = false // the replacement may serve checkpoints
 			m.push(st)
 		}
 		finish()
@@ -351,14 +505,11 @@ type Dataset struct {
 func (m *Manager) Finalize(done func(*Dataset, error)) {
 	m.Stop()
 	m.CollectNow(func() {
-		logs := make([][]logging.Record, 0, len(m.hps))
-		perHP := make(map[string]int, len(m.hps))
-		for _, st := range m.hps {
-			id := st.Handle.ID()
-			logs = append(logs, m.logs[id])
-			perHP[id] = len(m.logs[id])
+		merged, perHP, err := m.mergedRecords()
+		if err != nil {
+			done(nil, fmt.Errorf("manager: merging collected logs: %w", err))
+			return
 		}
-		merged := logging.Merge(logs...)
 
 		ren := anonymize.NewRenumberer()
 		distinct := ren.RenumberRecords(merged)
@@ -379,4 +530,50 @@ func (m *Manager) Finalize(done func(*Dataset, error)) {
 			PerHoneypot:   perHP,
 		}, nil)
 	})
+}
+
+// mergedRecords produces the unified timestamp-ordered log: a k-way
+// logging.Merge of the in-memory per-honeypot logs, or a streamed drain
+// of the spill store's Iterator — the two produce identical streams when
+// honeypots were added in shard-name order (both break timestamp ties
+// the same way).
+func (m *Manager) mergedRecords() ([]logging.Record, map[string]int, error) {
+	perHP := make(map[string]int, len(m.hps))
+	if m.store != nil {
+		// A sticky append error means the store is missing records; a
+		// silently truncated dataset is worse than a failed finalize.
+		if err := m.store.Err(); err != nil {
+			return nil, nil, err
+		}
+		it, err := m.store.Iterator()
+		if err != nil {
+			return nil, nil, err
+		}
+		defer it.Close()
+		var merged []logging.Record
+		for {
+			r, err := it.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			merged = append(merged, r)
+			perHP[r.Honeypot]++
+		}
+		for _, st := range m.hps {
+			if _, ok := perHP[st.Handle.ID()]; !ok {
+				perHP[st.Handle.ID()] = 0
+			}
+		}
+		return merged, perHP, nil
+	}
+	logs := make([][]logging.Record, 0, len(m.hps))
+	for _, st := range m.hps {
+		id := st.Handle.ID()
+		logs = append(logs, m.logs[id])
+		perHP[id] = len(m.logs[id])
+	}
+	return logging.Merge(logs...), perHP, nil
 }

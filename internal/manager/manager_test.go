@@ -1,7 +1,9 @@
 package manager
 
 import (
+	"errors"
 	"net/netip"
+	"path/filepath"
 	"strconv"
 	"testing"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"repro/internal/ed2k"
 	"repro/internal/honeypot"
 	"repro/internal/logging"
+	"repro/internal/logstore"
 	"repro/internal/netsim"
 	"repro/internal/server"
 )
@@ -343,6 +346,477 @@ func TestStopHaltsTimers(t *testing.T) {
 		t.Error("collection ran after Stop")
 	}
 	_ = before
+}
+
+// newStoreWorld builds a world whose honeypots write through logstore
+// shards (each its own store, as real honeypotd machines would) and are
+// managed over real control links with take-records-since sources.
+func newStoreWorld(t *testing.T, nHoneypots int, cfg Config) (*world, []*logstore.Store) {
+	t.Helper()
+	loop := des.NewLoop(t0, 52)
+	nw := netsim.New(loop, netsim.DefaultConfig())
+	srv := server.New(nw.NewHost("server"), server.DefaultConfig("big"))
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	w := &world{loop: loop, net: nw, srv: srv}
+	w.mgr = New(nw.NewHost("manager"), cfg)
+
+	base := t.TempDir()
+	var stores []*logstore.Store
+	assignments := SameServer(srv.Addr(), baitFiles, nHoneypots)
+	for i := 0; i < nHoneypots; i++ {
+		id := "hp-" + strconv.Itoa(i)
+		store, err := logstore.Open(filepath.Join(base, id), logstore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { store.Close() })
+		stores = append(stores, store)
+		shard, err := store.Shard(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hpHost := nw.NewHost(id)
+		hp := honeypot.New(hpHost, honeypot.Config{
+			ID: id, Strategy: honeypot.NoContent, Port: 4662, Secret: secret,
+			Sink: shard,
+		})
+		if err := hp.Client().Listen(); err != nil {
+			t.Fatal(err)
+		}
+		agent, err := control.NewAgent(hpHost, hp, control.DefaultPort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent.SetSource(shard)
+		w.hps = append(w.hps, hp)
+
+		var link *control.Link
+		control.Dial(w.mgr.Host(), id, netip.AddrPortFrom(hpHost.Addr(), control.DefaultPort), func(l *control.Link, err error) {
+			if err != nil {
+				t.Errorf("dial %s: %v", id, err)
+				return
+			}
+			link = l
+		})
+		w.settle()
+		if link == nil {
+			t.Fatalf("no control link for %s", id)
+		}
+		w.mgr.Add(link, assignments[i])
+	}
+	w.settle()
+	return w, stores
+}
+
+// TestIncrementalCollectionTransfersEachRecordOnce is the acceptance
+// check for the cursor/ack protocol: across two CollectNow rounds with
+// traffic in between, every record crosses the control plane exactly
+// once — the second round moves only the delta.
+func TestIncrementalCollectionTransfersEachRecordOnce(t *testing.T) {
+	w, stores := newStoreWorld(t, 2, DefaultConfig())
+
+	w.contact(t, w.hps[0], "peer-a")
+	w.contact(t, w.hps[1], "peer-b")
+
+	collected := func() int {
+		total := 0
+		for _, st := range w.mgr.States() {
+			total += st.Collected
+		}
+		return total
+	}
+	transferred := func() int {
+		total := 0
+		for _, recs := range w.mgr.logs {
+			total += len(recs)
+		}
+		return total
+	}
+	storeCount := func() int {
+		total := 0
+		for _, s := range stores {
+			total += int(s.TotalRecords())
+		}
+		return total
+	}
+
+	w.mgr.CollectNow(nil)
+	w.settle()
+	round1 := transferred()
+	if round1 == 0 {
+		t.Fatal("first round transferred nothing")
+	}
+	if round1 != storeCount() {
+		t.Fatalf("round 1 transferred %d, honeypots logged %d", round1, storeCount())
+	}
+
+	// Nothing new: a second collection must move zero records.
+	w.mgr.CollectNow(nil)
+	w.settle()
+	if got := transferred(); got != round1 {
+		t.Fatalf("idle round re-transferred %d records", got-round1)
+	}
+
+	// New traffic: only the delta crosses the control plane.
+	w.contact(t, w.hps[0], "peer-c")
+	w.mgr.CollectNow(nil)
+	w.settle()
+	total := transferred()
+	if total != storeCount() {
+		t.Fatalf("after round 2: transferred %d, honeypots logged %d (duplicates or loss)", total, storeCount())
+	}
+	if total <= round1 {
+		t.Fatal("second round transferred no new records")
+	}
+	if collected() != total {
+		t.Errorf("Collected counters %d != transferred %d", collected(), total)
+	}
+
+	// No record appears twice in the manager's logs.
+	seen := map[string]bool{}
+	for id, recs := range w.mgr.logs {
+		for _, r := range recs {
+			key := id + "|" + r.Time.String() + "|" + r.PeerIP + "|" + r.Kind.String()
+			if seen[key] {
+				t.Fatalf("duplicate record in manager logs: %s", key)
+			}
+			seen[key] = true
+		}
+	}
+
+	// Finalize still produces a clean, audited dataset via the same path.
+	var ds *Dataset
+	var dsErr error
+	w.mgr.Finalize(func(d *Dataset, err error) { ds, dsErr = d, err })
+	w.settle()
+	if dsErr != nil {
+		t.Fatal(dsErr)
+	}
+	if len(ds.Records) != total {
+		t.Errorf("dataset has %d records, transferred %d", len(ds.Records), total)
+	}
+}
+
+// TestIncrementalCollectionSurvivesRestart replays the paper's crash
+// scenario: the honeypot dies after a collection, comes back with its
+// on-disk log intact, and the manager's checkpoint prevents any resend.
+func TestIncrementalCollectionSurvivesRestart(t *testing.T) {
+	w, stores := newStoreWorld(t, 1, DefaultConfig())
+	hpHost := w.hps[0].Client().Host().(*netsim.Host)
+
+	w.contact(t, w.hps[0], "peer-a")
+	w.mgr.CollectNow(nil)
+	w.settle()
+	before := len(w.mgr.logs["hp-0"])
+	if before == 0 {
+		t.Fatal("nothing collected before restart")
+	}
+	cpBefore := w.mgr.States()[0].Checkpoint
+
+	// Crash and restart the honeypot host; reopen the same store dir (the
+	// disk survived) and rebuild honeypot + agent + link.
+	hpHost.Crash()
+	w.settle()
+	hpHost.Restart()
+	dir := stores[0].Dir()
+	stores[0].Close()
+	store, err := logstore.Open(dir, logstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	shard, err := store.Shard("hp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp2 := honeypot.New(hpHost, honeypot.Config{
+		ID: "hp-0", Strategy: honeypot.NoContent, Port: 4662, Secret: secret,
+		Sink: shard,
+	})
+	if err := hp2.Client().Listen(); err != nil {
+		t.Fatal(err)
+	}
+	agent, err := control.NewAgent(hpHost, hp2, control.DefaultPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.SetSource(shard)
+	w.hps[0] = hp2
+	var link *control.Link
+	control.Dial(w.mgr.Host(), "hp-0", netip.AddrPortFrom(hpHost.Addr(), control.DefaultPort), func(l *control.Link, err error) {
+		if err != nil {
+			t.Errorf("re-dial: %v", err)
+			return
+		}
+		link = l
+	})
+	w.settle()
+	if link == nil {
+		t.Fatal("no link after restart")
+	}
+	st := w.mgr.States()[0]
+	st.Handle = link
+	st.Healthy = true
+	w.mgr.push(st)
+	w.settle()
+
+	// Collection resumes from the surviving checkpoint: no resend.
+	w.mgr.CollectNow(nil)
+	w.settle()
+	if got := len(w.mgr.logs["hp-0"]); got != before {
+		t.Fatalf("restart caused resend: %d -> %d records", before, got)
+	}
+	if st.Checkpoint != cpBefore {
+		t.Fatalf("checkpoint moved without new records: %+v -> %+v", cpBefore, st.Checkpoint)
+	}
+
+	// New traffic after the restart still flows.
+	w.contact(t, hp2, "peer-b")
+	w.mgr.CollectNow(nil)
+	w.settle()
+	if got := len(w.mgr.logs["hp-0"]); got <= before {
+		t.Fatal("no records collected after restart")
+	}
+}
+
+// TestSpillStoreFinalize checks the manager's spill-to-disk mode:
+// collected records land in store shards, and Finalize streams them back
+// into the same dataset the in-memory path would produce.
+func TestSpillStoreFinalize(t *testing.T) {
+	// Reference run: plain in-memory collection.
+	ref := newWorld(t, 2, DefaultConfig())
+	shared := ref.newPeer(t, "shared-peer")
+	ref.contactFrom(t, shared, ref.hps[0])
+	ref.contactFrom(t, shared, ref.hps[1])
+	ref.contact(t, ref.hps[1], "other-peer")
+	var want *Dataset
+	ref.mgr.Finalize(func(d *Dataset, err error) {
+		if err != nil {
+			t.Fatalf("ref finalize: %v", err)
+		}
+		want = d
+	})
+	ref.settle()
+	if want == nil {
+		t.Fatal("no reference dataset")
+	}
+
+	// Same world, same seed, spill store attached.
+	store, err := logstore.Open(t.TempDir(), logstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	w := newWorldWithStore(t, 2, DefaultConfig(), store)
+	shared2 := w.newPeer(t, "shared-peer")
+	w.contactFrom(t, shared2, w.hps[0])
+	w.contactFrom(t, shared2, w.hps[1])
+	w.contact(t, w.hps[1], "other-peer")
+	var got *Dataset
+	w.mgr.Finalize(func(d *Dataset, err error) {
+		if err != nil {
+			t.Fatalf("spill finalize: %v", err)
+		}
+		got = d
+	})
+	w.settle()
+	if got == nil {
+		t.Fatal("no spill dataset")
+	}
+
+	if len(got.Records) != len(want.Records) {
+		t.Fatalf("spill dataset has %d records, in-memory %d", len(got.Records), len(want.Records))
+	}
+	for i := range got.Records {
+		g, r := got.Records[i], want.Records[i]
+		if !g.Time.Equal(r.Time) || g.PeerIP != r.PeerIP || g.Kind != r.Kind || g.Honeypot != r.Honeypot {
+			t.Fatalf("record %d differs: %+v vs %+v", i, g, r)
+		}
+	}
+	if got.DistinctPeers != want.DistinctPeers {
+		t.Errorf("distinct peers: %d vs %d", got.DistinctPeers, want.DistinctPeers)
+	}
+	if store.TotalRecords() != uint64(len(got.Records)) {
+		t.Errorf("store persisted %d records, dataset has %d", store.TotalRecords(), len(got.Records))
+	}
+}
+
+// newWorldWithStore is newWorld with a spill store attached before Add.
+func newWorldWithStore(t *testing.T, nHoneypots int, cfg Config, store *logstore.Store) *world {
+	t.Helper()
+	loop := des.NewLoop(t0, 51)
+	nw := netsim.New(loop, netsim.DefaultConfig())
+	srv := server.New(nw.NewHost("server"), server.DefaultConfig("big"))
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	w := &world{loop: loop, net: nw, srv: srv}
+	w.mgr = New(nw.NewHost("manager"), cfg)
+	w.mgr.SetStore(store)
+
+	assignments := SameServer(srv.Addr(), baitFiles, nHoneypots)
+	for i := 0; i < nHoneypots; i++ {
+		id := "hp-" + strconv.Itoa(i)
+		hp := honeypot.New(nw.NewHost(id), honeypot.Config{
+			ID: id, Strategy: honeypot.NoContent, Port: 4662, Secret: secret,
+		})
+		if err := hp.Client().Listen(); err != nil {
+			t.Fatal(err)
+		}
+		w.hps = append(w.hps, hp)
+		w.mgr.Add(NewLocalHandle(id, hp, w.mgr.Host()), assignments[i])
+	}
+	w.settle()
+	return w
+}
+
+// TestSharedStoreLocalHandles: honeypots write straight into the
+// manager's store; collection copies nothing, Finalize streams the lot.
+func TestSharedStoreLocalHandles(t *testing.T) {
+	store, err := logstore.Open(t.TempDir(), logstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	loop := des.NewLoop(t0, 51)
+	nw := netsim.New(loop, netsim.DefaultConfig())
+	srv := server.New(nw.NewHost("server"), server.DefaultConfig("big"))
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	w := &world{loop: loop, net: nw, srv: srv}
+	w.mgr = New(nw.NewHost("manager"), DefaultConfig())
+	w.mgr.SetStore(store)
+
+	assignments := SameServer(srv.Addr(), baitFiles, 2)
+	for i := 0; i < 2; i++ {
+		id := "hp-" + strconv.Itoa(i)
+		shard, err := store.Shard(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hp := honeypot.New(nw.NewHost(id), honeypot.Config{
+			ID: id, Strategy: honeypot.NoContent, Port: 4662, Secret: secret,
+			Sink: shard,
+		})
+		if err := hp.Client().Listen(); err != nil {
+			t.Fatal(err)
+		}
+		w.hps = append(w.hps, hp)
+		w.mgr.Add(NewLocalHandleWithStore(id, hp, shard, w.mgr.Host()), assignments[i])
+	}
+	w.settle()
+
+	w.contact(t, w.hps[0], "peer-a")
+	w.contact(t, w.hps[1], "peer-b")
+	w.mgr.CollectNow(nil)
+	w.settle()
+
+	if len(w.mgr.logs) != 0 {
+		t.Error("shared-store collection copied records into memory")
+	}
+	total := 0
+	for _, st := range w.mgr.States() {
+		total += st.Collected
+	}
+	if total != int(store.TotalRecords()) {
+		t.Errorf("Collected %d, store holds %d", total, store.TotalRecords())
+	}
+
+	var ds *Dataset
+	w.mgr.Finalize(func(d *Dataset, err error) {
+		if err != nil {
+			t.Fatalf("finalize: %v", err)
+		}
+		ds = d
+	})
+	w.settle()
+	if ds == nil {
+		t.Fatal("no dataset")
+	}
+	if len(ds.Records) != int(store.TotalRecords()) {
+		t.Errorf("dataset %d records, store %d", len(ds.Records), store.TotalRecords())
+	}
+	for i := 1; i < len(ds.Records); i++ {
+		if ds.Records[i].Time.Before(ds.Records[i-1].Time) {
+			t.Fatal("dataset out of order")
+		}
+	}
+	if len(ds.PerHoneypot) != 2 {
+		t.Errorf("per-honeypot: %v", ds.PerHoneypot)
+	}
+}
+
+// fakeIncHandle scripts an IncrementalHandle with synchronous callbacks.
+type fakeIncHandle struct {
+	id        string
+	sinceErr  error
+	recs      []logging.Record
+	takeCalls int
+}
+
+func (f *fakeIncHandle) ID() string                                      { return f.id }
+func (f *fakeIncHandle) Status(cb func(honeypot.Status, error))          { cb(honeypot.Status{}, nil) }
+func (f *fakeIncHandle) Advertise(_ []client.SharedFile, cb func(error)) { cb(nil) }
+func (f *fakeIncHandle) ConnectServer(_ netip.AddrPort, cb func(error))  { cb(nil) }
+func (f *fakeIncHandle) Close()                                          {}
+func (f *fakeIncHandle) TakeRecords(cb func([]logging.Record, error)) {
+	f.takeCalls++
+	cb(nil, nil)
+}
+func (f *fakeIncHandle) TakeRecordsSince(cp logstore.Checkpoint, _ int, cb func([]logging.Record, logstore.Checkpoint, error)) {
+	if f.sinceErr != nil {
+		cb(nil, cp, f.sinceErr)
+		return
+	}
+	recs := f.recs
+	f.recs = nil
+	cb(recs, logstore.Checkpoint{Seg: cp.Seg + 1}, nil)
+}
+
+// TestIncrementalFallbackOnlyOnNoSource: only the no-record-source
+// condition demotes a honeypot to the drain path; transient errors keep
+// the incremental channel so a store-backed honeypot is never silently
+// abandoned.
+func TestIncrementalFallbackOnlyOnNoSource(t *testing.T) {
+	loop := des.NewLoop(t0, 1)
+	nw := netsim.New(loop, netsim.DefaultConfig())
+
+	// No source: falls back to drain, once and onwards.
+	m := New(nw.NewHost("m1"), DefaultConfig())
+	noSrc := &fakeIncHandle{id: "hp-a", sinceErr: errors.New("control: honeypot has no record source")}
+	m.Add(noSrc, Assignment{})
+	m.CollectNow(nil)
+	st := m.States()[0]
+	if !st.noIncremental || noSrc.takeCalls != 1 {
+		t.Fatalf("no-source: noIncremental=%v drains=%d, want true/1", st.noIncremental, noSrc.takeCalls)
+	}
+
+	// Transient error: no drain fallback, unhealthy, retried next round.
+	m2 := New(nw.NewHost("m2"), DefaultConfig())
+	flaky := &fakeIncHandle{id: "hp-b", sinceErr: errors.New("control: link reset")}
+	m2.Add(flaky, Assignment{})
+	m2.CollectNow(nil)
+	st2 := m2.States()[0]
+	if st2.noIncremental {
+		t.Fatal("transient error demoted handle to drain path")
+	}
+	if flaky.takeCalls != 0 {
+		t.Fatalf("transient error drained the (empty) buffer %d times", flaky.takeCalls)
+	}
+	if st2.Healthy {
+		t.Fatal("transient error not reflected in health")
+	}
+	// Recovery: the next round collects incrementally again.
+	flaky.sinceErr = nil
+	flaky.recs = []logging.Record{{Time: t0, Honeypot: "hp-b", PeerIP: "x"}}
+	m2.CollectNow(nil)
+	if st2.Collected != 1 {
+		t.Fatalf("recovered round collected %d records, want 1", st2.Collected)
+	}
 }
 
 var _ logging.Record // keep import if helpers change

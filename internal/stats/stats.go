@@ -56,35 +56,65 @@ type GrowthCurve struct {
 	New []int
 }
 
+// DistinctTracker accumulates a GrowthCurve one event at a time — the
+// streaming core of Distinct. Feeding it from a disk-backed record
+// iterator costs one map entry per distinct key, never one per event.
+type DistinctTracker struct {
+	start     time.Time
+	width     time.Duration
+	periods   int
+	firstSeen map[string]int
+}
+
+// NewDistinctTracker tracks distinct keys over periods buckets of the
+// given width starting at start.
+func NewDistinctTracker(start time.Time, width time.Duration, periods int) *DistinctTracker {
+	return &DistinctTracker{start: start, width: width, periods: periods, firstSeen: make(map[string]int)}
+}
+
+// Observe records one event; events outside the covered range are
+// ignored.
+func (d *DistinctTracker) Observe(t time.Time, key string) {
+	if t.Before(d.start) {
+		return // negative durations truncate toward 0, not down
+	}
+	p := int(t.Sub(d.start) / d.width)
+	if p >= d.periods {
+		return
+	}
+	if prev, ok := d.firstSeen[key]; !ok || p < prev {
+		d.firstSeen[key] = p
+	}
+}
+
+// Curve extracts the growth curve accumulated so far.
+func (d *DistinctTracker) Curve() GrowthCurve {
+	g := GrowthCurve{Cumulative: make([]int, d.periods), New: make([]int, d.periods)}
+	for _, p := range d.firstSeen {
+		g.New[p]++
+	}
+	run := 0
+	for i := 0; i < d.periods; i++ {
+		run += g.New[i]
+		g.Cumulative[i] = run
+	}
+	return g
+}
+
 // Distinct computes a GrowthCurve over events (time, key). Events outside
 // [start, start+periods*width) are ignored.
 func Distinct(times []time.Time, keys []string, start time.Time, width time.Duration, periods int) GrowthCurve {
 	if len(times) != len(keys) {
 		panic("stats: times and keys length mismatch")
 	}
-	firstSeen := make(map[string]int, len(keys)/4+1)
+	d := DistinctTracker{
+		start: start, width: width, periods: periods,
+		firstSeen: make(map[string]int, len(keys)/4+1),
+	}
 	for i, t := range times {
-		if t.Before(start) {
-			continue // negative durations truncate toward 0, not down
-		}
-		p := int(t.Sub(start) / width)
-		if p >= periods {
-			continue
-		}
-		if prev, ok := firstSeen[keys[i]]; !ok || p < prev {
-			firstSeen[keys[i]] = p
-		}
+		d.Observe(t, keys[i])
 	}
-	g := GrowthCurve{Cumulative: make([]int, periods), New: make([]int, periods)}
-	for _, p := range firstSeen {
-		g.New[p]++
-	}
-	run := 0
-	for i := 0; i < periods; i++ {
-		run += g.New[i]
-		g.Cumulative[i] = run
-	}
-	return g
+	return d.Curve()
 }
 
 // SubsetUnion is the result of the random-subset union estimator.
