@@ -25,13 +25,15 @@ import (
 const benchScale = 0.01
 
 var (
-	distOnce sync.Once
-	distRes  *repro.Result
-	distRep  *repro.Report
+	distOnce  sync.Once
+	distRes   *repro.Result
+	distRep   *repro.Report
+	distFrame *analysis.Frame
 
-	greedyOnce sync.Once
-	greedyRes  *repro.Result
-	greedyRep  *repro.Report
+	greedyOnce  sync.Once
+	greedyRes   *repro.Result
+	greedyRep   *repro.Report
+	greedyFrame *analysis.Frame
 )
 
 func distributed(b *testing.B) (*repro.Result, *repro.Report) {
@@ -46,6 +48,7 @@ func distributed(b *testing.B) (*repro.Result, *repro.Report) {
 		}
 		distRes = res
 		distRep = repro.Analyze(res)
+		distFrame = analysis.BuildFrame(res.Dataset.Records)
 	})
 	if distRes == nil {
 		b.Fatal("distributed campaign unavailable")
@@ -64,6 +67,7 @@ func greedy(b *testing.B) (*repro.Result, *repro.Report) {
 		}
 		greedyRes = res
 		greedyRep = repro.Analyze(res)
+		greedyFrame = analysis.BuildFrame(res.Dataset.Records)
 	})
 	if greedyRes == nil {
 		b.Fatal("greedy campaign unavailable")
@@ -71,14 +75,30 @@ func greedy(b *testing.B) (*repro.Result, *repro.Report) {
 	return greedyRes, greedyRep
 }
 
-// BenchmarkTableI regenerates both columns of Table I.
+// BenchmarkFrameBuild measures the one pass that compiles a campaign
+// into the columnar frame every figure extractor below runs on.
+func BenchmarkFrameBuild(b *testing.B) {
+	res, _ := distributed(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var f *analysis.Frame
+	for i := 0; i < b.N; i++ {
+		f = analysis.BuildFrame(res.Dataset.Records)
+	}
+	b.ReportMetric(float64(f.DistinctPeers()), "dist_peers")
+	b.ReportMetric(float64(len(res.Dataset.Records))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkTableI regenerates both columns of Table I from the frames.
 func BenchmarkTableI(b *testing.B) {
 	dres, _ := distributed(b)
 	gres, _ := greedy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
 	var td, tg analysis.TableI
 	for i := 0; i < b.N; i++ {
-		td = analysis.ComputeTableI(dres.Dataset.Records, len(dres.HoneypotIDs), dres.Days, len(dres.Advertised))
-		tg = analysis.ComputeTableI(gres.Dataset.Records, len(gres.HoneypotIDs), gres.Days, len(gres.Advertised))
+		td = distFrame.TableI(len(dres.HoneypotIDs), dres.Days, len(dres.Advertised))
+		tg = greedyFrame.TableI(len(gres.HoneypotIDs), gres.Days, len(gres.Advertised))
 	}
 	b.ReportMetric(float64(td.DistinctPeers), "dist_peers")
 	b.ReportMetric(float64(td.DistinctFiles), "dist_files")
@@ -89,9 +109,11 @@ func BenchmarkTableI(b *testing.B) {
 // BenchmarkFig02 regenerates the distributed peer-growth curve.
 func BenchmarkFig02(b *testing.B) {
 	res, _ := distributed(b)
+	b.ReportAllocs()
+	b.ResetTimer()
 	var g stats.GrowthCurve
 	for i := 0; i < b.N; i++ {
-		g = analysis.PeerGrowth(res.Dataset.Records, res.Start, res.Days)
+		g = distFrame.PeerGrowth(res.Start, res.Days)
 	}
 	b.ReportMetric(float64(g.Cumulative[len(g.Cumulative)-1]), "total_peers")
 	b.ReportMetric(float64(g.New[len(g.New)-1]), "new_last_day")
@@ -100,9 +122,11 @@ func BenchmarkFig02(b *testing.B) {
 // BenchmarkFig03 regenerates the greedy peer-growth curve.
 func BenchmarkFig03(b *testing.B) {
 	res, _ := greedy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
 	var g stats.GrowthCurve
 	for i := 0; i < b.N; i++ {
-		g = analysis.PeerGrowth(res.Dataset.Records, res.Start, res.Days)
+		g = greedyFrame.PeerGrowth(res.Start, res.Days)
 	}
 	b.ReportMetric(float64(g.Cumulative[len(g.Cumulative)-1]), "total_peers")
 	b.ReportMetric(float64(g.New[0]), "day1_init_peers")
@@ -111,9 +135,11 @@ func BenchmarkFig03(b *testing.B) {
 // BenchmarkFig04 regenerates the hourly HELLO series of the first week.
 func BenchmarkFig04(b *testing.B) {
 	res, _ := distributed(b)
+	b.ReportAllocs()
+	b.ResetTimer()
 	var hh []int
 	for i := 0; i < b.N; i++ {
-		hh = analysis.HourlyHello(res.Dataset.Records, res.Start, 168)
+		hh = distFrame.HourlyHello(res.Start, 168)
 	}
 	peak := 0
 	for _, v := range hh {
@@ -135,9 +161,11 @@ func lastOf(gs analysis.GroupSeries, g string) float64 {
 // BenchmarkFig05 regenerates distinct HELLO peers per strategy group.
 func BenchmarkFig05(b *testing.B) {
 	res, _ := distributed(b)
+	b.ReportAllocs()
+	b.ResetTimer()
 	var gs analysis.GroupSeries
 	for i := 0; i < b.N; i++ {
-		gs = analysis.GroupDistinctPeers(res.Dataset.Records, res.GroupOf, logging.KindHello, res.Start, res.Days)
+		gs = distFrame.GroupDistinctPeers(res.GroupOf, logging.KindHello, res.Start, res.Days)
 	}
 	b.ReportMetric(lastOf(gs, "random-content"), "random_content")
 	b.ReportMetric(lastOf(gs, "no-content"), "no_content")
@@ -146,9 +174,11 @@ func BenchmarkFig05(b *testing.B) {
 // BenchmarkFig06 regenerates distinct START-UPLOAD peers per group.
 func BenchmarkFig06(b *testing.B) {
 	res, _ := distributed(b)
+	b.ReportAllocs()
+	b.ResetTimer()
 	var gs analysis.GroupSeries
 	for i := 0; i < b.N; i++ {
-		gs = analysis.GroupDistinctPeers(res.Dataset.Records, res.GroupOf, logging.KindStartUpload, res.Start, res.Days)
+		gs = distFrame.GroupDistinctPeers(res.GroupOf, logging.KindStartUpload, res.Start, res.Days)
 	}
 	b.ReportMetric(lastOf(gs, "random-content"), "random_content")
 	b.ReportMetric(lastOf(gs, "no-content"), "no_content")
@@ -157,9 +187,11 @@ func BenchmarkFig06(b *testing.B) {
 // BenchmarkFig07 regenerates cumulative REQUEST-PART counts per group.
 func BenchmarkFig07(b *testing.B) {
 	res, _ := distributed(b)
+	b.ReportAllocs()
+	b.ResetTimer()
 	var gs analysis.GroupSeries
 	for i := 0; i < b.N; i++ {
-		gs = analysis.GroupMessageCounts(res.Dataset.Records, res.GroupOf, logging.KindRequestPart, res.Start, res.Days)
+		gs = distFrame.GroupMessageCounts(res.GroupOf, logging.KindRequestPart, res.Start, res.Days)
 	}
 	b.ReportMetric(lastOf(gs, "random-content"), "random_content")
 	b.ReportMetric(lastOf(gs, "no-content"), "no_content")
@@ -168,9 +200,11 @@ func BenchmarkFig07(b *testing.B) {
 // BenchmarkFig08 regenerates the busiest peer's START-UPLOAD series.
 func BenchmarkFig08(b *testing.B) {
 	res, rep := distributed(b)
+	b.ReportAllocs()
+	b.ResetTimer()
 	var gs analysis.GroupSeries
 	for i := 0; i < b.N; i++ {
-		gs = analysis.TopPeerSeries(res.Dataset.Records, res.GroupOf, rep.TopPeer, logging.KindStartUpload, res.Start, res.Days)
+		gs = distFrame.TopPeerSeries(res.GroupOf, rep.TopPeer, logging.KindStartUpload, res.Start, res.Days)
 	}
 	b.ReportMetric(lastOf(gs, "random-content"), "random_content")
 	b.ReportMetric(lastOf(gs, "no-content"), "no_content")
@@ -179,9 +213,11 @@ func BenchmarkFig08(b *testing.B) {
 // BenchmarkFig09 regenerates the busiest peer's REQUEST-PART series.
 func BenchmarkFig09(b *testing.B) {
 	res, rep := distributed(b)
+	b.ReportAllocs()
+	b.ResetTimer()
 	var gs analysis.GroupSeries
 	for i := 0; i < b.N; i++ {
-		gs = analysis.TopPeerSeries(res.Dataset.Records, res.GroupOf, rep.TopPeer, logging.KindRequestPart, res.Start, res.Days)
+		gs = distFrame.TopPeerSeries(res.GroupOf, rep.TopPeer, logging.KindRequestPart, res.Start, res.Days)
 	}
 	b.ReportMetric(lastOf(gs, "random-content"), "random_content")
 	b.ReportMetric(lastOf(gs, "no-content"), "no_content")
@@ -191,8 +227,9 @@ func BenchmarkFig09(b *testing.B) {
 // paper's 100-sample random-subset methodology).
 func BenchmarkFig10(b *testing.B) {
 	res, _ := distributed(b)
-	sets, universe := analysis.HoneypotPeerSets(res.Dataset.Records, res.HoneypotIDs)
+	sets, universe := distFrame.HoneypotPeerSets(res.HoneypotIDs)
 	var u stats.SubsetUnion
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u = stats.UnionEstimate(sets, universe, stats.SubsetUnionConfig{
@@ -206,9 +243,9 @@ func BenchmarkFig10(b *testing.B) {
 // BenchmarkFig11 regenerates the peers-vs-random-files estimate.
 func BenchmarkFig11(b *testing.B) {
 	_, rep := greedy(b)
-	res, _ := greedy(b)
-	sets, universe := analysis.FilePeerSets(res.Dataset.Records, rep.RandomFiles)
+	sets, universe := greedyFrame.FilePeerSets(rep.RandomFiles)
 	var u stats.SubsetUnion
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u = stats.UnionEstimate(sets, universe, stats.SubsetUnionConfig{Samples: 100, Seed: 1})
@@ -218,9 +255,10 @@ func BenchmarkFig11(b *testing.B) {
 
 // BenchmarkFig12 regenerates the peers-vs-popular-files estimate.
 func BenchmarkFig12(b *testing.B) {
-	res, rep := greedy(b)
-	sets, universe := analysis.FilePeerSets(res.Dataset.Records, rep.PopularFiles)
+	_, rep := greedy(b)
+	sets, universe := greedyFrame.FilePeerSets(rep.PopularFiles)
 	var u stats.SubsetUnion
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u = stats.UnionEstimate(sets, universe, stats.SubsetUnionConfig{Samples: 100, Seed: 1})
@@ -485,11 +523,12 @@ func BenchmarkAblationMultiServer(b *testing.B) {
 // BenchmarkCoInterestGraph measures the §V future-work analysis on a
 // campaign dataset.
 func BenchmarkCoInterestGraph(b *testing.B) {
-	res, _ := greedy(b)
+	greedy(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var st analysis.InterestStats
 	for i := 0; i < b.N; i++ {
-		st = analysis.BuildInterestGraph(res.Dataset.Records).Stats()
+		st = greedyFrame.InterestGraph().Stats()
 	}
 	b.ReportMetric(float64(st.Edges), "edges")
 	b.ReportMetric(float64(st.LargestComponent), "largest_component")

@@ -104,9 +104,12 @@ func main() {
 }
 
 // reportStore summarizes the campaign's on-disk store and re-derives the
-// distinct-peer count by streaming it — the at-scale analysis path that
-// never loads the campaign into memory. (Distinct counts agree with the
-// dataset because the step-2 renumbering is a bijection.)
+// distinct-peer count by streaming it — the at-scale path that never
+// materializes the campaign. TableI alone needs only StreamTableI's
+// O(distinct) maps; a full figure regeneration would stream the store
+// into a columnar frame instead (analysis.BuildFrameIter, 19 bytes per
+// record). (Distinct counts agree with the dataset because the step-2
+// renumbering is a bijection.)
 func reportStore(res *repro.Result) {
 	if res.StoreDir == "" {
 		return

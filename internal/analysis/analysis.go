@@ -6,10 +6,17 @@
 //
 // All extractors operate on the anonymized dataset (step-2 peer numbers),
 // exactly like the paper's own post-processing.
+//
+// The slice-based functions in this file are the reference
+// implementations; the columnar Frame (frame.go) computes the same
+// artifacts from an intern-once struct-of-arrays image of the log and is
+// what repro.Analyze uses. frame_test.go pins the two to bit-identical
+// results.
 package analysis
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"time"
@@ -207,7 +214,7 @@ func HoneypotPeerSets(recs []logging.Record, honeypotIDs []string) (sets [][]int
 		for n := range m {
 			s = append(s, n)
 		}
-		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		slices.Sort(s)
 		sets[i] = s
 	}
 	return sets, maxID + 1
@@ -249,7 +256,7 @@ func FilePeerSets(recs []logging.Record, files []ed2k.Hash) (sets [][]int32, uni
 		for n := range m {
 			s = append(s, n)
 		}
-		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		slices.Sort(s)
 		sets[i] = s
 	}
 	return sets, maxID + 1

@@ -67,6 +67,75 @@ func BuildInterestGraph(recs []logging.Record) *InterestGraph {
 	return g
 }
 
+// InterestGraph builds the bipartite peer-file interest graph from the
+// columnar frame, returning the same graph as BuildInterestGraph over
+// the source records. Edges are deduplicated with an epoch-stamped array
+// over peer symbols, and both adjacency maps are assembled from one
+// counting sort each instead of nested hash maps.
+func (f *Frame) InterestGraph() *InterestGraph {
+	grouped, off, cnt := f.queryPairs()
+	nPeers := f.peerTab.Len()
+	mark := make([]int32, nPeers)
+	for i := range mark {
+		mark[i] = -1
+	}
+	g := &InterestGraph{
+		PeerFiles: map[string][]ed2k.Hash{},
+		FilePeers: map[ed2k.Hash][]string{},
+	}
+	type edge struct{ peer, file uint32 }
+	var edges []edge
+	perPeer := make([]int32, nPeers)
+	for sym, c := range cnt {
+		if c == 0 {
+			continue
+		}
+		var ps []string
+		for _, p := range grouped[off[sym] : off[sym]+c] {
+			if mark[p] != int32(sym) {
+				mark[p] = int32(sym)
+				ps = append(ps, f.peerTab.Value(p))
+				edges = append(edges, edge{peer: p, file: uint32(sym)})
+				perPeer[p]++
+			}
+		}
+		sort.Strings(ps)
+		g.FilePeers[f.fileTab.Value(uint32(sym))] = ps
+	}
+	// Counting sort of the deduplicated edges by peer symbol.
+	peerOff := make([]int32, nPeers)
+	run := int32(0)
+	for p, c := range perPeer {
+		peerOff[p] = run
+		run += c
+	}
+	fill := append([]int32(nil), peerOff...)
+	filesByPeer := make([]uint32, len(edges))
+	for _, e := range edges {
+		filesByPeer[fill[e.peer]] = e.file
+		fill[e.peer]++
+	}
+	fileStr := make([]string, f.fileTab.Len()) // hex forms, computed once per file
+	for p, c := range perPeer {
+		if c == 0 {
+			continue
+		}
+		syms := filesByPeer[peerOff[p] : peerOff[p]+int32(c)]
+		for _, s := range syms {
+			if fileStr[s] == "" {
+				fileStr[s] = f.fileTab.Value(s).String()
+			}
+		}
+		sort.Slice(syms, func(a, b int) bool { return fileStr[syms[a]] < fileStr[syms[b]] })
+		fs := make([]ed2k.Hash, len(syms))
+		for i, s := range syms {
+			fs[i] = f.fileTab.Value(s)
+		}
+		g.PeerFiles[f.peerTab.Value(uint32(p))] = fs
+	}
+	return g
+}
+
 // InterestStats summarizes the bipartite structure.
 type InterestStats struct {
 	Peers int

@@ -1,0 +1,653 @@
+package analysis
+
+// This file is the columnar analysis engine: a campaign is compiled once
+// into a Frame — a struct-of-arrays image of the merged log with every
+// string column interned to a dense ID — and every figure extractor then
+// runs over flat integer columns. The slice-based extractors in
+// analysis.go remain as the reference implementations (and the API for
+// one-off calls); the Frame versions return bit-identical results while
+// replacing per-record map lookups, strconv parses and time.Time
+// arithmetic with array indexing, and hash-map distinct-tracking with
+// epoch-stamped dense arrays and bitsets. Memory per record is 19 bytes
+// regardless of string sizes, and per-extractor allocations are bounded
+// by distinct counts and output size, never by campaign length.
+
+import (
+	"math"
+	"slices"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/ed2k"
+	"repro/internal/intern"
+	"repro/internal/logging"
+	"repro/internal/stats"
+)
+
+// NoPeer marks a record whose PeerIP was empty (connection-level events
+// carry no peer identity).
+const NoPeer = ^uint32(0)
+
+// noNum marks an interned peer identifier that does not parse as a
+// step-2 decimal number (e.g. a step-1 hex hash).
+const noNum = math.MinInt64
+
+// Frame is a campaign's merged log in columnar form. Build it once with
+// BuildFrame or BuildFrameIter, then derive every table and figure from
+// it; nothing in a Frame aliases the source records.
+type Frame struct {
+	times []int64  // reception time, unix nanoseconds
+	kinds []uint8  // logging.Kind
+	peers []uint32 // peer symbol, NoPeer when the record had no peer
+	hps   []uint16 // honeypot symbol
+	files []uint32 // concerned-file symbol (the zero hash interns too)
+
+	peerTab *intern.Strings
+	hpTab   *intern.Strings
+	fileTab *intern.Table[ed2k.Hash]
+
+	// Shared-file lists (KindSharedList) are aggregated at build time:
+	// one entry per distinct advertised hash, last-reported size winning,
+	// exactly like StreamTableI's map.
+	sharedTab   *intern.Table[ed2k.Hash]
+	sharedSizes []int64
+
+	peerNums []int64 // lazy: parsed step-2 number per peer symbol, noNum if not decimal
+	pairs    *queryIndex
+}
+
+func newFrame(capacity int) *Frame {
+	return &Frame{
+		times:     make([]int64, 0, capacity),
+		kinds:     make([]uint8, 0, capacity),
+		peers:     make([]uint32, 0, capacity),
+		hps:       make([]uint16, 0, capacity),
+		files:     make([]uint32, 0, capacity),
+		peerTab:   intern.NewStrings(),
+		hpTab:     intern.NewStrings(),
+		fileTab:   intern.NewTable[ed2k.Hash](),
+		sharedTab: intern.NewTable[ed2k.Hash](),
+	}
+}
+
+func (f *Frame) add(r *logging.Record) {
+	f.times = append(f.times, r.Time.UnixNano())
+	f.kinds = append(f.kinds, uint8(r.Kind))
+	p := NoPeer
+	if r.PeerIP != "" {
+		p = f.peerTab.ID(r.PeerIP)
+	}
+	f.peers = append(f.peers, p)
+	h := f.hpTab.ID(r.Honeypot)
+	if h > math.MaxUint16 {
+		panic("analysis: frame supports at most 65536 distinct honeypots")
+	}
+	f.hps = append(f.hps, uint16(h))
+	f.files = append(f.files, f.fileTab.ID(r.FileHash))
+	for i := range r.Files {
+		sf := &r.Files[i]
+		id := f.sharedTab.ID(sf.Hash)
+		if int(id) == len(f.sharedSizes) {
+			f.sharedSizes = append(f.sharedSizes, sf.Size)
+		} else {
+			f.sharedSizes[id] = sf.Size
+		}
+	}
+}
+
+// BuildFrame compiles a merged log into columnar form in one pass.
+func BuildFrame(recs []logging.Record) *Frame {
+	f := newFrame(len(recs))
+	for i := range recs {
+		f.add(&recs[i])
+	}
+	return f
+}
+
+// BuildFrameIter compiles a record stream — typically a logstore
+// iterator over a spill-to-disk campaign — into columnar form without
+// ever materializing the records. Memory use is the frame itself: 19
+// bytes per record plus the intern tables.
+func BuildFrameIter(it RecordIter) (*Frame, error) {
+	f := newFrame(0)
+	err := each(it, f.add)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Len returns the number of records in the frame.
+func (f *Frame) Len() int { return len(f.times) }
+
+// DistinctPeers returns the number of distinct peer identifiers.
+func (f *Frame) DistinctPeers() int { return f.peerTab.Len() }
+
+// peerNumbers parses each distinct peer identifier as a step-2 decimal
+// number exactly once, caching the column for every later extractor.
+func (f *Frame) peerNumbers() []int64 {
+	if f.peerNums != nil || f.peerTab.Len() == 0 {
+		return f.peerNums
+	}
+	nums := make([]int64, f.peerTab.Len())
+	for id, s := range f.peerTab.Values() {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			nums[id] = noNum
+		} else {
+			nums[id] = int64(n)
+		}
+	}
+	f.peerNums = nums
+	return nums
+}
+
+// TableI derives the frame's row of the paper's Table I. O(distinct
+// files) time; the distinct-peer count is the intern table's size.
+func (f *Frame) TableI(honeypots, days, sharedFiles int) TableI {
+	var space int64
+	for _, sz := range f.sharedSizes {
+		space += sz
+	}
+	return TableI{
+		Honeypots:     honeypots,
+		DurationDays:  days,
+		SharedFiles:   sharedFiles,
+		DistinctPeers: f.peerTab.Len(),
+		DistinctFiles: f.sharedTab.Len(),
+		SpaceBytes:    space,
+	}
+}
+
+// PeerGrowth computes Figs 2-3 from the frame: first-seen days live in a
+// flat array indexed by peer symbol instead of a map keyed by string.
+func (f *Frame) PeerGrowth(start time.Time, days int) stats.GrowthCurve {
+	tr := stats.NewDenseDistinctTracker(start, Day, days, f.peerTab.Len())
+	for i, p := range f.peers {
+		if p != NoPeer {
+			tr.ObserveNano(f.times[i], int(p))
+		}
+	}
+	return tr.Curve()
+}
+
+// HourlyHello computes Fig 4 from the frame.
+func (f *Frame) HourlyHello(start time.Time, hours int) []int {
+	counts := make([]int, hours)
+	startNs := start.UnixNano()
+	hourNs := int64(time.Hour)
+	for i, k := range f.kinds {
+		if logging.Kind(k) != logging.KindHello {
+			continue
+		}
+		t := f.times[i]
+		if t < startNs {
+			continue
+		}
+		if h := (t - startNs) / hourNs; h < int64(hours) {
+			counts[h]++
+		}
+	}
+	return counts
+}
+
+// groupIndex resolves the honeypot→group mapping once per extraction:
+// hpGroup[hp symbol] is a dense group index or -1, names lists the group
+// names by index in first-encountered honeypot-symbol order.
+func (f *Frame) groupIndex(groupOf map[string]string) (hpGroup []int32, names []string) {
+	hpGroup = make([]int32, f.hpTab.Len())
+	idx := make(map[string]int, 4)
+	for id, hp := range f.hpTab.Values() {
+		g, ok := groupOf[hp]
+		if !ok {
+			hpGroup[id] = -1
+			continue
+		}
+		gi, ok := idx[g]
+		if !ok {
+			gi = len(names)
+			idx[g] = gi
+			names = append(names, g)
+		}
+		hpGroup[id] = int32(gi)
+	}
+	return hpGroup, names
+}
+
+// GroupDistinctPeers computes Figs 5-6 from the frame. Distinct (group,
+// peer) pairs are tracked in one flat first-seen array per group.
+func (f *Frame) GroupDistinctPeers(groupOf map[string]string, kind logging.Kind, start time.Time, days int) GroupSeries {
+	hpGroup, names := f.groupIndex(groupOf)
+	startNs := start.UnixNano()
+	dayNs := int64(Day)
+	k8 := uint8(kind)
+	first := make([][]int32, len(names)) // allocated on a group's first hit
+	for i, k := range f.kinds {
+		if k != k8 || f.peers[i] == NoPeer {
+			continue
+		}
+		gi := hpGroup[f.hps[i]]
+		if gi < 0 {
+			continue
+		}
+		t := f.times[i]
+		if t < startNs {
+			continue
+		}
+		d := (t - startNs) / dayNs
+		if d >= int64(days) {
+			continue
+		}
+		fg := first[gi]
+		if fg == nil {
+			fg = make([]int32, f.peerTab.Len())
+			for j := range fg {
+				fg[j] = -1
+			}
+			first[gi] = fg
+		}
+		p := f.peers[i]
+		if fg[p] < 0 || int32(d) < fg[p] {
+			fg[p] = int32(d)
+		}
+	}
+	out := GroupSeries{Days: dayAxis(days), Groups: map[string][]int{}}
+	for gi, fg := range first {
+		if fg == nil {
+			continue
+		}
+		news := make([]int, days)
+		for _, d := range fg {
+			if d >= 0 {
+				news[d]++
+			}
+		}
+		out.Groups[names[gi]] = stats.CumulativeInts(news)
+	}
+	return out
+}
+
+// GroupMessageCounts computes Fig 7 from the frame.
+func (f *Frame) GroupMessageCounts(groupOf map[string]string, kind logging.Kind, start time.Time, days int) GroupSeries {
+	hpGroup, names := f.groupIndex(groupOf)
+	startNs := start.UnixNano()
+	dayNs := int64(Day)
+	k8 := uint8(kind)
+	perDay := make([][]int, len(names))
+	for i, k := range f.kinds {
+		if k != k8 {
+			continue
+		}
+		gi := hpGroup[f.hps[i]]
+		if gi < 0 {
+			continue
+		}
+		t := f.times[i]
+		if t < startNs {
+			continue
+		}
+		d := (t - startNs) / dayNs
+		if d >= int64(days) {
+			continue
+		}
+		if perDay[gi] == nil {
+			perDay[gi] = make([]int, days)
+		}
+		perDay[gi][d]++
+	}
+	out := GroupSeries{Days: dayAxis(days), Groups: map[string][]int{}}
+	for gi, xs := range perDay {
+		if xs == nil {
+			continue
+		}
+		out.Groups[names[gi]] = stats.CumulativeInts(xs)
+	}
+	return out
+}
+
+// TopPeer finds the peer with the most queries (HELLO + START-UPLOAD +
+// REQUEST-PART) via one dense counting array; ties break toward the
+// lexicographically smallest identifier, as in stats.TopKey.
+func (f *Frame) TopPeer() (string, int) {
+	counts := make([]int, f.peerTab.Len())
+	for i, k := range f.kinds {
+		switch logging.Kind(k) {
+		case logging.KindHello, logging.KindStartUpload, logging.KindRequestPart:
+			if p := f.peers[i]; p != NoPeer {
+				counts[p]++
+			}
+		}
+	}
+	best, bestN := "", -1
+	for id, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if s := f.peerTab.Value(uint32(id)); n > bestN || (n == bestN && s < best) {
+			best, bestN = s, n
+		}
+	}
+	if bestN < 0 {
+		bestN = 0
+	}
+	return best, bestN
+}
+
+// TopPeerSeries computes Figs 8-9 from the frame.
+func (f *Frame) TopPeerSeries(groupOf map[string]string, peer string, kind logging.Kind, start time.Time, days int) GroupSeries {
+	target, ok := NoPeer, peer == "" // "" matches records without a peer
+	if peer != "" {
+		target, ok = f.peerTab.Lookup(peer)
+	}
+	hpGroup, names := f.groupIndex(groupOf)
+	startNs := start.UnixNano()
+	dayNs := int64(Day)
+	k8 := uint8(kind)
+	perDay := make([][]int, len(names))
+	if ok {
+		for i, k := range f.kinds {
+			if k != k8 || f.peers[i] != target {
+				continue
+			}
+			gi := hpGroup[f.hps[i]]
+			if gi < 0 {
+				continue
+			}
+			t := f.times[i]
+			if t < startNs {
+				continue
+			}
+			d := (t - startNs) / dayNs
+			if d >= int64(days) {
+				continue
+			}
+			if perDay[gi] == nil {
+				perDay[gi] = make([]int, days)
+			}
+			perDay[gi][d]++
+		}
+	}
+	out := GroupSeries{Days: dayAxis(days), Groups: map[string][]int{}}
+	for gi, xs := range perDay {
+		if xs == nil {
+			continue
+		}
+		out.Groups[names[gi]] = stats.CumulativeInts(xs)
+	}
+	return out
+}
+
+// peerSetCollector accumulates distinct step-2 peer numbers per unit
+// (honeypot or file) for the Fig 10-12 subset estimators. When the
+// numbers are dense and non-negative — the step-2 renumbering guarantees
+// exactly that — it uses one bitset per unit; otherwise it degrades to
+// per-unit hash sets with the reference implementation's semantics.
+type peerSetCollector struct {
+	units int
+	maxID int64
+
+	words   int
+	bits    []uint64 // units × words, nil in map mode
+	sets    [][]int32
+	fallbak []map[int32]bool
+}
+
+// bitsetWordLimit bounds the dense path's total footprint — units ×
+// words ≤ 2^23 words (64 MiB) — so a wide unit set over a large number
+// universe degrades to hash sets instead of one huge allocation.
+const bitsetWordLimit = 1 << 23
+
+func newPeerSetCollector(units int, maxID, minN int64) *peerSetCollector {
+	c := &peerSetCollector{units: units, maxID: maxID, sets: make([][]int32, units)}
+	words := maxID/64 + 1
+	if maxID >= 0 && minN >= 0 && words*int64(units) <= bitsetWordLimit {
+		c.words = int(words)
+		c.bits = make([]uint64, units*c.words)
+	} else {
+		c.fallbak = make([]map[int32]bool, units)
+	}
+	return c
+}
+
+func (c *peerSetCollector) observe(unit int, n int64) {
+	if c.bits != nil {
+		w, b := c.words*unit+int(n/64), uint64(1)<<uint(n%64)
+		if c.bits[w]&b == 0 {
+			c.bits[w] |= b
+			c.sets[unit] = append(c.sets[unit], int32(n))
+		}
+		return
+	}
+	m := c.fallbak[unit]
+	if m == nil {
+		m = map[int32]bool{}
+		c.fallbak[unit] = m
+	}
+	m[int32(n)] = true
+}
+
+func (c *peerSetCollector) finish() [][]int32 {
+	if c.bits == nil {
+		for u, m := range c.fallbak {
+			s := make([]int32, 0, len(m))
+			for n := range m {
+				s = append(s, n)
+			}
+			c.sets[u] = s
+		}
+	}
+	for u := range c.sets {
+		if c.sets[u] == nil {
+			c.sets[u] = []int32{} // reference impl returns empty, not nil
+		}
+		slices.Sort(c.sets[u])
+	}
+	return c.sets
+}
+
+// HoneypotPeerSets builds Fig 10's per-honeypot distinct peer-number
+// sets from the frame. Peer identifiers are parsed once per distinct
+// peer (cached on the frame), and distinctness is tracked in one bitset
+// per honeypot.
+func (f *Frame) HoneypotPeerSets(honeypotIDs []string) (sets [][]int32, universe int) {
+	pos := make([]int32, f.hpTab.Len())
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, id := range honeypotIDs {
+		if sym, ok := f.hpTab.Lookup(id); ok {
+			pos[sym] = int32(i)
+		}
+	}
+	nums := f.peerNumbers()
+	maxID, minN := int64(-1), int64(math.MaxInt64)
+	for i, p := range f.peers {
+		if p == NoPeer || pos[f.hps[i]] < 0 {
+			continue
+		}
+		n := nums[p]
+		if n == noNum {
+			continue
+		}
+		if n > maxID {
+			maxID = n
+		}
+		if n < minN {
+			minN = n
+		}
+	}
+	c := newPeerSetCollector(len(honeypotIDs), maxID, minN)
+	for i, p := range f.peers {
+		if p == NoPeer {
+			continue
+		}
+		hi := pos[f.hps[i]]
+		if hi < 0 {
+			continue
+		}
+		if n := nums[p]; n != noNum {
+			c.observe(int(hi), n)
+		}
+	}
+	return c.finish(), int(maxID) + 1
+}
+
+// FilePeerSets builds Figs 11-12's per-file distinct peer-number sets
+// from the frame (START-UPLOAD / REQUEST-PART records only).
+func (f *Frame) FilePeerSets(files []ed2k.Hash) (sets [][]int32, universe int) {
+	pos := make([]int32, f.fileTab.Len())
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, h := range files {
+		if sym, ok := f.fileTab.Lookup(h); ok {
+			pos[sym] = int32(i)
+		}
+	}
+	nums := f.peerNumbers()
+	maxID, minN := int64(-1), int64(math.MaxInt64)
+	match := func(i int) (int, int64, bool) {
+		k := logging.Kind(f.kinds[i])
+		if k != logging.KindStartUpload && k != logging.KindRequestPart {
+			return 0, 0, false
+		}
+		fi := pos[f.files[i]]
+		if fi < 0 || f.peers[i] == NoPeer {
+			return 0, 0, false
+		}
+		n := nums[f.peers[i]]
+		if n == noNum {
+			return 0, 0, false
+		}
+		return int(fi), n, true
+	}
+	for i := range f.kinds {
+		if _, n, ok := match(i); ok {
+			if n > maxID {
+				maxID = n
+			}
+			if n < minN {
+				minN = n
+			}
+		}
+	}
+	c := newPeerSetCollector(len(files), maxID, minN)
+	for i := range f.kinds {
+		if fi, n, ok := match(i); ok {
+			c.observe(fi, n)
+		}
+	}
+	return c.finish(), int(maxID) + 1
+}
+
+// queryIndex is the file-grouped view of the query records, cached on
+// the frame: off[sym]/cnt[sym] slice peers into file sym's
+// (non-distinct) querying peer symbols.
+type queryIndex struct {
+	peers []uint32
+	off   []int32
+	cnt   []int32
+}
+
+// queryPairs gathers the query records of the interest analyses (Figs
+// 11-12's ranking and the §V bipartite graph): START-UPLOAD and
+// REQUEST-PART records with a peer and a non-zero file, grouped by file
+// symbol via a counting sort. The index is computed once per frame and
+// shared by QueriedFiles and InterestGraph.
+func (f *Frame) queryPairs() (groupedPeers []uint32, perFileOff []int32, perFileCnt []int32) {
+	if f.pairs != nil {
+		return f.pairs.peers, f.pairs.off, f.pairs.cnt
+	}
+	zeroSym := uint32(0)
+	hasZero := false
+	if sym, ok := f.fileTab.Lookup(ed2k.Hash{}); ok {
+		zeroSym, hasZero = sym, true
+	}
+	nFiles := f.fileTab.Len()
+	cnt := make([]int32, nFiles)
+	match := func(i int) bool {
+		k := logging.Kind(f.kinds[i])
+		if k != logging.KindStartUpload && k != logging.KindRequestPart {
+			return false
+		}
+		if f.peers[i] == NoPeer {
+			return false
+		}
+		if hasZero && f.files[i] == zeroSym {
+			return false
+		}
+		return true
+	}
+	total := int32(0)
+	for i := range f.kinds {
+		if match(i) {
+			cnt[f.files[i]]++
+			total++
+		}
+	}
+	off := make([]int32, nFiles)
+	run := int32(0)
+	for i, c := range cnt {
+		off[i] = run
+		run += c
+	}
+	fill := append([]int32(nil), off...)
+	grouped := make([]uint32, total)
+	for i := range f.kinds {
+		if match(i) {
+			fs := f.files[i]
+			grouped[fill[fs]] = f.peers[i]
+			fill[fs]++
+		}
+	}
+	f.pairs = &queryIndex{peers: grouped, off: off, cnt: cnt}
+	return grouped, off, cnt
+}
+
+// QueriedFiles ranks queried files by distinct peers from the frame,
+// identically to the slice-based QueriedFiles.
+func (f *Frame) QueriedFiles() []FilePopularity {
+	grouped, off, cnt := f.queryPairs()
+	mark := make([]int32, f.peerTab.Len())
+	for i := range mark {
+		mark[i] = -1
+	}
+	var out []FilePopularity
+	for sym, c := range cnt {
+		if c == 0 {
+			continue
+		}
+		distinct := 0
+		for _, p := range grouped[off[sym] : off[sym]+c] {
+			if mark[p] != int32(sym) {
+				mark[p] = int32(sym)
+				distinct++
+			}
+		}
+		out = append(out, FilePopularity{Hash: f.fileTab.Value(uint32(sym)), Peers: distinct})
+	}
+	strs := make([]string, len(out))
+	for i := range out {
+		strs[i] = out[i].Hash.String()
+	}
+	sort.Sort(&popSorter{out: out, strs: strs})
+	return out
+}
+
+type popSorter struct {
+	out  []FilePopularity
+	strs []string
+}
+
+func (s *popSorter) Len() int { return len(s.out) }
+func (s *popSorter) Less(a, b int) bool {
+	if s.out[a].Peers != s.out[b].Peers {
+		return s.out[a].Peers > s.out[b].Peers
+	}
+	return s.strs[a] < s.strs[b]
+}
+func (s *popSorter) Swap(a, b int) {
+	s.out[a], s.out[b] = s.out[b], s.out[a]
+	s.strs[a], s.strs[b] = s.strs[b], s.strs[a]
+}

@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/ed2k"
+	"repro/internal/logging"
+	"repro/internal/logstore"
+)
+
+// frameSample fabricates a campaign-shaped merged log exercising every
+// code path the extractors care about: several honeypots in two strategy
+// groups (plus one outside any group), decimal step-2 peer numbers and
+// hex step-1 leftovers, empty peers, all record kinds, zero and non-zero
+// file hashes, shared lists with duplicate hashes, and timestamps before
+// and after the analysis window.
+func frameSample(start time.Time, n int) []logging.Record {
+	rng := rand.New(rand.NewSource(7))
+	hps := []string{"rc0", "rc1", "nc0", "nc1", "stray"}
+	kinds := []logging.Kind{
+		logging.KindHello, logging.KindStartUpload, logging.KindRequestPart,
+		logging.KindSharedList, logging.KindConnect, logging.KindDisconnect,
+	}
+	recs := make([]logging.Record, 0, n)
+	for i := 0; i < n; i++ {
+		r := logging.Record{
+			Time:     start.Add(time.Duration(rng.Intn(8*24*60)-60) * time.Minute),
+			Honeypot: hps[rng.Intn(len(hps))],
+			Kind:     kinds[rng.Intn(len(kinds))],
+		}
+		switch rng.Intn(10) {
+		case 0: // connection event without a peer
+		case 1: // step-1 hex leftover (does not parse as a number)
+			r.PeerIP = fmt.Sprintf("%08x", rng.Intn(50))
+		default: // step-2 decimal number (sparse: not every int appears)
+			r.PeerIP = fmt.Sprint(rng.Intn(60) * 3)
+		}
+		if rng.Intn(3) != 0 {
+			r.FileHash = ed2k.SyntheticHash(fmt.Sprint("file-", rng.Intn(25)))
+		}
+		if r.Kind == logging.KindSharedList {
+			for j := rng.Intn(4); j > 0; j-- {
+				r.Files = append(r.Files, logging.SharedFile{
+					Hash: ed2k.SyntheticHash(fmt.Sprint("shared-", rng.Intn(30))),
+					Name: "f.bin",
+					Size: int64(rng.Intn(5)) << 28,
+				})
+			}
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+var frameGroups = map[string]string{
+	"rc0": "random-content", "rc1": "random-content",
+	"nc0": "no-content", "nc1": "no-content",
+}
+
+func TestFrameExtractorsMatchReference(t *testing.T) {
+	start := time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC)
+	const days = 7
+	recs := frameSample(start, 4000)
+	f := BuildFrame(recs)
+
+	if f.Len() != len(recs) {
+		t.Fatalf("frame holds %d records, want %d", f.Len(), len(recs))
+	}
+
+	wantTable := ComputeTableI(recs, 24, days, 4)
+	if got := f.TableI(24, days, 4); got != wantTable {
+		t.Errorf("TableI:\n got %+v\nwant %+v", got, wantTable)
+	}
+
+	if got, want := f.PeerGrowth(start, days), PeerGrowth(recs, start, days); !reflect.DeepEqual(got, want) {
+		t.Errorf("PeerGrowth:\n got %+v\nwant %+v", got, want)
+	}
+
+	if got, want := f.HourlyHello(start, 100), HourlyHello(recs, start, 100); !reflect.DeepEqual(got, want) {
+		t.Errorf("HourlyHello:\n got %v\nwant %v", got, want)
+	}
+
+	for _, kind := range []logging.Kind{logging.KindHello, logging.KindStartUpload} {
+		got := f.GroupDistinctPeers(frameGroups, kind, start, days)
+		want := GroupDistinctPeers(recs, frameGroups, kind, start, days)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("GroupDistinctPeers(%v):\n got %+v\nwant %+v", kind, got, want)
+		}
+	}
+
+	gotGM := f.GroupMessageCounts(frameGroups, logging.KindRequestPart, start, days)
+	wantGM := GroupMessageCounts(recs, frameGroups, logging.KindRequestPart, start, days)
+	if !reflect.DeepEqual(gotGM, wantGM) {
+		t.Errorf("GroupMessageCounts:\n got %+v\nwant %+v", gotGM, wantGM)
+	}
+
+	gotPeer, gotN := f.TopPeer()
+	wantPeer, wantN := TopPeer(recs)
+	if gotPeer != wantPeer || gotN != wantN {
+		t.Errorf("TopPeer: got %q/%d want %q/%d", gotPeer, gotN, wantPeer, wantN)
+	}
+
+	for _, peer := range []string{gotPeer, "no-such-peer", ""} {
+		got := f.TopPeerSeries(frameGroups, peer, logging.KindRequestPart, start, days)
+		want := TopPeerSeries(recs, frameGroups, peer, logging.KindRequestPart, start, days)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("TopPeerSeries(%q):\n got %+v\nwant %+v", peer, got, want)
+		}
+	}
+
+	hpIDs := []string{"rc0", "rc1", "nc0", "nc1", "absent-hp"}
+	gotSets, gotUni := f.HoneypotPeerSets(hpIDs)
+	wantSets, wantUni := HoneypotPeerSets(recs, hpIDs)
+	if gotUni != wantUni || !reflect.DeepEqual(gotSets, wantSets) {
+		t.Errorf("HoneypotPeerSets: universe %d vs %d, sets\n got %v\nwant %v",
+			gotUni, wantUni, gotSets, wantSets)
+	}
+
+	ranked := QueriedFiles(recs)
+	if got := f.QueriedFiles(); !reflect.DeepEqual(got, ranked) {
+		t.Errorf("QueriedFiles:\n got %v\nwant %v", got, ranked)
+	}
+
+	var files []ed2k.Hash
+	for i := 0; i < len(ranked) && i < 10; i++ {
+		files = append(files, ranked[i].Hash)
+	}
+	files = append(files, ed2k.SyntheticHash("never-queried"))
+	gotFS, gotFU := f.FilePeerSets(files)
+	wantFS, wantFU := FilePeerSets(recs, files)
+	if gotFU != wantFU || !reflect.DeepEqual(gotFS, wantFS) {
+		t.Errorf("FilePeerSets: universe %d vs %d, sets\n got %v\nwant %v",
+			gotFU, wantFU, gotFS, wantFS)
+	}
+
+	gotGraph := f.InterestGraph()
+	wantGraph := BuildInterestGraph(recs)
+	if !reflect.DeepEqual(gotGraph.PeerFiles, wantGraph.PeerFiles) {
+		t.Errorf("InterestGraph.PeerFiles differs: %d vs %d peers",
+			len(gotGraph.PeerFiles), len(wantGraph.PeerFiles))
+	}
+	if !reflect.DeepEqual(gotGraph.FilePeers, wantGraph.FilePeers) {
+		t.Errorf("InterestGraph.FilePeers differs: %d vs %d files",
+			len(gotGraph.FilePeers), len(wantGraph.FilePeers))
+	}
+	if got, want := gotGraph.Stats(), wantGraph.Stats(); got != want {
+		t.Errorf("InterestGraph.Stats:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestFrameEmpty(t *testing.T) {
+	f := BuildFrame(nil)
+	if f.Len() != 0 || f.DistinctPeers() != 0 {
+		t.Fatalf("empty frame: %d records, %d peers", f.Len(), f.DistinctPeers())
+	}
+	if got := f.TableI(1, 1, 0); got.DistinctPeers != 0 || got.DistinctFiles != 0 {
+		t.Errorf("TableI on empty frame: %+v", got)
+	}
+	peer, n := f.TopPeer()
+	if peer != "" || n != 0 {
+		t.Errorf("TopPeer on empty frame: %q/%d", peer, n)
+	}
+	sets, universe := f.HoneypotPeerSets([]string{"a"})
+	if universe != 0 || len(sets) != 1 || len(sets[0]) != 0 {
+		t.Errorf("HoneypotPeerSets on empty frame: %v, %d", sets, universe)
+	}
+	if g := f.PeerGrowth(time.Unix(0, 0), 3); g.Cumulative[2] != 0 {
+		t.Errorf("PeerGrowth on empty frame: %+v", g)
+	}
+}
+
+// TestBuildFrameIterFromLogstore pins the streaming constructor: a frame
+// built from a logstore's merged iterator must equal the frame built
+// from the equivalent in-memory slice.
+func TestBuildFrameIterFromLogstore(t *testing.T) {
+	start := time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC)
+	recs := frameSample(start, 1500)
+	// The iterator merges by timestamp; feed it pre-sorted records so the
+	// slice and stream orders agree.
+	for i := range recs {
+		recs[i].Time = start.Add(time.Duration(i) * time.Second)
+	}
+
+	store, err := logstore.Open(t.TempDir(), logstore.Options{SegmentBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	// Round-robin over shards in record order: the k-way merge returns
+	// exactly the original sequence because timestamps are distinct.
+	for i := range recs {
+		sh, err := store.Shard(fmt.Sprint("hp-", i%3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sh.AppendRecord(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := store.Iterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+
+	streamed, err := BuildFrameIter(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := BuildFrame(recs)
+
+	if streamed.Len() != direct.Len() {
+		t.Fatalf("streamed %d records, direct %d", streamed.Len(), direct.Len())
+	}
+	const days = 7
+	if got, want := streamed.TableI(3, days, 0), direct.TableI(3, days, 0); got != want {
+		t.Errorf("TableI: streamed %+v direct %+v", got, want)
+	}
+	if got, want := streamed.PeerGrowth(start, days), direct.PeerGrowth(start, days); !reflect.DeepEqual(got, want) {
+		t.Errorf("PeerGrowth differs between streamed and direct frames")
+	}
+	if got, want := streamed.QueriedFiles(), direct.QueriedFiles(); !reflect.DeepEqual(got, want) {
+		t.Errorf("QueriedFiles differs between streamed and direct frames")
+	}
+	gotSets, gotU := streamed.HoneypotPeerSets([]string{"rc0", "nc0"})
+	wantSets, wantU := direct.HoneypotPeerSets([]string{"rc0", "nc0"})
+	if gotU != wantU || !reflect.DeepEqual(gotSets, wantSets) {
+		t.Errorf("HoneypotPeerSets differs between streamed and direct frames")
+	}
+}
+
+// TestFramePeerSetFallback drives the collector through its hash-set
+// path (peer numbers too sparse for bitsets) and checks it against the
+// reference implementation.
+func TestFramePeerSetFallback(t *testing.T) {
+	start := time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC)
+	recs := []logging.Record{
+		{Time: start, Honeypot: "a", Kind: logging.KindHello, PeerIP: "999999999"},
+		{Time: start, Honeypot: "a", Kind: logging.KindHello, PeerIP: "3"},
+		{Time: start, Honeypot: "b", Kind: logging.KindHello, PeerIP: "-7"},
+		{Time: start, Honeypot: "b", Kind: logging.KindHello, PeerIP: "999999999"},
+	}
+	f := BuildFrame(recs)
+	gotSets, gotU := f.HoneypotPeerSets([]string{"a", "b"})
+	wantSets, wantU := HoneypotPeerSets(recs, []string{"a", "b"})
+	if gotU != wantU || !reflect.DeepEqual(gotSets, wantSets) {
+		t.Errorf("fallback path: got %v/%d want %v/%d", gotSets, gotU, wantSets, wantU)
+	}
+}

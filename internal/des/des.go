@@ -12,28 +12,45 @@ import (
 	"time"
 )
 
-// Event is a scheduled callback. The zero value is invalid; events are
-// created through Loop.At and Loop.After.
-type Event struct {
+// event is one scheduled callback. Events are owned by the loop and
+// recycled through a free list after they fire or are reaped, so a
+// campaign's millions of timers cost a bounded set of allocations; the
+// generation counter makes handles held past an event's lifetime inert.
+type event struct {
 	when     time.Time
 	seq      uint64
 	fn       func()
 	canceled bool
-	index    int // heap position, -1 when popped
+	index    int    // heap position, -1 when popped
+	gen      uint32 // bumped on recycle; stale Timers no longer match
+}
+
+// Timer is a cancelable handle to a scheduled event, returned by
+// Loop.At and Loop.After. The zero Timer is inert. Handles stay cheap
+// and safe after the event fires: the loop recycles event memory, and
+// the generation check turns operations through stale handles into
+// no-ops.
+type Timer struct {
+	e   *event
+	gen uint32
 }
 
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled event is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.canceled = true
+func (t Timer) Cancel() {
+	if t.e != nil && t.e.gen == t.gen {
+		t.e.canceled = true
 	}
 }
 
-// Canceled reports whether Cancel was called.
-func (e *Event) Canceled() bool { return e != nil && e.canceled }
+// Canceled reports whether Cancel was called and the cancellation is
+// still observable: once the loop reaps the canceled event (or the
+// event fires), the handle goes stale and Canceled returns false.
+func (t Timer) Canceled() bool {
+	return t.e != nil && t.e.gen == t.gen && t.e.canceled
+}
 
-type eventQueue []*Event
+type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
 
@@ -51,7 +68,7 @@ func (q eventQueue) Swap(i, j int) {
 }
 
 func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
+	e := x.(*event)
 	e.index = len(*q)
 	*q = append(*q, e)
 }
@@ -75,6 +92,7 @@ type Loop struct {
 	seed     int64
 	rng      *rand.Rand
 	executed uint64
+	free     []*event // recycled events
 }
 
 // NewLoop returns a loop whose virtual clock starts at start and whose
@@ -110,20 +128,43 @@ func (l *Loop) NewRand(label string) *rand.Rand {
 	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
 
-// At schedules fn at virtual time t. Scheduling in the past fires at the
-// current time (immediately on the next step), never backwards.
-func (l *Loop) At(t time.Time, fn func()) *Event {
-	if t.Before(l.now) {
-		t = l.now
+// alloc takes an event off the free list, or makes one.
+func (l *Loop) alloc(t time.Time, fn func()) *event {
+	var e *event
+	if n := len(l.free); n > 0 {
+		e = l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+	} else {
+		e = &event{}
 	}
-	e := &Event{when: t, seq: l.seq, fn: fn}
+	e.when, e.seq, e.fn, e.canceled = t, l.seq, fn, false
 	l.seq++
-	heap.Push(&l.queue, e)
 	return e
 }
 
+// recycle invalidates outstanding handles and returns the event to the
+// free list. The callback reference is dropped so the loop never pins a
+// fired closure.
+func (l *Loop) recycle(e *event) {
+	e.fn = nil
+	e.gen++
+	l.free = append(l.free, e)
+}
+
+// At schedules fn at virtual time t. Scheduling in the past fires at the
+// current time (immediately on the next step), never backwards.
+func (l *Loop) At(t time.Time, fn func()) Timer {
+	if t.Before(l.now) {
+		t = l.now
+	}
+	e := l.alloc(t, fn)
+	heap.Push(&l.queue, e)
+	return Timer{e: e, gen: e.gen}
+}
+
 // After schedules fn d from now. Negative durations clamp to zero.
-func (l *Loop) After(d time.Duration, fn func()) *Event {
+func (l *Loop) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -134,13 +175,16 @@ func (l *Loop) After(d time.Duration, fn func()) *Event {
 // It returns false when the queue is empty.
 func (l *Loop) Step() bool {
 	for len(l.queue) > 0 {
-		e := heap.Pop(&l.queue).(*Event)
+		e := heap.Pop(&l.queue).(*event)
 		if e.canceled {
+			l.recycle(e)
 			continue
 		}
 		l.now = e.when
 		l.executed++
-		e.fn()
+		fn := e.fn
+		l.recycle(e) // before fn: nested scheduling may reuse it
+		fn()
 		return true
 	}
 	return false
@@ -162,11 +206,14 @@ func (l *Loop) RunUntil(t time.Time) {
 		}
 		heap.Pop(&l.queue)
 		if e.canceled {
+			l.recycle(e)
 			continue
 		}
 		l.now = e.when
 		l.executed++
-		e.fn()
+		fn := e.fn
+		l.recycle(e)
+		fn()
 	}
 	if t.After(l.now) {
 		l.now = t

@@ -43,15 +43,55 @@ func TestCancel(t *testing.T) {
 	fired := false
 	e := l.After(time.Second, func() { fired = true })
 	e.Cancel()
+	if !e.Canceled() {
+		t.Error("Canceled() = false before the reap")
+	}
 	l.Run()
 	if fired {
 		t.Error("canceled event fired")
 	}
-	if !e.Canceled() {
-		t.Error("Canceled() = false")
+	var zero Timer
+	zero.Cancel() // must not panic
+	if zero.Canceled() {
+		t.Error("zero Timer reports canceled")
 	}
-	var nilEvent *Event
-	nilEvent.Cancel() // must not panic
+}
+
+// TestStaleTimerCannotCancelRecycledEvent pins the free-list's safety
+// contract: a handle to a fired event must not affect the event that
+// reuses its memory.
+func TestStaleTimerCannotCancelRecycledEvent(t *testing.T) {
+	l := NewLoop(t0, 1)
+	stale := l.After(time.Second, func() {})
+	l.Run()
+	fired := false
+	fresh := l.After(time.Second, func() { fired = true }) // reuses the pooled event
+	stale.Cancel()
+	if fresh.Canceled() {
+		t.Fatal("stale Cancel reached the recycled event")
+	}
+	l.Run()
+	if !fired {
+		t.Error("recycled event did not fire")
+	}
+}
+
+// TestEventFreeList asserts the scheduler's steady state allocates no
+// events: schedule-and-drain cycles after warmup must be allocation-free.
+func TestEventFreeList(t *testing.T) {
+	l := NewLoop(t0, 1)
+	fn := func() {}
+	for i := 0; i < 64; i++ { // warm the pool and the heap's capacity
+		l.After(time.Millisecond, fn)
+	}
+	l.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		l.After(time.Millisecond, fn)
+		l.Run()
+	})
+	if allocs > 0 {
+		t.Errorf("schedule+run allocated %.2f per op, want 0", allocs)
+	}
 }
 
 func TestNestedScheduling(t *testing.T) {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/ed2k"
+	"repro/internal/intern"
 )
 
 var t0 = time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC)
@@ -389,5 +390,29 @@ func TestJSONLFileRoundTrip(t *testing.T) {
 	}
 	if len(got) != 2 || got[1].UserHash != recs[1].UserHash {
 		t.Error("JSONL file round trip mismatch")
+	}
+}
+
+func TestDecodeRecordInternedMatchesPlain(t *testing.T) {
+	pool := intern.NewPool()
+	for i := 0; i < 3; i++ {
+		r := sampleRecord(i)
+		r.Files = []SharedFile{{Hash: ed2k.SyntheticHash("s"), Name: "s.bin", Size: 7}}
+		body := EncodeRecord(nil, r)
+		plain, err := DecodeRecord(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := DecodeRecordInterned(body, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, pooled) {
+			t.Fatalf("interned decode differs:\n got %+v\nwant %+v", pooled, plain)
+		}
+	}
+	// Honeypot, PeerName, FileName and Server are the pooled columns.
+	if pool.Len() != 4 {
+		t.Errorf("pool holds %d strings, want 4", pool.Len())
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/intern"
 	"repro/internal/logging"
 )
 
@@ -26,13 +27,17 @@ type Iterator struct {
 // tie-break order), bounded to [from, to) when the bounds are non-zero.
 func newIterator(shards []*Shard, from, to time.Time) (*Iterator, error) {
 	it := &Iterator{}
+	// One interner spans the whole scan: every cursor's honeypot name,
+	// server address and client-name strings are allocated once per
+	// distinct value, not once per record.
+	pool := intern.NewPool()
 	for _, sh := range shards {
 		segs, err := sh.snapshotFlushed()
 		if err != nil {
 			it.Close()
 			return nil, err
 		}
-		it.cursors = append(it.cursors, &shardCursor{sh: sh, segs: segs, from: from, to: to})
+		it.cursors = append(it.cursors, &shardCursor{sh: sh, segs: segs, from: from, to: to, pool: pool})
 	}
 	return it, nil
 }
@@ -122,6 +127,7 @@ type shardCursor struct {
 	from, to time.Time
 	seg      int // index into segs of the segment being read
 	r        *segmentReader
+	pool     *intern.Pool // shared across the iterator's cursors
 }
 
 func (c *shardCursor) next() (logging.Record, error) {
@@ -135,7 +141,7 @@ func (c *shardCursor) next() (logging.Record, error) {
 			if c.seg >= len(c.segs) {
 				return logging.Record{}, io.EOF
 			}
-			r, err := openSegmentReader(filepath.Join(c.sh.dir, segName(c.segs[c.seg].Seq)), 0)
+			r, err := openSegmentReader(filepath.Join(c.sh.dir, segName(c.segs[c.seg].Seq)), 0, c.pool)
 			if errors.Is(err, io.EOF) {
 				c.seg++
 				continue

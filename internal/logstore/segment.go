@@ -10,6 +10,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/intern"
 	"repro/internal/logging"
 )
 
@@ -23,12 +24,13 @@ const (
 	// maxFrameBytes bounds one record's encoding (matches the logging
 	// stream codec's limit); larger lengths mark a corrupt frame.
 	maxFrameBytes = 64 << 20
-	// segBufSize is the append-side write buffer. Frames are ~150 bytes,
-	// so a large buffer keeps the syscall rate (the append path's actual
-	// cost; see BenchmarkLogstoreIngest) three orders of magnitude below
-	// the record rate. Readers call Flush/snapshotFlushed, so buffering
-	// never hides records from collection.
-	segBufSize = 1 << 20
+	// segBufSize sizes the bufio layers on the segment hot paths, append
+	// and scan alike. Frames are ~150 bytes, so 256 KiB keeps the syscall
+	// rate (the paths' actual cost; see BenchmarkLogstoreIngest /
+	// BenchmarkLogstoreScan) three orders of magnitude below the record
+	// rate. Readers call Flush/snapshotFlushed, so write buffering never
+	// hides records from collection.
+	segBufSize = 256 << 10
 )
 
 // segName formats a segment's file name from its sequence number.
@@ -41,23 +43,28 @@ func idxName(seq uint64) string { return fmt.Sprintf("%08d.idx", seq) }
 // unlike a torn tail, this is real corruption mid-file.
 var errCorrupt = errors.New("logstore: corrupt segment frame")
 
-// segmentReader streams records out of one segment file.
+// segmentReader streams records out of one segment file. The frame body
+// buffer is reused across records, and when a pool is set the
+// low-cardinality string columns are interned through it.
 type segmentReader struct {
-	f   *os.File
-	br  *bufio.Reader
-	off int64 // offset of the next unread frame
-	hdr [frameOverhead]byte
-	buf []byte
+	f    *os.File
+	br   *bufio.Reader
+	off  int64 // offset of the next unread frame
+	hdr  [frameOverhead]byte
+	buf  []byte
+	pool *intern.Pool // nil: decode without interning
 }
 
 // openSegmentReader opens the segment at path positioned at off (0 means
 // "start of records", i.e. just past the header, with the magic checked).
-func openSegmentReader(path string, off int64) (*segmentReader, error) {
+// A non-nil pool — typically shared across the segments and shards of
+// one scan — deduplicates the honeypot/server/peer-name strings.
+func openSegmentReader(path string, off int64, pool *intern.Pool) (*segmentReader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	r := &segmentReader{f: f}
+	r := &segmentReader{f: f, pool: pool}
 	if off <= 0 {
 		off = segHeaderSize
 		var magic [segHeaderSize]byte
@@ -79,7 +86,7 @@ func openSegmentReader(path string, off int64) (*segmentReader, error) {
 		return nil, err
 	}
 	r.off = off
-	r.br = bufio.NewReaderSize(f, 1<<16)
+	r.br = bufio.NewReaderSize(f, segBufSize)
 	return r, nil
 }
 
@@ -111,7 +118,7 @@ func (r *segmentReader) next() (logging.Record, int64, error) {
 	if crc32.ChecksumIEEE(body) != sum {
 		return logging.Record{}, r.off, errCorrupt
 	}
-	rec, err := logging.DecodeRecord(body)
+	rec, err := logging.DecodeRecordInterned(body, r.pool)
 	if err != nil {
 		return logging.Record{}, r.off, fmt.Errorf("%w: %v", errCorrupt, err)
 	}
@@ -127,7 +134,7 @@ func (r *segmentReader) Close() error { return r.f.Close() }
 // frames mid-file surface as errCorrupt.
 func scanSegment(path string, seq uint64) (SegmentInfo, int64, error) {
 	info := SegmentInfo{Seq: seq}
-	r, err := openSegmentReader(path, 0)
+	r, err := openSegmentReader(path, 0, intern.NewPool())
 	if errors.Is(err, io.EOF) {
 		return info, 0, nil // shorter than the magic: empty
 	}

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/intern"
 	"repro/internal/logging"
 )
 
@@ -343,6 +344,7 @@ func (sh *Shard) ReadSince(cp Checkpoint, max int) ([]logging.Record, Checkpoint
 		cp.Off = last.Bytes
 	}
 	var out []logging.Record
+	pool := intern.NewPool() // shared across the batch's segments
 	for _, si := range segs {
 		if len(out) >= max {
 			break
@@ -355,7 +357,7 @@ func (sh *Shard) ReadSince(cp Checkpoint, max int) ([]logging.Record, Checkpoint
 			off = cp.Off
 		}
 		if off < si.Bytes {
-			next, err := sh.readSegment(si, off, max-len(out), &out)
+			next, err := sh.readSegment(si, off, max-len(out), pool, &out)
 			if err != nil {
 				return out, cp, err
 			}
@@ -373,8 +375,8 @@ func (sh *Shard) ReadSince(cp Checkpoint, max int) ([]logging.Record, Checkpoint
 // off, stopping after limit records or at the snapshot bound si.Bytes
 // (bytes appended after the snapshot wait for the next call). It returns
 // the offset just past the last record consumed.
-func (sh *Shard) readSegment(si SegmentInfo, off int64, limit int, out *[]logging.Record) (int64, error) {
-	r, err := openSegmentReader(filepath.Join(sh.dir, segName(si.Seq)), off)
+func (sh *Shard) readSegment(si SegmentInfo, off int64, limit int, pool *intern.Pool, out *[]logging.Record) (int64, error) {
+	r, err := openSegmentReader(filepath.Join(sh.dir, segName(si.Seq)), off, pool)
 	if errors.Is(err, io.EOF) {
 		return off, nil
 	}

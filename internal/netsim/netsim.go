@@ -156,7 +156,7 @@ func (h *Host) Rand() *rand.Rand { return h.rng }
 // Up reports whether the host is running.
 func (h *Host) Up() bool { return h.up }
 
-type simTimer struct{ ev *des.Event }
+type simTimer struct{ ev des.Timer }
 
 func (t simTimer) Stop() bool {
 	if t.ev.Canceled() {

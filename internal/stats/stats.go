@@ -101,6 +101,75 @@ func (d *DistinctTracker) Curve() GrowthCurve {
 	return g
 }
 
+// DenseDistinctTracker is DistinctTracker for dense integer keys — the
+// interned IDs of the columnar analysis frame. First-seen periods live
+// in a flat array indexed by key, so Observe is hash- and
+// allocation-free; memory is O(distinct keys), never O(events).
+type DenseDistinctTracker struct {
+	startNs int64
+	widthNs int64
+	periods int
+	first   []int32 // first-seen period per key, -1 = unseen
+}
+
+// NewDenseDistinctTracker tracks keys in [0, keys) over periods buckets
+// of the given width starting at start. Observing a key ≥ keys grows the
+// array.
+func NewDenseDistinctTracker(start time.Time, width time.Duration, periods, keys int) *DenseDistinctTracker {
+	d := &DenseDistinctTracker{
+		startNs: start.UnixNano(),
+		widthNs: int64(width),
+		periods: periods,
+	}
+	d.grow(keys)
+	return d
+}
+
+func (d *DenseDistinctTracker) grow(keys int) {
+	for len(d.first) < keys {
+		d.first = append(d.first, -1)
+	}
+}
+
+// ObserveNano records one event at the given unix-nano timestamp;
+// events outside the covered range are ignored.
+func (d *DenseDistinctTracker) ObserveNano(ns int64, key int) {
+	if ns < d.startNs {
+		return
+	}
+	p := (ns - d.startNs) / d.widthNs
+	if p >= int64(d.periods) {
+		return
+	}
+	if key >= len(d.first) {
+		d.grow(key + 1)
+	}
+	if prev := d.first[key]; prev < 0 || int32(p) < prev {
+		d.first[key] = int32(p)
+	}
+}
+
+// Observe is ObserveNano for a time.Time.
+func (d *DenseDistinctTracker) Observe(t time.Time, key int) {
+	d.ObserveNano(t.UnixNano(), key)
+}
+
+// Curve extracts the growth curve accumulated so far.
+func (d *DenseDistinctTracker) Curve() GrowthCurve {
+	g := GrowthCurve{Cumulative: make([]int, d.periods), New: make([]int, d.periods)}
+	for _, p := range d.first {
+		if p >= 0 {
+			g.New[p]++
+		}
+	}
+	run := 0
+	for i := 0; i < d.periods; i++ {
+		run += g.New[i]
+		g.Cumulative[i] = run
+	}
+	return g
+}
+
 // Distinct computes a GrowthCurve over events (time, key). Events outside
 // [start, start+periods*width) are ignored.
 func Distinct(times []time.Time, keys []string, start time.Time, width time.Duration, periods int) GrowthCurve {
@@ -143,7 +212,10 @@ type SubsetUnionConfig struct {
 // UnionEstimate runs the estimator: sets[u] lists the element IDs observed
 // by unit u (a honeypot for Fig 10, an advertised file for Figs 11–12);
 // element IDs must be dense non-negative ints (the step-2 renumbering
-// provides exactly that). For each subset size n it draws cfg.Samples
+// provides exactly that). Elements outside [0, universe) are ignored
+// rather than crashing the scratch indexing — malformed identifiers
+// (e.g. a negative decimal that leaked past anonymization) simply don't
+// count toward unions. For each subset size n it draws cfg.Samples
 // random subsets of units and reports average, minimum and maximum union
 // cardinality.
 //
@@ -191,29 +263,43 @@ func UnionEstimate(sets [][]int32, universe int, cfg SubsetUnionConfig) SubsetUn
 			// the current union. Reused across samples without clearing.
 			mark := make([]int32, universe)
 			stamp := int32(0)
+			// perm is kept as the identity permutation between samples:
+			// the partial Fisher-Yates below records its swaps and undoes
+			// them afterwards, so each sample touches O(n) entries instead
+			// of re-initializing all nUnits.
 			perm := make([]int, nUnits)
+			for i := range perm {
+				perm[i] = i
+			}
+			swaps := make([]int, nUnits)
 			for j := range jobs {
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(j.n)*1_000_003))
 				sum := 0.0
 				minU, maxU := -1, -1
 				for s := 0; s < cfg.Samples; s++ {
 					stamp++
-					for i := range perm {
-						perm[i] = i
-					}
 					// Partial Fisher-Yates: the first j.n entries are the sample.
 					for i := 0; i < j.n; i++ {
 						k := i + rng.Intn(nUnits-i)
 						perm[i], perm[k] = perm[k], perm[i]
+						swaps[i] = k
 					}
 					union := 0
 					for i := 0; i < j.n; i++ {
 						for _, el := range sets[perm[i]] {
+							if el < 0 || int(el) >= universe {
+								continue
+							}
 							if mark[el] != stamp {
 								mark[el] = stamp
 								union++
 							}
 						}
+					}
+					// Undo the swaps in reverse to restore the identity.
+					for i := j.n - 1; i >= 0; i-- {
+						k := swaps[i]
+						perm[i], perm[k] = perm[k], perm[i]
 					}
 					sum += float64(union)
 					if minU < 0 || union < minU {

@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -239,4 +241,90 @@ func BenchmarkUnionEstimateSerialVsParallel(b *testing.B) {
 			UnionEstimate(sets, 100_000, SubsetUnionConfig{Samples: 30, Seed: 9})
 		}
 	})
+}
+
+func TestDenseDistinctMatchesMap(t *testing.T) {
+	start := time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(11))
+	const periods, keys = 9, 40
+	m := NewDistinctTracker(start, time.Hour, periods)
+	d := NewDenseDistinctTracker(start, time.Hour, periods, keys/2) // force growth
+	for i := 0; i < 2000; i++ {
+		k := rng.Intn(keys)
+		ts := start.Add(time.Duration(rng.Intn(periods*70)-30) * time.Minute)
+		m.Observe(ts, fmt.Sprint(k))
+		d.Observe(ts, k)
+	}
+	if got, want := d.Curve(), m.Curve(); !reflect.DeepEqual(got, want) {
+		t.Errorf("dense tracker diverges:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// naiveUnion mirrors UnionEstimate with a freshly initialized identity
+// permutation per sample — the behavior the swap-undo optimization must
+// reproduce exactly, RNG stream included.
+func naiveUnion(sets [][]int32, universe int, cfg SubsetUnionConfig) SubsetUnion {
+	nUnits := len(sets)
+	lo := 1
+	if cfg.IncludeZero {
+		lo = 0
+	}
+	var out SubsetUnion
+	for n := lo; n <= nUnits; n++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(n)*1_000_003))
+		sum, minU, maxU := 0.0, -1, -1
+		for s := 0; s < cfg.Samples; s++ {
+			perm := make([]int, nUnits)
+			for i := range perm {
+				perm[i] = i
+			}
+			for i := 0; i < n; i++ {
+				k := i + rng.Intn(nUnits-i)
+				perm[i], perm[k] = perm[k], perm[i]
+			}
+			seen := map[int32]bool{}
+			for i := 0; i < n; i++ {
+				for _, el := range sets[perm[i]] {
+					seen[el] = true
+				}
+			}
+			u := len(seen)
+			sum += float64(u)
+			if minU < 0 || u < minU {
+				minU = u
+			}
+			if u > maxU {
+				maxU = u
+			}
+		}
+		if n == 0 {
+			minU, maxU = 0, 0
+		}
+		out.N = append(out.N, n)
+		out.Avg = append(out.Avg, sum/float64(cfg.Samples))
+		out.Min = append(out.Min, minU)
+		out.Max = append(out.Max, maxU)
+	}
+	return out
+}
+
+func TestUnionEstimateMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const units, universe = 9, 120
+	sets := make([][]int32, units)
+	for u := range sets {
+		seen := map[int32]bool{}
+		for i := rng.Intn(40); i > 0; i-- {
+			seen[int32(rng.Intn(universe))] = true
+		}
+		for n := range seen {
+			sets[u] = append(sets[u], n)
+		}
+	}
+	cfg := SubsetUnionConfig{Samples: 25, Seed: 3, IncludeZero: true}
+	got := UnionEstimate(sets, universe, cfg)
+	want := naiveUnion(sets, universe, cfg)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("UnionEstimate diverged from per-sample reinit reference:\n got %+v\nwant %+v", got, want)
+	}
 }

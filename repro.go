@@ -132,44 +132,53 @@ func Analyze(res *Result) *Report {
 	return AnalyzeWith(res, DefaultAnalyzeOptions())
 }
 
-// AnalyzeWith computes the full report.
+// AnalyzeWith computes the full report. The dataset is compiled into a
+// columnar frame in exactly one pass over the records; every artifact is
+// then derived from the frame's interned integer columns.
 func AnalyzeWith(res *Result, opt AnalyzeOptions) *Report {
+	f := analysis.BuildFrame(res.Dataset.Records)
+	return AnalyzeFrame(res, f, opt)
+}
+
+// AnalyzeFrame computes the full report from an already-built frame —
+// e.g. one streamed out of a logstore with analysis.BuildFrameIter, so
+// campaigns too large for memory never materialize their records.
+func AnalyzeFrame(res *Result, f *analysis.Frame, opt AnalyzeOptions) *Report {
 	if opt.SubsetSamples <= 0 {
 		opt.SubsetSamples = 100
 	}
 	if opt.FileSubsetSize <= 0 {
 		opt.FileSubsetSize = 100
 	}
-	recs := res.Dataset.Records
 	rep := &Report{
-		TableI: analysis.ComputeTableI(recs, len(res.HoneypotIDs), res.Days, len(res.Advertised)),
+		TableI: f.TableI(len(res.HoneypotIDs), res.Days, len(res.Advertised)),
 	}
-	rep.PeerGrowth = analysis.PeerGrowth(recs, res.Start, res.Days)
-	rep.CoInterest = analysis.BuildInterestGraph(recs).Stats()
+	rep.PeerGrowth = f.PeerGrowth(res.Start, res.Days)
+	rep.CoInterest = f.InterestGraph().Stats()
 
 	hours := res.Days * 24
 	if hours > 168 {
 		hours = 168
 	}
-	rep.HourlyHello = analysis.HourlyHello(recs, res.Start, hours)
+	rep.HourlyHello = f.HourlyHello(res.Start, hours)
 
 	if len(res.HoneypotIDs) > 1 {
-		rep.HelloPeersByGroup = analysis.GroupDistinctPeers(recs, res.GroupOf, logging.KindHello, res.Start, res.Days)
-		rep.StartUploadPeersByGroup = analysis.GroupDistinctPeers(recs, res.GroupOf, logging.KindStartUpload, res.Start, res.Days)
-		rep.RequestPartsByGroup = analysis.GroupMessageCounts(recs, res.GroupOf, logging.KindRequestPart, res.Start, res.Days)
+		rep.HelloPeersByGroup = f.GroupDistinctPeers(res.GroupOf, logging.KindHello, res.Start, res.Days)
+		rep.StartUploadPeersByGroup = f.GroupDistinctPeers(res.GroupOf, logging.KindStartUpload, res.Start, res.Days)
+		rep.RequestPartsByGroup = f.GroupMessageCounts(res.GroupOf, logging.KindRequestPart, res.Start, res.Days)
 
-		rep.TopPeer, rep.TopPeerQueries = analysis.TopPeer(recs)
-		rep.TopPeerStartUpload = analysis.TopPeerSeries(recs, res.GroupOf, rep.TopPeer, logging.KindStartUpload, res.Start, res.Days)
-		rep.TopPeerRequestParts = analysis.TopPeerSeries(recs, res.GroupOf, rep.TopPeer, logging.KindRequestPart, res.Start, res.Days)
+		rep.TopPeer, rep.TopPeerQueries = f.TopPeer()
+		rep.TopPeerStartUpload = f.TopPeerSeries(res.GroupOf, rep.TopPeer, logging.KindStartUpload, res.Start, res.Days)
+		rep.TopPeerRequestParts = f.TopPeerSeries(res.GroupOf, rep.TopPeer, logging.KindRequestPart, res.Start, res.Days)
 
-		sets, universe := analysis.HoneypotPeerSets(recs, res.HoneypotIDs)
+		sets, universe := f.HoneypotPeerSets(res.HoneypotIDs)
 		rep.HoneypotSubsets = stats.UnionEstimate(sets, universe, stats.SubsetUnionConfig{
 			Samples: opt.SubsetSamples, Seed: opt.Seed, IncludeZero: true,
 		})
 	}
 
 	if res.Name == "greedy" {
-		ranked := analysis.QueriedFiles(recs)
+		ranked := f.QueriedFiles()
 		nPop := opt.FileSubsetSize
 		if nPop > len(ranked) {
 			nPop = len(ranked)
@@ -193,13 +202,13 @@ func AnalyzeWith(res *Result, opt AnalyzeOptions) *Report {
 		}
 
 		if nPop > 0 {
-			sets, universe := analysis.FilePeerSets(recs, rep.PopularFiles)
+			sets, universe := f.FilePeerSets(rep.PopularFiles)
 			rep.PopularFileSubsets = stats.UnionEstimate(sets, universe, stats.SubsetUnionConfig{
 				Samples: opt.SubsetSamples, Seed: opt.Seed,
 			})
 		}
 		if nRand > 0 {
-			sets, universe := analysis.FilePeerSets(recs, rep.RandomFiles)
+			sets, universe := f.FilePeerSets(rep.RandomFiles)
 			rep.RandomFileSubsets = stats.UnionEstimate(sets, universe, stats.SubsetUnionConfig{
 				Samples: opt.SubsetSamples, Seed: opt.Seed,
 			})

@@ -1,10 +1,14 @@
 package repro_test
 
 import (
+	"reflect"
 	"testing"
 
 	"repro"
+	"repro/internal/analysis"
 	"repro/internal/catalog"
+	"repro/internal/logging"
+	"repro/internal/stats"
 )
 
 func TestScaledConfigs(t *testing.T) {
@@ -107,5 +111,78 @@ func TestAnalyzeGreedyFileSubsetsRespectOptions(t *testing.T) {
 	if rep.PopularFileSubsets.Avg[0] < rep.RandomFileSubsets.Avg[0] {
 		t.Errorf("popular n=1 avg %.0f < random n=1 avg %.0f",
 			rep.PopularFileSubsets.Avg[0], rep.RandomFileSubsets.Avg[0])
+	}
+}
+
+// TestAnalyzeMatchesReferenceExtractors pins the frame-based Analyze to
+// the slice-based reference extractors on real simulated campaigns: the
+// report must be identical field by field.
+func TestAnalyzeMatchesReferenceExtractors(t *testing.T) {
+	cfg := repro.ScaledDistributed(0.004)
+	cfg.Days = 4
+	cfg.Honeypots = 6
+	cfg.Catalog = catalog.Config{NumFiles: 2000, Vocabulary: 400, PopularityExp: 0.9, Seed: 9}
+	cfg.LibraryRegion = 800
+	res, err := repro.RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := repro.Analyze(res)
+	recs := res.Dataset.Records
+
+	if want := analysis.ComputeTableI(recs, len(res.HoneypotIDs), res.Days, len(res.Advertised)); rep.TableI != want {
+		t.Errorf("TableI:\n got %+v\nwant %+v", rep.TableI, want)
+	}
+	if want := analysis.PeerGrowth(recs, res.Start, res.Days); !reflect.DeepEqual(rep.PeerGrowth, want) {
+		t.Errorf("PeerGrowth differs from reference")
+	}
+	if want := analysis.HourlyHello(recs, res.Start, res.Days*24); !reflect.DeepEqual(rep.HourlyHello, want) {
+		t.Errorf("HourlyHello differs from reference")
+	}
+	if want := analysis.GroupDistinctPeers(recs, res.GroupOf, logging.KindHello, res.Start, res.Days); !reflect.DeepEqual(rep.HelloPeersByGroup, want) {
+		t.Errorf("HelloPeersByGroup differs from reference")
+	}
+	if want := analysis.GroupDistinctPeers(recs, res.GroupOf, logging.KindStartUpload, res.Start, res.Days); !reflect.DeepEqual(rep.StartUploadPeersByGroup, want) {
+		t.Errorf("StartUploadPeersByGroup differs from reference")
+	}
+	if want := analysis.GroupMessageCounts(recs, res.GroupOf, logging.KindRequestPart, res.Start, res.Days); !reflect.DeepEqual(rep.RequestPartsByGroup, want) {
+		t.Errorf("RequestPartsByGroup differs from reference")
+	}
+	peer, n := analysis.TopPeer(recs)
+	if rep.TopPeer != peer || rep.TopPeerQueries != n {
+		t.Errorf("TopPeer: got %q/%d want %q/%d", rep.TopPeer, rep.TopPeerQueries, peer, n)
+	}
+	if want := analysis.TopPeerSeries(recs, res.GroupOf, peer, logging.KindStartUpload, res.Start, res.Days); !reflect.DeepEqual(rep.TopPeerStartUpload, want) {
+		t.Errorf("TopPeerStartUpload differs from reference")
+	}
+	sets, universe := analysis.HoneypotPeerSets(recs, res.HoneypotIDs)
+	want := stats.UnionEstimate(sets, universe, stats.SubsetUnionConfig{Samples: 100, Seed: 1, IncludeZero: true})
+	if !reflect.DeepEqual(rep.HoneypotSubsets, want) {
+		t.Errorf("HoneypotSubsets differs from reference")
+	}
+	if want := analysis.BuildInterestGraph(recs).Stats(); rep.CoInterest != want {
+		t.Errorf("CoInterest:\n got %+v\nwant %+v", rep.CoInterest, want)
+	}
+
+	gcfg := repro.ScaledGreedy(0.004)
+	gcfg.Days = 3
+	gcfg.MaxAdopted = 120
+	gcfg.Catalog = catalog.Config{NumFiles: 2000, Vocabulary: 400, PopularityExp: 0.9, Seed: 10}
+	gres, err := repro.RunGreedy(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grep := repro.Analyze(gres)
+	grecs := gres.Dataset.Records
+	ranked := analysis.QueriedFiles(grecs)
+	for i, h := range grep.PopularFiles {
+		if ranked[i].Hash != h {
+			t.Fatalf("PopularFiles[%d] diverges from reference ranking", i)
+		}
+	}
+	fsets, funiverse := analysis.FilePeerSets(grecs, grep.PopularFiles)
+	fwant := stats.UnionEstimate(fsets, funiverse, stats.SubsetUnionConfig{Samples: 100, Seed: 1})
+	if !reflect.DeepEqual(grep.PopularFileSubsets, fwant) {
+		t.Errorf("PopularFileSubsets differs from reference")
 	}
 }
