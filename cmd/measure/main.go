@@ -1,22 +1,30 @@
-// Command measure runs the paper's two measurement campaigns in the
-// simulated world and regenerates every table and figure of the
-// evaluation section: Table I and Figures 2 through 12.
+// Command measure runs measurement campaigns in the simulated world and
+// regenerates every table and figure of the paper's evaluation section:
+// Table I and Figures 2 through 12.
 //
 // Usage:
 //
 //	measure [-scale 0.1] [-campaign both|distributed|greedy] [-out dir] [-seed 1]
+//	measure -scenario NAME [-scale 0.1]      run a registered scenario
+//	measure -scenario-file spec.json         run a campaign spec from disk
+//	measure -list-scenarios                  print the registry and exit
 //
-// Terminal output summarizes each artifact; with -out, the raw series
-// are written as CSV files (fig02.csv ... fig12.csv, table1.txt) that
-// plot directly with gnuplot.
+// The -campaign path keeps the paper's two typed configs; -scenario and
+// -scenario-file run any declarative spec (federations, churn fleets,
+// flash crowds, ...) through the same engine. Terminal output
+// summarizes each artifact; with -out, the raw series are written as
+// CSV files (fig02.csv ... fig12.csv, table1.txt) that plot directly
+// with gnuplot.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"slices"
 	"time"
 
 	"repro"
@@ -30,20 +38,45 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("measure: ")
 	var (
-		scale    = flag.Float64("scale", 0.1, "arrival intensity scale (1.0 = paper magnitudes)")
-		campaign = flag.String("campaign", "both", "campaign to run: distributed, greedy or both")
-		outDir   = flag.String("out", "", "directory for CSV series (optional)")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		jsonl    = flag.Bool("jsonl", false, "also dump the anonymized dataset as JSONL into -out")
-		servers  = flag.Int("servers", 1, "directory servers for the distributed campaign (1 = paper setup)")
-		storeDir = flag.String("store", "", "spill records to a segmented on-disk logstore under this directory (per-campaign subdirectory)")
+		scale     = flag.Float64("scale", 0.1, "arrival intensity scale; multiplies the spec's own scale (1.0 = paper magnitudes)")
+		campaign  = flag.String("campaign", "both", "campaign to run: distributed, greedy or both")
+		outDir    = flag.String("out", "", "directory for CSV series (optional)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		jsonl     = flag.Bool("jsonl", false, "also dump the anonymized dataset as JSONL into -out")
+		servers   = flag.Int("servers", 1, "directory servers for the distributed campaign (1 = paper setup)")
+		storeDir  = flag.String("store", "", "spill records to a segmented on-disk logstore under this directory (per-campaign subdirectory)")
+		scenName  = flag.String("scenario", "", "run a registered scenario by name instead of -campaign")
+		scenFile  = flag.String("scenario-file", "", "run a campaign spec decoded from this JSON file")
+		listScens = flag.Bool("list-scenarios", false, "print registered scenario names and exit")
 	)
 	flag.Parse()
+
+	if *listScens {
+		for _, name := range repro.Scenarios() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			log.Fatalf("creating %s: %v", *outDir, err)
 		}
+	}
+
+	if *scenName != "" || *scenFile != "" {
+		spec := loadSpec(*scenName, *scenFile)
+		spec.Scale *= *scale
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
+		if seedSet {
+			spec.Seed = *seed
+		}
+		if *storeDir != "" {
+			spec.Collection.StoreDir = filepath.Join(*storeDir, spec.Name)
+		}
+		runScenario(spec, *outDir, *jsonl)
+		return
 	}
 
 	runD := *campaign == "both" || *campaign == "distributed"
@@ -136,6 +169,89 @@ func reportStore(res *repro.Result) {
 	}
 }
 
+// loadSpec fetches a registered scenario or decodes a spec file.
+func loadSpec(name, file string) repro.Spec {
+	if name != "" && file != "" {
+		log.Fatal("-scenario and -scenario-file are mutually exclusive")
+	}
+	if name != "" {
+		spec, err := repro.ScenarioSpec(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return spec
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		log.Fatalf("reading spec: %v", err)
+	}
+	var spec repro.Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		log.Fatalf("decoding %s: %v", file, err)
+	}
+	return spec
+}
+
+// runScenario executes one spec and prints a generic report: Table I
+// and peer growth always, the group figures when the fleet has several
+// members, the fault log when faults fired.
+func runScenario(spec repro.Spec, outDir string, jsonl bool) {
+	fmt.Printf("=== scenario %s (%d honeypot(s), %d server(s), %d workload(s), %d days, scale %g) ===\n",
+		spec.Name, len(spec.Fleet), spec.Topology.Servers, len(spec.Workloads), spec.Days, spec.Scale)
+	start := time.Now()
+	res, err := repro.RunSpec(spec)
+	if err != nil {
+		log.Fatalf("%s: %v", spec.Name, err)
+	}
+	fmt.Printf("simulated %d events in %v; %d records, %d distinct peers\n",
+		res.Events, time.Since(start).Round(time.Millisecond),
+		len(res.Dataset.Records), res.Dataset.DistinctPeers)
+	reportStore(res)
+	for _, f := range res.Faults {
+		fmt.Printf("fault: %-18s %-12s at %s\n", f.Kind, f.Target, f.At.Format("2006-01-02 15:04"))
+	}
+	fmt.Println()
+
+	rep := repro.Analyze(res)
+	fmt.Println("--- Table I ---")
+	fmt.Println(rep.TableI)
+
+	g := rep.PeerGrowth
+	last := len(g.Cumulative) - 1
+	fmt.Println("\n--- distinct peers over time ---")
+	fmt.Printf("total peers: %d; new on last day: %d\n", g.Cumulative[last], g.New[last])
+	fmt.Printf("new/day: %s\n", analysis.Sparkline(g.New))
+
+	fmt.Println("\n--- HELLO per hour, first week ---")
+	fmt.Printf("%s\n", analysis.Sparkline(rep.HourlyHello))
+	fmt.Printf("peak %d/hour, total %d HELLOs in the window\n",
+		slices.Max(rep.HourlyHello), sum(rep.HourlyHello))
+
+	if len(res.HoneypotIDs) > 1 {
+		fmt.Println("\n--- distinct peers by strategy group ---")
+		printGroupFinal("HELLO", rep.HelloPeersByGroup)
+		printGroupFinal("START-UPLOAD", rep.StartUploadPeersByGroup)
+		printGroupFinal("REQUEST-PART", rep.RequestPartsByGroup)
+	}
+	fmt.Println()
+
+	if outDir != "" {
+		prefix := "scenario_" + spec.Name
+		mustWrite(outDir, prefix+"_table1.txt", func(f *os.File) error {
+			_, err := fmt.Fprintln(f, rep.TableI)
+			return err
+		})
+		mustWrite(outDir, prefix+"_peer_growth.csv", func(f *os.File) error {
+			return analysis.GrowthCSV(f, rep.PeerGrowth)
+		})
+		if jsonl {
+			mustWrite(outDir, prefix+"_dataset.jsonl", func(f *os.File) error {
+				return logging.WriteJSONL(f, res.Dataset.Records)
+			})
+		}
+	}
+}
+
 func printDistributed(res *repro.Result, rep *repro.Report) {
 	fmt.Println("--- Table I (distributed column) ---")
 	fmt.Println(rep.TableI)
@@ -149,7 +265,7 @@ func printDistributed(res *repro.Result, rep *repro.Report) {
 	fmt.Println("\n--- Fig 4: HELLO per hour, first week ---")
 	fmt.Printf("%s\n", analysis.Sparkline(rep.HourlyHello))
 	fmt.Printf("peak %d/hour, total %d HELLOs in the window\n",
-		maxInt(rep.HourlyHello), sumInt(rep.HourlyHello))
+		slices.Max(rep.HourlyHello), sum(rep.HourlyHello))
 
 	fmt.Println("\n--- Fig 5/6: distinct peers by strategy group ---")
 	printGroupFinal("HELLO", rep.HelloPeersByGroup)
@@ -302,17 +418,8 @@ func mustWrite(dir, name string, fn func(*os.File) error) {
 	}
 }
 
-func maxInt(xs []int) int {
-	m := 0
-	for _, x := range xs {
-		if x > m {
-			m = x
-		}
-	}
-	return m
-}
-
-func sumInt(xs []int) int {
+// sum totals a series (the stdlib has slices.Max but no slices.Sum).
+func sum(xs []int) int {
 	s := 0
 	for _, x := range xs {
 		s += x

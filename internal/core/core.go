@@ -1,9 +1,5 @@
-// Package core orchestrates complete measurement campaigns: it builds a
-// simulated world (directory server, honeypot fleet, manager, peer
-// population), runs it for the campaign duration under virtual time, and
-// returns the merged anonymized dataset plus campaign metadata.
-//
-// Two campaign shapes mirror the paper's experiments (§IV):
+// Package core keeps the paper's two campaign shapes (§IV) as typed
+// configs and runs them through the generic scenario engine:
 //
 //   - Distributed: 24 honeypots on one large server, advertising the same
 //     four files (a movie, a song, a Linux distribution and a text),
@@ -12,63 +8,33 @@
 //     shared lists of contacting peers and re-advertising every file it
 //     sees, then measures for 15 days total.
 //
+// Each config is a thin, stable façade: Spec() lowers it to a
+// declarative scenario.Spec (topology + fleet + workloads + collection)
+// and RunDistributed/RunGreedy are scenario.Run on that spec. Campaign
+// regimes beyond these two — federations, churning fleets, multiple
+// workloads, fault schedules — are composed directly in package
+// scenario.
+//
 // The Scale knob multiplies arrival intensity only: durations, diurnal
 // shape and behaviour stay at paper values, so every curve keeps its
 // shape while absolute counts shrink proportionally.
 package core
 
 import (
-	"fmt"
-	"math"
-	"net/netip"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/client"
-	"repro/internal/des"
-	"repro/internal/ed2k"
 	"repro/internal/honeypot"
-	"repro/internal/logstore"
-	"repro/internal/manager"
-	"repro/internal/netsim"
-	"repro/internal/peersim"
-	"repro/internal/server"
+	"repro/internal/scenario"
 )
 
 // CampaignStart is the virtual start of all campaigns: the paper's
 // distributed measurement began in October 2008.
-var CampaignStart = time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC)
+var CampaignStart = scenario.CampaignStart
 
 // Result is the outcome of one campaign.
-type Result struct {
-	// Name labels the campaign ("distributed", "greedy", ...).
-	Name string
-	// Dataset is the manager's merged, renumbered, audited output.
-	Dataset *manager.Dataset
-	// Start and Days delimit the measurement window.
-	Start time.Time
-	Days  int
-	// HoneypotIDs lists the fleet in launch order.
-	HoneypotIDs []string
-	// GroupOf maps honeypot ID to its strategy name ("random-content" /
-	// "no-content").
-	GroupOf map[string]string
-	// Advertised is the final advertised file set (grown by adoption in
-	// greedy campaigns).
-	Advertised []client.SharedFile
-	// PopStats, ServerStats and HoneypotStats expose component counters.
-	PopStats      peersim.Stats
-	ServerStats   server.Stats
-	HoneypotStats map[string]honeypot.Stats
-	// Events is the number of simulation events executed.
-	Events uint64
-	// StoreDir, when the campaign ran in spill-to-disk mode, is the
-	// logstore directory holding every record in segmented files (one
-	// shard per honeypot). Empty for in-memory campaigns.
-	StoreDir string
-	// StoredRecords is the record count persisted in StoreDir.
-	StoredRecords uint64
-}
+type Result = scenario.Result
 
 // DistributedConfig parameterizes the distributed campaign.
 type DistributedConfig struct {
@@ -125,6 +91,43 @@ func DefaultDistributedConfig() DistributedConfig {
 	}
 }
 
+// Spec lowers the config to its declarative campaign spec.
+func (cfg DistributedConfig) Spec() scenario.Spec {
+	servers := cfg.Servers
+	if servers < 1 {
+		servers = 1
+	}
+	// Placement strategy: same-server (the paper's setup) or round-robin
+	// over the federation.
+	fleet := scenario.AlternatingFleet(max(cfg.Honeypots, 0), servers)
+	ws := scenario.WorkloadSpec{
+		Label:          "distributed-pop",
+		ArrivalsPerDay: cfg.ArrivalsPerDay,
+		DecayPerDay:    cfg.DecayPerDay,
+		HeavyHitters:   cfg.HeavyHitters,
+		LibraryMean:    8,
+		LibraryRegion:  cfg.LibraryRegion,
+		// The four files' relative draw: movie > song > distro > text.
+		Targets: scenario.TargetsSpec{Kind: "static", Weights: []float64{0.45, 0.30, 0.15, 0.10}},
+	}
+	if servers > 1 {
+		for i := 0; i < servers; i++ {
+			ws.Servers = append(ws.Servers, i)
+		}
+	}
+	return scenario.Spec{
+		Name:       "distributed",
+		Seed:       cfg.Seed,
+		Days:       cfg.Days,
+		Scale:      cfg.Scale,
+		Catalog:    cfg.Catalog,
+		Topology:   scenario.Topology{Servers: servers},
+		Fleet:      fleet,
+		Workloads:  []scenario.WorkloadSpec{ws},
+		Collection: scenario.Collection{Every: scenario.Duration(cfg.CollectEvery), StoreDir: cfg.StoreDir},
+	}
+}
+
 // GreedyConfig parameterizes the greedy campaign.
 type GreedyConfig struct {
 	Seed int64
@@ -173,374 +176,55 @@ func DefaultGreedyConfig() GreedyConfig {
 	}
 }
 
-// campaignWorld is the shared scaffolding of both campaigns.
-type campaignWorld struct {
-	loop  *des.Loop
-	net   *netsim.Network
-	srv   *server.Server // first server (single-server campaigns use it)
-	srvs  []*server.Server
-	mgr   *manager.Manager
-	hps   []*honeypot.Honeypot
-	ids   []string
-	store *logstore.Store // non-nil in spill-to-disk mode
-}
-
-func buildWorld(seed int64, collectEvery time.Duration) (*campaignWorld, error) {
-	return buildWorldN(seed, collectEvery, 1)
-}
-
-// attachStore switches the world to spill-to-disk mode: honeypots added
-// afterwards write through shards of a store at dir, and the manager
-// streams the store at finalize instead of holding logs in memory.
-func (w *campaignWorld) attachStore(dir string) error {
-	store, err := logstore.Open(dir, logstore.Options{})
-	if err != nil {
-		return fmt.Errorf("core: opening store: %w", err)
+// Spec lowers the config to its declarative campaign spec.
+func (cfg GreedyConfig) Spec() scenario.Spec {
+	return scenario.Spec{
+		Name:     "greedy",
+		Seed:     cfg.Seed,
+		Days:     cfg.Days,
+		Scale:    cfg.Scale,
+		Catalog:  cfg.Catalog,
+		Topology: scenario.Topology{Servers: 1},
+		Fleet: []scenario.HoneypotSpec{{
+			ID:             "hp-greedy",
+			Strategy:       honeypot.NoContent.String(),
+			Files:          scenario.FilesSpec{Kind: "songs", N: cfg.SeedFiles},
+			BrowseContacts: true,
+			Greedy:         true,
+			GreedyWindow:   scenario.Duration(cfg.AdoptWindow),
+			GreedyMaxFiles: cfg.MaxAdopted,
+		}},
+		Workloads: []scenario.WorkloadSpec{{
+			Label:             "greedy-pop",
+			ArrivalsPerDay:    cfg.ArrivalsPerDay,
+			LibraryMean:       15,
+			MaxSourcesPerPeer: 1, // only one honeypot exists
+			WantsMax:          cfg.WantsMax,
+			RefreshTargets:    scenario.Duration(time.Hour),
+			Targets: scenario.TargetsSpec{
+				Kind:        "advertised-ramp",
+				Exp:         cfg.TargetExp,
+				Ramp:        scenario.Duration(30 * time.Hour),
+				NormFiles:   cfg.MaxAdopted,
+				ExemptFirst: cfg.SeedFiles,
+			},
+		}},
+		Collection: scenario.Collection{Every: scenario.Duration(cfg.CollectEvery), StoreDir: cfg.StoreDir},
 	}
-	// A simulated campaign starts from nothing; records left by an
-	// earlier run would silently merge into (and double) the dataset.
-	// Live honeypots resume dirty stores on purpose — campaigns refuse.
-	if n := store.TotalRecords(); n > 0 {
-		store.Close()
-		return fmt.Errorf("core: store %s already holds %d records from a previous run; point -store at a fresh directory", dir, n)
-	}
-	w.store = store
-	w.mgr.SetStore(store)
-	return nil
-}
-
-// closeStore releases the spill store; safe to call twice, so campaign
-// runners can defer it for error paths while finish() handles success.
-func (w *campaignWorld) closeStore() error {
-	if w.store == nil {
-		return nil
-	}
-	err := w.store.Close()
-	w.store = nil
-	return err
-}
-
-// buildWorldN creates a world with n federated directory servers.
-func buildWorldN(seed int64, collectEvery time.Duration, n int) (*campaignWorld, error) {
-	if n <= 0 {
-		n = 1
-	}
-	loop := des.NewLoop(CampaignStart, seed)
-	nw := netsim.New(loop, netsim.DefaultConfig())
-
-	hosts := make([]*netsim.Host, n)
-	addrs := make([]netip.AddrPort, n)
-	for i := 0; i < n; i++ {
-		hosts[i] = nw.NewHost(fmt.Sprintf("server-%d", i))
-		addrs[i] = netip.AddrPortFrom(hosts[i].Addr(), 4661)
-	}
-	w := &campaignWorld{loop: loop, net: nw}
-	for i := 0; i < n; i++ {
-		cfg := server.DefaultConfig(fmt.Sprintf("paper-server-%d", i))
-		cfg.KnownServers = addrs // federation: everyone knows everyone
-		srv := server.New(hosts[i], cfg)
-		if err := srv.Start(); err != nil {
-			return nil, fmt.Errorf("core: starting server %d: %w", i, err)
-		}
-		w.srvs = append(w.srvs, srv)
-	}
-	w.srv = w.srvs[0]
-
-	mcfg := manager.DefaultConfig()
-	if collectEvery > 0 {
-		mcfg.CollectEvery = collectEvery
-	}
-	w.mgr = manager.New(nw.NewHost("manager"), mcfg)
-	return w, nil
-}
-
-// serverAddrs lists all directory servers.
-func (w *campaignWorld) serverAddrs() []netip.AddrPort {
-	out := make([]netip.AddrPort, len(w.srvs))
-	for i, s := range w.srvs {
-		out[i] = s.Addr()
-	}
-	return out
-}
-
-// addHoneypot creates, registers and places one honeypot on the given
-// directory server (zero AddrPort means the first server).
-func (w *campaignWorld) addHoneypot(cfg honeypot.Config, files []client.SharedFile, on netip.AddrPort) (*honeypot.Honeypot, error) {
-	var shard *logstore.Shard
-	if w.store != nil {
-		var err error
-		if shard, err = w.store.Shard(cfg.ID); err != nil {
-			return nil, fmt.Errorf("core: honeypot %s: %w", cfg.ID, err)
-		}
-		cfg.Sink = shard
-	}
-	hp := honeypot.New(w.net.NewHost(cfg.ID), cfg)
-	if err := hp.Client().Listen(); err != nil {
-		return nil, fmt.Errorf("core: honeypot %s: %w", cfg.ID, err)
-	}
-	if !on.IsValid() {
-		on = w.srv.Addr()
-	}
-	handle := manager.NewLocalHandle(cfg.ID, hp, w.mgr.Host())
-	if shard != nil {
-		handle = manager.NewLocalHandleWithStore(cfg.ID, hp, shard, w.mgr.Host())
-	}
-	w.mgr.Add(handle, manager.Assignment{
-		Server: on,
-		Files:  files,
-	})
-	w.hps = append(w.hps, hp)
-	w.ids = append(w.ids, cfg.ID)
-	return hp, nil
-}
-
-// finish runs the campaign to its end, finalizes the dataset and collects
-// metadata.
-func (w *campaignWorld) finish(name string, days int, pop *peersim.Population, groupOf map[string]string) (*Result, error) {
-	end := CampaignStart.Add(time.Duration(days) * 24 * time.Hour)
-	w.loop.RunUntil(end)
-	pop.Stop()
-
-	var ds *manager.Dataset
-	var dsErr error
-	w.mgr.Finalize(func(d *manager.Dataset, err error) { ds, dsErr = d, err })
-	// Drain the finalize exchange (bounded: population stopped).
-	w.loop.RunUntil(end.Add(time.Hour))
-	if dsErr != nil {
-		return nil, dsErr
-	}
-	if ds == nil {
-		return nil, fmt.Errorf("core: finalize did not complete")
-	}
-
-	res := &Result{
-		Name:          name,
-		Dataset:       ds,
-		Start:         CampaignStart,
-		Days:          days,
-		HoneypotIDs:   w.ids,
-		GroupOf:       groupOf,
-		PopStats:      pop.Stats(),
-		ServerStats:   w.srv.Stats(),
-		HoneypotStats: make(map[string]honeypot.Stats, len(w.hps)),
-		Events:        w.loop.Executed(),
-	}
-	for i, hp := range w.hps {
-		res.HoneypotStats[w.ids[i]] = hp.Stats()
-		res.Advertised = append(res.Advertised[:0], hp.Advertised()...)
-	}
-	// For multi-honeypot campaigns all advertise the same set; keep the
-	// first fleet member's list.
-	if len(w.hps) > 0 {
-		res.Advertised = append([]client.SharedFile(nil), w.hps[0].Advertised()...)
-	}
-	if w.store != nil {
-		res.StoreDir = w.store.Dir()
-		res.StoredRecords = w.store.TotalRecords()
-		if err := w.closeStore(); err != nil {
-			return nil, fmt.Errorf("core: closing store: %w", err)
-		}
-	}
-	return res, nil
 }
 
 // FourBaitFiles picks the paper's four advertised files from the catalog:
 // a movie, a song, a Linux-distribution-like image and a text.
 func FourBaitFiles(cat *catalog.Catalog) []client.SharedFile {
-	kinds := []catalog.Kind{catalog.Movie, catalog.Song, catalog.Distro, catalog.Text}
-	out := make([]client.SharedFile, 0, 4)
-	for _, k := range kinds {
-		for i := 0; i < cat.Len(); i++ {
-			f := cat.File(i)
-			if f.Kind == k {
-				out = append(out, client.SharedFile{Hash: f.Hash, Name: f.Name, Size: f.Size, Type: f.Kind.String()})
-				break
-			}
-		}
-	}
-	return out
+	return scenario.FourBaitFiles(cat)
 }
 
 // RunDistributed executes the distributed campaign.
 func RunDistributed(cfg DistributedConfig) (*Result, error) {
-	if cfg.Days <= 0 || cfg.Honeypots <= 0 {
-		return nil, fmt.Errorf("core: invalid distributed config")
-	}
-	w, err := buildWorldN(cfg.Seed, cfg.CollectEvery, cfg.Servers)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.StoreDir != "" {
-		if err := w.attachStore(cfg.StoreDir); err != nil {
-			return nil, err
-		}
-		defer w.closeStore() // error paths; finish() closes on success
-	}
-	cat := catalog.Generate(cfg.Catalog)
-	bait := FourBaitFiles(cat)
-	secret := []byte(fmt.Sprintf("distributed-campaign-%d", cfg.Seed))
-
-	// Placement strategy: same-server (the paper's setup) or round-robin
-	// over the federation.
-	placements := manager.SameServer(w.srv.Addr(), bait, cfg.Honeypots)
-	if len(w.srvs) > 1 {
-		placements = manager.SpreadServers(w.serverAddrs(), bait, cfg.Honeypots)
-	}
-
-	groupOf := make(map[string]string, cfg.Honeypots)
-	for i := 0; i < cfg.Honeypots; i++ {
-		id := fmt.Sprintf("hp-%02d", i)
-		strat := honeypot.NoContent
-		if i%2 == 0 {
-			strat = honeypot.RandomContent
-		}
-		groupOf[id] = strat.String()
-		if _, err := w.addHoneypot(honeypot.Config{
-			ID: id, Strategy: strat, Port: 4662, Secret: secret,
-			BrowseContacts: true,
-		}, bait, placements[i].Server); err != nil {
-			return nil, err
-		}
-	}
-	w.mgr.Start()
-	w.loop.RunUntil(CampaignStart.Add(5 * time.Minute)) // placement settles
-
-	// The four files' relative draw: movie > song > distro > text.
-	weights := []float64{0.45, 0.30, 0.15, 0.10}
-	targets := make([]peersim.TargetFile, len(bait))
-	for i, f := range bait {
-		wgt := 0.25
-		if i < len(weights) {
-			wgt = weights[i]
-		}
-		targets[i] = peersim.TargetFile{Hash: f.Hash, Name: f.Name, Size: f.Size, Weight: wgt}
-	}
-
-	pcfg := peersim.DefaultConfig()
-	pcfg.Label = "distributed-pop"
-	pcfg.Server = w.srv.Addr()
-	if len(w.srvs) > 1 {
-		pcfg.Servers = w.serverAddrs()
-	}
-	pcfg.Start = CampaignStart
-	pcfg.End = CampaignStart.Add(time.Duration(cfg.Days) * 24 * time.Hour)
-	pcfg.Scale = cfg.Scale
-	pcfg.ArrivalsPerWeightPerDay = cfg.ArrivalsPerDay // Σ weights = 1
-	pcfg.DecayPerDay = cfg.DecayPerDay
-	pcfg.Catalog = cat
-	pcfg.LibraryRegion = cfg.LibraryRegion
-	pcfg.LibraryMean = 8
-	pcfg.HeavyHitters = cfg.HeavyHitters
-	pcfg.Targets = func() []peersim.TargetFile { return targets }
-	pcfg.RefreshTargets = 0 // static set
-
-	pop := peersim.New(w.net, pcfg)
-	pop.Start()
-	return w.finish("distributed", cfg.Days, pop, groupOf)
+	return scenario.Run(cfg.Spec())
 }
 
 // RunGreedy executes the greedy campaign.
 func RunGreedy(cfg GreedyConfig) (*Result, error) {
-	if cfg.Days <= 0 {
-		return nil, fmt.Errorf("core: invalid greedy config")
-	}
-	w, err := buildWorld(cfg.Seed, cfg.CollectEvery)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.StoreDir != "" {
-		if err := w.attachStore(cfg.StoreDir); err != nil {
-			return nil, err
-		}
-		defer w.closeStore() // error paths; finish() closes on success
-	}
-	cat := catalog.Generate(cfg.Catalog)
-	secret := []byte(fmt.Sprintf("greedy-campaign-%d", cfg.Seed))
-
-	// Seed files: a few mid-popularity songs.
-	seeds := make([]client.SharedFile, 0, cfg.SeedFiles)
-	for i := 0; i < cat.Len() && len(seeds) < cfg.SeedFiles; i++ {
-		f := cat.File(i)
-		if f.Kind == catalog.Song {
-			seeds = append(seeds, client.SharedFile{Hash: f.Hash, Name: f.Name, Size: f.Size, Type: f.Kind.String()})
-		}
-	}
-
-	hp, err := w.addHoneypot(honeypot.Config{
-		ID: "hp-greedy", Strategy: honeypot.NoContent, Port: 4662, Secret: secret,
-		BrowseContacts: true,
-		Greedy:         true,
-		GreedyWindow:   cfg.AdoptWindow,
-		GreedyMaxFiles: cfg.MaxAdopted,
-	}, seeds, netip.AddrPort{})
-	if err != nil {
-		return nil, err
-	}
-	w.mgr.Start()
-	w.loop.RunUntil(CampaignStart.Add(5 * time.Minute))
-
-	// Target weights follow adoption order with the campaign's exponent
-	// (adoption order is popularity-correlated: popular files surface in
-	// harvested libraries first). Normalized so a fully-grown list sums
-	// to 1 and ArrivalsPerDay is the steady-state intensity.
-	norm := 0.0
-	for i := 0; i < cfg.MaxAdopted; i++ {
-		norm += weightOf(i, cfg.TargetExp)
-	}
-	if norm <= 0 {
-		norm = 1
-	}
-
-	pcfg := peersim.DefaultConfig()
-	pcfg.Label = "greedy-pop"
-	pcfg.Server = w.srv.Addr()
-	pcfg.Start = CampaignStart
-	pcfg.End = CampaignStart.Add(time.Duration(cfg.Days) * 24 * time.Hour)
-	pcfg.Scale = cfg.Scale
-	pcfg.ArrivalsPerWeightPerDay = cfg.ArrivalsPerDay / norm
-	pcfg.Catalog = cat
-	pcfg.LibraryMean = 15
-	pcfg.MaxSourcesPerPeer = 1 // only one honeypot exists
-	pcfg.WantsMax = cfg.WantsMax
-	pcfg.RefreshTargets = time.Hour
-
-	// Discovery ramp: the network notices a freshly advertised file
-	// gradually — seekers must issue GET-SOURCES after the offer lands in
-	// the index. This reproduces Fig 3's near-invisible first day.
-	const discoveryRamp = 30 * time.Hour
-	hpHost := hp.Client().Host()
-	addedAt := map[ed2k.Hash]time.Time{}
-	pcfg.Targets = func() []peersim.TargetFile {
-		now := hpHost.Now()
-		adv := hp.Advertised()
-		out := make([]peersim.TargetFile, 0, len(adv))
-		for i, f := range adv {
-			t0, seen := addedAt[f.Hash]
-			if !seen {
-				t0 = now
-				addedAt[f.Hash] = now
-			}
-			ramp := float64(now.Sub(t0)) / float64(discoveryRamp)
-			if ramp > 1 || i < cfg.SeedFiles {
-				// Seed files are established content the network already
-				// knows; only freshly adopted files ramp up.
-				ramp = 1
-			}
-			out = append(out, peersim.TargetFile{
-				Hash: f.Hash, Name: f.Name, Size: f.Size,
-				Weight: weightOf(i, cfg.TargetExp) * ramp,
-			})
-		}
-		return out
-	}
-
-	pop := peersim.New(w.net, pcfg)
-	pop.Start()
-	groupOf := map[string]string{"hp-greedy": honeypot.NoContent.String()}
-	return w.finish("greedy", cfg.Days, pop, groupOf)
-}
-
-// weightOf is the per-file arrival weight at catalog rank.
-func weightOf(rank int, exp float64) float64 {
-	return math.Pow(1/float64(rank+1), exp)
+	return scenario.Run(cfg.Spec())
 }

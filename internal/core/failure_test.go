@@ -1,16 +1,62 @@
 package core
 
+// The platform's failure-handling behaviour (paper §III-A: the manager
+// notices dead or disconnected honeypots, relaunches them and re-pushes
+// their assignment) used to be exercised by two hand-assembled worlds
+// that crashed hosts between RunUntil calls. The scenario engine's
+// FaultSchedule is that pattern as data; these tests declare the same
+// outage and crash campaigns as specs and assert on the Result.
+
 import (
 	"testing"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/honeypot"
-	"repro/internal/manager"
-	"repro/internal/netsim"
-	"repro/internal/peersim"
-	"repro/internal/server"
+	"repro/internal/logging"
+	"repro/internal/scenario"
 )
+
+// faultSpec is the shared scaffolding of both failure campaigns: a
+// small fleet, a modest population, frequent collection.
+func faultSpec(name string, seed int64, days, honeypots int) scenario.Spec {
+	fleet := make([]scenario.HoneypotSpec, honeypots)
+	for i := range fleet {
+		fleet[i] = scenario.HoneypotSpec{
+			ID:       "hp-" + string(rune('0'+i)),
+			Strategy: honeypot.RandomContent.String(),
+			Files:    scenario.FilesSpec{Kind: "four-bait"},
+		}
+	}
+	return scenario.Spec{
+		Name:     name,
+		Seed:     seed,
+		Days:     days,
+		Scale:    1.0,
+		Catalog:  catalog.Config{NumFiles: 2000, Vocabulary: 400, PopularityExp: 0.9, Seed: 5},
+		Topology: scenario.Topology{Servers: 1},
+		Fleet:    fleet,
+		Workloads: []scenario.WorkloadSpec{{
+			Label:          name + "-pop",
+			ArrivalsPerDay: 60, // per unit weight; uniform weight 1 per bait file
+			Targets:        scenario.TargetsSpec{Kind: "static"},
+		}},
+		Collection: scenario.Collection{Every: scenario.Duration(30 * time.Minute)},
+	}
+}
+
+// countAround splits a dataset at the fault window's edges.
+func countAround(res *scenario.Result, down, up time.Time) (before, after int) {
+	for _, r := range res.Dataset.Records {
+		if r.Time.Before(down) {
+			before++
+		}
+		if r.Time.After(up) {
+			after++
+		}
+	}
+	return
+}
 
 // TestServerOutageRecovery injects a directory-server outage in the
 // middle of a campaign and verifies the platform behaves like the
@@ -18,187 +64,97 @@ import (
 // re-pushes their assignment once the server returns, and measurement
 // resumes (records exist on both sides of the outage).
 func TestServerOutageRecovery(t *testing.T) {
-	w, err := buildWorld(123, 30*time.Minute)
+	spec := faultSpec("outage", 123, 4, 4)
+	spec.Faults = scenario.FaultSchedule{{
+		Kind:     scenario.FaultServerOutage,
+		Server:   0,
+		At:       scenario.Duration(24 * time.Hour),
+		Downtime: scenario.Duration(6 * time.Hour),
+	}}
+	res, err := scenario.Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cat := catalog.Generate(catalog.Config{NumFiles: 2000, Vocabulary: 400, PopularityExp: 0.9, Seed: 5})
-	bait := FourBaitFiles(cat)
-	secret := []byte("outage-test")
 
-	for i := 0; i < 4; i++ {
-		id := "hp-" + string(rune('0'+i))
-		if _, err := w.addHoneypot(honeypot.Config{
-			ID: id, Strategy: honeypot.RandomContent, Port: 4662, Secret: secret,
-		}, bait, w.srv.Addr()); err != nil {
-			t.Fatal(err)
-		}
+	if len(res.Faults) != 2 {
+		t.Fatalf("fault log: %+v", res.Faults)
 	}
-	w.mgr.Start()
-	w.loop.RunUntil(CampaignStart.Add(5 * time.Minute))
-
-	targets := make([]peersim.TargetFile, len(bait))
-	for i, f := range bait {
-		targets[i] = peersim.TargetFile{Hash: f.Hash, Name: f.Name, Size: f.Size, Weight: 1}
+	down, up := res.Faults[0], res.Faults[1]
+	if down.Kind != "server-outage" || up.Kind != "server-restart" {
+		t.Fatalf("fault log: %+v", res.Faults)
 	}
-	pcfg := peersim.DefaultConfig()
-	pcfg.Label = "outage-pop"
-	pcfg.Server = w.srv.Addr()
-	pcfg.Start = CampaignStart
-	pcfg.End = CampaignStart.Add(4 * 24 * time.Hour)
-	pcfg.ArrivalsPerWeightPerDay = 60
-	pcfg.Catalog = cat
-	pcfg.Targets = func() []peersim.TargetFile { return targets }
-	pcfg.RefreshTargets = 0
-	pop := peersim.New(w.net, pcfg)
-	pop.Start()
-
-	// Day 1: normal operation.
-	w.loop.RunUntil(CampaignStart.Add(24 * time.Hour))
-
-	// Outage: the server host dies for 6 hours, then a fresh server
-	// process starts on the same address (as an operator would restart it).
-	srvHost, _ := w.net.HostAt(w.srv.Addr().Addr())
-	srvHost.Crash()
-	w.loop.RunUntil(CampaignStart.Add(30 * time.Hour))
-	for _, hp := range w.hps {
-		if hp.Status().Connected {
-			t.Fatal("honeypot still connected during outage")
-		}
-	}
-	srvHost.Restart()
-	srv2 := server.New(srvHost, server.DefaultConfig("restarted"))
-	if err := srv2.Start(); err != nil {
-		t.Fatal(err)
+	if !up.At.Equal(res.Start.Add(30 * time.Hour)) {
+		t.Errorf("restart at %v, want %v", up.At, res.Start.Add(30*time.Hour))
 	}
 
-	// Let the manager's health check reconnect the fleet, then run the
-	// remaining days.
-	w.loop.RunUntil(CampaignStart.Add(4 * 24 * time.Hour))
-	pop.Stop()
-
-	reconnected := 0
-	for _, hp := range w.hps {
-		if hp.Status().Connected {
-			reconnected++
-		}
-	}
-	if reconnected != len(w.hps) {
-		t.Fatalf("only %d/%d honeypots reconnected after the outage", reconnected, len(w.hps))
-	}
-	if srv2.FilesIndexed() == 0 {
-		t.Error("re-advertisement missing after restart")
-	}
-
-	var ds *manager.Dataset
-	w.mgr.Finalize(func(d *manager.Dataset, err error) {
-		if err != nil {
-			t.Errorf("finalize: %v", err)
-			return
-		}
-		ds = d
-	})
-	w.loop.RunUntil(CampaignStart.Add(4*24*time.Hour + time.Hour))
-	if ds == nil {
-		t.Fatal("no dataset")
-	}
-
-	before, after := 0, 0
-	outageEnd := CampaignStart.Add(30 * time.Hour)
-	for _, r := range ds.Records {
-		if r.Time.Before(CampaignStart.Add(24 * time.Hour)) {
-			before++
-		}
-		if r.Time.After(outageEnd) {
-			after++
-		}
-	}
+	before, after := countAround(res, down.At, up.At)
 	if before == 0 {
 		t.Error("no records before the outage")
 	}
 	if after == 0 {
 		t.Error("no records after recovery: measurement did not resume")
 	}
+	// Every honeypot must have resumed measuring on the restarted
+	// server: the health check re-pushed all four assignments.
+	perHP := map[string]int{}
+	for _, r := range res.Dataset.Records {
+		if r.Time.After(up.At) {
+			perHP[r.Honeypot]++
+		}
+	}
+	for _, id := range res.HoneypotIDs {
+		if perHP[id] == 0 {
+			t.Errorf("honeypot %s observed nothing after the restart", id)
+		}
+	}
+	// The restarted server process indexed the re-advertisements.
+	if res.ServerStats.FilesIndexed == 0 {
+		t.Error("re-advertisement missing after restart")
+	}
 }
 
-// TestHoneypotCrashRelaunchInCampaign crashes a honeypot host mid-run and
-// verifies the manager's relaunch hook restores coverage.
+// TestHoneypotCrashRelaunchInCampaign crashes a honeypot host mid-run
+// via the fault schedule and verifies the engine's relaunch path
+// (Manager.ReplaceHandle) restores coverage.
 func TestHoneypotCrashRelaunchInCampaign(t *testing.T) {
-	w, err := buildWorld(321, 20*time.Minute)
+	spec := faultSpec("relaunch", 321, 3, 1)
+	spec.Fleet[0].ID = "hp-frail"
+	spec.Fleet[0].Strategy = honeypot.NoContent.String()
+	spec.Faults = scenario.FaultSchedule{{
+		Kind:     scenario.FaultHoneypotCrash,
+		Honeypot: "hp-frail",
+		At:       scenario.Duration(24 * time.Hour),
+		Downtime: scenario.Duration(4 * time.Hour),
+	}}
+	res, err := scenario.Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cat := catalog.Generate(catalog.Config{NumFiles: 1000, Vocabulary: 300, PopularityExp: 0.9, Seed: 6})
-	bait := FourBaitFiles(cat)
-	secret := []byte("relaunch-test")
 
-	hp, err := w.addHoneypot(honeypot.Config{
-		ID: "hp-frail", Strategy: honeypot.NoContent, Port: 4662, Secret: secret,
-	}, bait, w.srv.Addr())
-	if err != nil {
-		t.Fatal(err)
+	if res.Relaunches["hp-frail"] != 1 {
+		t.Fatalf("relaunches: %v", res.Relaunches)
 	}
-	hpHost := hp.Client().Host().(*netsim.Host)
-
-	// The relaunch hook rebuilds the honeypot on the restarted host, as a
-	// PlanetLab operator (or the paper's manager) would.
-	relaunches := 0
-	w.mgr.Relaunch = func(id string, done func(manager.Handle, error)) {
-		relaunches++
-		hpHost.Restart()
-		hp2 := honeypot.New(hpHost, honeypot.Config{
-			ID: id, Strategy: honeypot.NoContent, Port: 4662, Secret: secret,
-		})
-		if err := hp2.Client().Listen(); err != nil {
-			done(nil, err)
-			return
-		}
-		w.hps[0] = hp2
-		done(manager.NewLocalHandle(id, hp2, w.mgr.Host()), nil)
+	if len(res.Faults) != 2 || res.Faults[1].Kind != "honeypot-relaunch" {
+		t.Fatalf("fault log: %+v", res.Faults)
 	}
-	w.mgr.Start()
-	w.loop.RunUntil(CampaignStart.Add(time.Hour))
-
-	// Crash the honeypot. The LocalHandle's posts are muted by the dead
-	// host, so the manager's status poll times out at the transport level
-	// only for control.Links; LocalHandle health relies on the honeypot
-	// host being up. Simulate the control-path failure by crashing and
-	// letting the health check observe a disconnected status.
-	hpHost.Crash()
-	w.loop.RunUntil(CampaignStart.Add(2 * time.Hour))
-
-	// The LocalHandle can't answer from a crashed host; the manager's
-	// request stalls rather than erroring. Drive the relaunch directly as
-	// the live path (control.Link failure) would, then re-push the
-	// assignment like Manager.relaunch does.
-	st := w.mgr.States()[0]
-	w.mgr.Relaunch("hp-frail", func(h manager.Handle, err error) {
-		if err != nil {
-			t.Fatal(err)
-		}
-		st.Handle = h
-		st.Relaunches++
-		h.ConnectServer(st.Assignment.Server, func(err error) {
-			if err != nil {
-				t.Errorf("reconnect: %v", err)
-				return
-			}
-			h.Advertise(st.Assignment.Files, func(err error) {
-				if err != nil {
-					t.Errorf("re-advertise: %v", err)
-				}
-			})
-		})
-	})
-	w.loop.RunUntil(CampaignStart.Add(3 * time.Hour))
-
-	if relaunches == 0 {
-		t.Fatal("relaunch hook not invoked")
+	before, after := countAround(res, res.Faults[0].At, res.Faults[1].At)
+	if before == 0 {
+		t.Error("no records before the crash")
 	}
-	if !w.hps[0].Status().Connected {
-		t.Error("relaunched honeypot not connected")
+	if after == 0 {
+		t.Error("no records after the relaunch: honeypot did not resume")
 	}
-	if w.srv.FilesIndexed() == 0 {
-		t.Error("relaunched honeypot did not re-advertise")
+	// The relaunched process re-advertised and kept serving HELLOs.
+	if res.HoneypotStats["hp-frail"].Hello == 0 {
+		t.Error("relaunched honeypot saw no HELLOs")
+	}
+	// Its pre-crash memory buffer died with the host, but collected
+	// records survived in the manager: the dataset spans both lives.
+	kinds := map[logging.Kind]bool{}
+	for _, r := range res.Dataset.Records {
+		kinds[r.Kind] = true
+	}
+	if !kinds[logging.KindHello] {
+		t.Error("dataset lost its HELLO records")
 	}
 }

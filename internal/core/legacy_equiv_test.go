@@ -1,0 +1,488 @@
+package core
+
+// This file preserves the pre-redesign monolithic campaign runners
+// verbatim (PR 3 replaced their bodies with declarative scenario specs)
+// and pins the scenario engine to them: for the same config and seed,
+// scenario.Run on the lowered spec must reproduce the legacy runners'
+// datasets bit for bit. The copies are the equivalence oracle — do not
+// "improve" them; if the engine and the oracle diverge, the engine (or
+// the spec lowering) is wrong.
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/client"
+	"repro/internal/des"
+	"repro/internal/ed2k"
+	"repro/internal/honeypot"
+	"repro/internal/logstore"
+	"repro/internal/manager"
+	"repro/internal/netsim"
+	"repro/internal/peersim"
+	"repro/internal/scenario"
+	"repro/internal/server"
+)
+
+// campaignWorld is the shared scaffolding of both legacy campaigns.
+type campaignWorld struct {
+	loop  *des.Loop
+	net   *netsim.Network
+	srv   *server.Server // first server (single-server campaigns use it)
+	srvs  []*server.Server
+	mgr   *manager.Manager
+	hps   []*honeypot.Honeypot
+	ids   []string
+	store *logstore.Store // non-nil in spill-to-disk mode
+}
+
+func legacyBuildWorld(seed int64, collectEvery time.Duration) (*campaignWorld, error) {
+	return legacyBuildWorldN(seed, collectEvery, 1)
+}
+
+func (w *campaignWorld) attachStore(dir string) error {
+	store, err := logstore.Open(dir, logstore.Options{})
+	if err != nil {
+		return fmt.Errorf("core: opening store: %w", err)
+	}
+	if n := store.TotalRecords(); n > 0 {
+		store.Close()
+		return fmt.Errorf("core: store %s already holds %d records from a previous run", dir, n)
+	}
+	w.store = store
+	w.mgr.SetStore(store)
+	return nil
+}
+
+func (w *campaignWorld) closeStore() error {
+	if w.store == nil {
+		return nil
+	}
+	err := w.store.Close()
+	w.store = nil
+	return err
+}
+
+func legacyBuildWorldN(seed int64, collectEvery time.Duration, n int) (*campaignWorld, error) {
+	if n <= 0 {
+		n = 1
+	}
+	loop := des.NewLoop(CampaignStart, seed)
+	nw := netsim.New(loop, netsim.DefaultConfig())
+
+	hosts := make([]*netsim.Host, n)
+	addrs := make([]netip.AddrPort, n)
+	for i := 0; i < n; i++ {
+		hosts[i] = nw.NewHost(fmt.Sprintf("server-%d", i))
+		addrs[i] = netip.AddrPortFrom(hosts[i].Addr(), 4661)
+	}
+	w := &campaignWorld{loop: loop, net: nw}
+	for i := 0; i < n; i++ {
+		cfg := server.DefaultConfig(fmt.Sprintf("paper-server-%d", i))
+		cfg.KnownServers = addrs
+		srv := server.New(hosts[i], cfg)
+		if err := srv.Start(); err != nil {
+			return nil, fmt.Errorf("core: starting server %d: %w", i, err)
+		}
+		w.srvs = append(w.srvs, srv)
+	}
+	w.srv = w.srvs[0]
+
+	mcfg := manager.DefaultConfig()
+	if collectEvery > 0 {
+		mcfg.CollectEvery = collectEvery
+	}
+	w.mgr = manager.New(nw.NewHost("manager"), mcfg)
+	return w, nil
+}
+
+func (w *campaignWorld) serverAddrs() []netip.AddrPort {
+	out := make([]netip.AddrPort, len(w.srvs))
+	for i, s := range w.srvs {
+		out[i] = s.Addr()
+	}
+	return out
+}
+
+func (w *campaignWorld) addHoneypot(cfg honeypot.Config, files []client.SharedFile, on netip.AddrPort) (*honeypot.Honeypot, error) {
+	var shard *logstore.Shard
+	if w.store != nil {
+		var err error
+		if shard, err = w.store.Shard(cfg.ID); err != nil {
+			return nil, fmt.Errorf("core: honeypot %s: %w", cfg.ID, err)
+		}
+		cfg.Sink = shard
+	}
+	hp := honeypot.New(w.net.NewHost(cfg.ID), cfg)
+	if err := hp.Client().Listen(); err != nil {
+		return nil, fmt.Errorf("core: honeypot %s: %w", cfg.ID, err)
+	}
+	if !on.IsValid() {
+		on = w.srv.Addr()
+	}
+	handle := manager.NewLocalHandle(cfg.ID, hp, w.mgr.Host())
+	if shard != nil {
+		handle = manager.NewLocalHandleWithStore(cfg.ID, hp, shard, w.mgr.Host())
+	}
+	w.mgr.Add(handle, manager.Assignment{
+		Server: on,
+		Files:  files,
+	})
+	w.hps = append(w.hps, hp)
+	w.ids = append(w.ids, cfg.ID)
+	return hp, nil
+}
+
+func (w *campaignWorld) finish(name string, days int, pop *peersim.Population, groupOf map[string]string) (*legacyResult, error) {
+	end := CampaignStart.Add(time.Duration(days) * 24 * time.Hour)
+	w.loop.RunUntil(end)
+	pop.Stop()
+
+	var ds *manager.Dataset
+	var dsErr error
+	w.mgr.Finalize(func(d *manager.Dataset, err error) { ds, dsErr = d, err })
+	w.loop.RunUntil(end.Add(time.Hour))
+	if dsErr != nil {
+		return nil, dsErr
+	}
+	if ds == nil {
+		return nil, fmt.Errorf("core: finalize did not complete")
+	}
+
+	res := &legacyResult{
+		Name:          name,
+		Dataset:       ds,
+		Start:         CampaignStart,
+		Days:          days,
+		HoneypotIDs:   w.ids,
+		GroupOf:       groupOf,
+		PopStats:      pop.Stats(),
+		ServerStats:   w.srv.Stats(),
+		HoneypotStats: make(map[string]honeypot.Stats, len(w.hps)),
+		Events:        w.loop.Executed(),
+	}
+	for i, hp := range w.hps {
+		res.HoneypotStats[w.ids[i]] = hp.Stats()
+		res.Advertised = append(res.Advertised[:0], hp.Advertised()...)
+	}
+	if len(w.hps) > 0 {
+		res.Advertised = append([]client.SharedFile(nil), w.hps[0].Advertised()...)
+	}
+	if w.store != nil {
+		res.StoreDir = w.store.Dir()
+		res.StoredRecords = w.store.TotalRecords()
+		if err := w.closeStore(); err != nil {
+			return nil, fmt.Errorf("core: closing store: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// legacyResult mirrors the pre-redesign Result fields.
+type legacyResult struct {
+	Name          string
+	Dataset       *manager.Dataset
+	Start         time.Time
+	Days          int
+	HoneypotIDs   []string
+	GroupOf       map[string]string
+	Advertised    []client.SharedFile
+	PopStats      peersim.Stats
+	ServerStats   server.Stats
+	HoneypotStats map[string]honeypot.Stats
+	Events        uint64
+	StoreDir      string
+	StoredRecords uint64
+}
+
+// legacyRunDistributed is the pre-redesign RunDistributed, verbatim.
+func legacyRunDistributed(cfg DistributedConfig) (*legacyResult, error) {
+	if cfg.Days <= 0 || cfg.Honeypots <= 0 {
+		return nil, fmt.Errorf("core: invalid distributed config")
+	}
+	w, err := legacyBuildWorldN(cfg.Seed, cfg.CollectEvery, cfg.Servers)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.StoreDir != "" {
+		if err := w.attachStore(cfg.StoreDir); err != nil {
+			return nil, err
+		}
+		defer w.closeStore()
+	}
+	cat := catalog.Generate(cfg.Catalog)
+	bait := FourBaitFiles(cat)
+	secret := []byte(fmt.Sprintf("distributed-campaign-%d", cfg.Seed))
+
+	placements := manager.SameServer(w.srv.Addr(), bait, cfg.Honeypots)
+	if len(w.srvs) > 1 {
+		placements = manager.SpreadServers(w.serverAddrs(), bait, cfg.Honeypots)
+	}
+
+	groupOf := make(map[string]string, cfg.Honeypots)
+	for i := 0; i < cfg.Honeypots; i++ {
+		id := fmt.Sprintf("hp-%02d", i)
+		strat := honeypot.NoContent
+		if i%2 == 0 {
+			strat = honeypot.RandomContent
+		}
+		groupOf[id] = strat.String()
+		if _, err := w.addHoneypot(honeypot.Config{
+			ID: id, Strategy: strat, Port: 4662, Secret: secret,
+			BrowseContacts: true,
+		}, bait, placements[i].Server); err != nil {
+			return nil, err
+		}
+	}
+	w.mgr.Start()
+	w.loop.RunUntil(CampaignStart.Add(5 * time.Minute))
+
+	weights := []float64{0.45, 0.30, 0.15, 0.10}
+	targets := make([]peersim.TargetFile, len(bait))
+	for i, f := range bait {
+		wgt := 0.25
+		if i < len(weights) {
+			wgt = weights[i]
+		}
+		targets[i] = peersim.TargetFile{Hash: f.Hash, Name: f.Name, Size: f.Size, Weight: wgt}
+	}
+
+	pcfg := peersim.DefaultConfig()
+	pcfg.Label = "distributed-pop"
+	pcfg.Server = w.srv.Addr()
+	if len(w.srvs) > 1 {
+		pcfg.Servers = w.serverAddrs()
+	}
+	pcfg.Start = CampaignStart
+	pcfg.End = CampaignStart.Add(time.Duration(cfg.Days) * 24 * time.Hour)
+	pcfg.Scale = cfg.Scale
+	pcfg.ArrivalsPerWeightPerDay = cfg.ArrivalsPerDay
+	pcfg.DecayPerDay = cfg.DecayPerDay
+	pcfg.Catalog = cat
+	pcfg.LibraryRegion = cfg.LibraryRegion
+	pcfg.LibraryMean = 8
+	pcfg.HeavyHitters = cfg.HeavyHitters
+	pcfg.Targets = func() []peersim.TargetFile { return targets }
+	pcfg.RefreshTargets = 0
+
+	pop := peersim.New(w.net, pcfg)
+	pop.Start()
+	return w.finish("distributed", cfg.Days, pop, groupOf)
+}
+
+// legacyRunGreedy is the pre-redesign RunGreedy, verbatim.
+func legacyRunGreedy(cfg GreedyConfig) (*legacyResult, error) {
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("core: invalid greedy config")
+	}
+	w, err := legacyBuildWorld(cfg.Seed, cfg.CollectEvery)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.StoreDir != "" {
+		if err := w.attachStore(cfg.StoreDir); err != nil {
+			return nil, err
+		}
+		defer w.closeStore()
+	}
+	cat := catalog.Generate(cfg.Catalog)
+	secret := []byte(fmt.Sprintf("greedy-campaign-%d", cfg.Seed))
+
+	seeds := make([]client.SharedFile, 0, cfg.SeedFiles)
+	for i := 0; i < cat.Len() && len(seeds) < cfg.SeedFiles; i++ {
+		f := cat.File(i)
+		if f.Kind == catalog.Song {
+			seeds = append(seeds, client.SharedFile{Hash: f.Hash, Name: f.Name, Size: f.Size, Type: f.Kind.String()})
+		}
+	}
+
+	hp, err := w.addHoneypot(honeypot.Config{
+		ID: "hp-greedy", Strategy: honeypot.NoContent, Port: 4662, Secret: secret,
+		BrowseContacts: true,
+		Greedy:         true,
+		GreedyWindow:   cfg.AdoptWindow,
+		GreedyMaxFiles: cfg.MaxAdopted,
+	}, seeds, netip.AddrPort{})
+	if err != nil {
+		return nil, err
+	}
+	w.mgr.Start()
+	w.loop.RunUntil(CampaignStart.Add(5 * time.Minute))
+
+	norm := 0.0
+	for i := 0; i < cfg.MaxAdopted; i++ {
+		norm += legacyWeightOf(i, cfg.TargetExp)
+	}
+	if norm <= 0 {
+		norm = 1
+	}
+
+	pcfg := peersim.DefaultConfig()
+	pcfg.Label = "greedy-pop"
+	pcfg.Server = w.srv.Addr()
+	pcfg.Start = CampaignStart
+	pcfg.End = CampaignStart.Add(time.Duration(cfg.Days) * 24 * time.Hour)
+	pcfg.Scale = cfg.Scale
+	pcfg.ArrivalsPerWeightPerDay = cfg.ArrivalsPerDay / norm
+	pcfg.Catalog = cat
+	pcfg.LibraryMean = 15
+	pcfg.MaxSourcesPerPeer = 1
+	pcfg.WantsMax = cfg.WantsMax
+	pcfg.RefreshTargets = time.Hour
+
+	const discoveryRamp = 30 * time.Hour
+	hpHost := hp.Client().Host()
+	addedAt := map[ed2k.Hash]time.Time{}
+	pcfg.Targets = func() []peersim.TargetFile {
+		now := hpHost.Now()
+		adv := hp.Advertised()
+		out := make([]peersim.TargetFile, 0, len(adv))
+		for i, f := range adv {
+			t0, seen := addedAt[f.Hash]
+			if !seen {
+				t0 = now
+				addedAt[f.Hash] = now
+			}
+			ramp := float64(now.Sub(t0)) / float64(discoveryRamp)
+			if ramp > 1 || i < cfg.SeedFiles {
+				ramp = 1
+			}
+			out = append(out, peersim.TargetFile{
+				Hash: f.Hash, Name: f.Name, Size: f.Size,
+				Weight: legacyWeightOf(i, cfg.TargetExp) * ramp,
+			})
+		}
+		return out
+	}
+
+	pop := peersim.New(w.net, pcfg)
+	pop.Start()
+	groupOf := map[string]string{"hp-greedy": honeypot.NoContent.String()}
+	return w.finish("greedy", cfg.Days, pop, groupOf)
+}
+
+func legacyWeightOf(rank int, exp float64) float64 {
+	return math.Pow(1/float64(rank+1), exp)
+}
+
+// requireIdentical pins every field the legacy Result carried to the
+// engine's output, the dataset record for record.
+func requireIdentical(t *testing.T, want *legacyResult, got *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Dataset, got.Dataset) {
+		if len(want.Dataset.Records) != len(got.Dataset.Records) {
+			t.Fatalf("dataset sizes differ: legacy %d, scenario %d",
+				len(want.Dataset.Records), len(got.Dataset.Records))
+		}
+		for i := range want.Dataset.Records {
+			if !reflect.DeepEqual(want.Dataset.Records[i], got.Dataset.Records[i]) {
+				t.Fatalf("record %d differs:\n legacy   %+v\n scenario %+v",
+					i, want.Dataset.Records[i], got.Dataset.Records[i])
+			}
+		}
+		t.Fatalf("dataset metadata differs: legacy {distinct %d, replaced %d, perHP %v}, scenario {distinct %d, replaced %d, perHP %v}",
+			want.Dataset.DistinctPeers, want.Dataset.ReplacedWords, want.Dataset.PerHoneypot,
+			got.Dataset.DistinctPeers, got.Dataset.ReplacedWords, got.Dataset.PerHoneypot)
+	}
+	if want.Name != got.Name || want.Days != got.Days || !want.Start.Equal(got.Start) {
+		t.Errorf("metadata differs: %s/%d vs %s/%d", want.Name, want.Days, got.Name, got.Days)
+	}
+	if !reflect.DeepEqual(want.HoneypotIDs, got.HoneypotIDs) {
+		t.Errorf("fleets differ: %v vs %v", want.HoneypotIDs, got.HoneypotIDs)
+	}
+	if !reflect.DeepEqual(want.GroupOf, got.GroupOf) {
+		t.Errorf("groups differ: %v vs %v", want.GroupOf, got.GroupOf)
+	}
+	if !reflect.DeepEqual(want.Advertised, got.Advertised) {
+		t.Errorf("advertised lists differ: %d vs %d files", len(want.Advertised), len(got.Advertised))
+	}
+	if want.PopStats != got.PopStats {
+		t.Errorf("population stats differ: %+v vs %+v", want.PopStats, got.PopStats)
+	}
+	if !reflect.DeepEqual(want.HoneypotStats, got.HoneypotStats) {
+		t.Errorf("honeypot stats differ: %+v vs %+v", want.HoneypotStats, got.HoneypotStats)
+	}
+	if want.Events != got.Events {
+		t.Errorf("event counts differ: legacy %d, scenario %d", want.Events, got.Events)
+	}
+	if want.StoredRecords != got.StoredRecords {
+		t.Errorf("stored record counts differ: %d vs %d", want.StoredRecords, got.StoredRecords)
+	}
+}
+
+func TestScenarioEquivalenceDistributed(t *testing.T) {
+	cfg := tinyDistributed()
+	cfg.Days = 3
+	want, err := legacyRunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, want, got)
+}
+
+func TestScenarioEquivalenceDistributedMultiServer(t *testing.T) {
+	cfg := tinyDistributed()
+	cfg.Days = 3
+	cfg.Servers = 3
+	want, err := legacyRunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, want, got)
+}
+
+func TestScenarioEquivalenceGreedy(t *testing.T) {
+	cfg := tinyGreedy()
+	want, err := legacyRunGreedy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunGreedy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, want, got)
+}
+
+func TestScenarioEquivalenceDistributedStore(t *testing.T) {
+	cfg := tinyDistributed()
+	cfg.Days = 2
+	cfg.Scale = 0.01
+	cfg.StoreDir = t.TempDir()
+	want, err := legacyRunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.StoreDir = t.TempDir()
+	got, err := RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, want, got)
+}
+
+// TestPaperSpecsMatchConfigLowering pins the registry's paper scenarios
+// to the typed configs' lowering: scenario.PaperDistributed() must be
+// exactly DefaultDistributedConfig().Spec(), so the two entry points can
+// never drift apart.
+func TestPaperSpecsMatchConfigLowering(t *testing.T) {
+	if d, c := scenario.PaperDistributed(), DefaultDistributedConfig().Spec(); !reflect.DeepEqual(d, c) {
+		t.Errorf("PaperDistributed drifted from DefaultDistributedConfig().Spec():\n%+v\nvs\n%+v", d, c)
+	}
+	if g, c := scenario.PaperGreedy(), DefaultGreedyConfig().Spec(); !reflect.DeepEqual(g, c) {
+		t.Errorf("PaperGreedy drifted from DefaultGreedyConfig().Spec():\n%+v\nvs\n%+v", g, c)
+	}
+}

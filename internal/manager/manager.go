@@ -467,6 +467,23 @@ func (m *Manager) HealthCheckNow(done func()) {
 	}
 }
 
+// ReplaceHandle installs a fresh handle for honeypot id — a relaunched
+// process the caller rebuilt itself, e.g. the scenario engine's fault
+// injector — bumps its relaunch counter and re-pushes the assignment.
+// It reports whether the id was known.
+func (m *Manager) ReplaceHandle(id string, h Handle) bool {
+	st := m.byID[id]
+	if st == nil {
+		return false
+	}
+	st.Handle = h
+	st.Relaunches++
+	st.Healthy = true
+	st.noIncremental = false // the replacement may serve checkpoints
+	m.push(st)
+	return true
+}
+
 func (m *Manager) relaunch(st *HoneypotState, finish func()) {
 	if m.Relaunch == nil {
 		finish()
@@ -475,11 +492,7 @@ func (m *Manager) relaunch(st *HoneypotState, finish func()) {
 	id := st.Handle.ID()
 	m.Relaunch(id, func(h Handle, err error) {
 		if err == nil && h != nil {
-			st.Handle = h
-			st.Relaunches++
-			st.Healthy = true
-			st.noIncremental = false // the replacement may serve checkpoints
-			m.push(st)
+			m.ReplaceHandle(id, h)
 		}
 		finish()
 	})

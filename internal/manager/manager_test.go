@@ -223,6 +223,44 @@ func TestRelaunchHook(t *testing.T) {
 	}
 }
 
+// TestReplaceHandle covers the caller-driven relaunch path the scenario
+// engine's fault injector uses: the caller rebuilds the honeypot itself
+// and swaps the handle in, and the manager re-pushes the assignment.
+func TestReplaceHandle(t *testing.T) {
+	w := newWorld(t, 1, DefaultConfig())
+	hpHost := w.hps[0].Client().Host().(*netsim.Host)
+
+	hpHost.Crash()
+	w.settle()
+	hpHost.Restart()
+	hp2 := honeypot.New(hpHost, honeypot.Config{
+		ID: "hp-0", Strategy: honeypot.NoContent, Port: 4662, Secret: secret,
+	})
+	if err := hp2.Client().Listen(); err != nil {
+		t.Fatal(err)
+	}
+	w.hps[0] = hp2
+
+	if w.mgr.ReplaceHandle("hp-9", NewLocalHandle("hp-9", hp2, w.mgr.Host())) {
+		t.Error("unknown id accepted")
+	}
+	if !w.mgr.ReplaceHandle("hp-0", NewLocalHandle("hp-0", hp2, w.mgr.Host())) {
+		t.Fatal("known id rejected")
+	}
+	w.settle()
+
+	st := w.mgr.States()[0]
+	if st.Relaunches != 1 {
+		t.Errorf("relaunches: %d", st.Relaunches)
+	}
+	if !hp2.Status().Connected {
+		t.Error("replacement not reconnected")
+	}
+	if hp2.Status().Advertised == 0 {
+		t.Error("assignment not re-pushed")
+	}
+}
+
 func TestFinalizePipeline(t *testing.T) {
 	w := newWorld(t, 2, DefaultConfig())
 	shared := w.newPeer(t, "shared-peer")

@@ -1,0 +1,537 @@
+package scenario
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/client"
+	"repro/internal/des"
+	"repro/internal/honeypot"
+	"repro/internal/logstore"
+	"repro/internal/manager"
+	"repro/internal/netsim"
+	"repro/internal/peersim"
+	"repro/internal/server"
+)
+
+// honeypotPort is the fleet's peer listening port (eDonkey convention).
+const honeypotPort = 4662
+
+// settleDelay is how long the engine lets placement settle before
+// starting workloads (the paper saw its first query after ten minutes;
+// five virtual minutes cover the manager's setup exchange).
+const settleDelay = 5 * time.Minute
+
+// Result is the outcome of one campaign.
+type Result struct {
+	// Name labels the campaign ("distributed", "greedy", ...).
+	Name string
+	// Dataset is the manager's merged, renumbered, audited output.
+	Dataset *manager.Dataset
+	// Start and Days delimit the measurement window.
+	Start time.Time
+	Days  int
+	// HoneypotIDs lists the fleet in launch order.
+	HoneypotIDs []string
+	// GroupOf maps honeypot ID to its strategy name ("random-content" /
+	// "no-content").
+	GroupOf map[string]string
+	// Advertised is the final advertised file set (grown by adoption in
+	// greedy campaigns).
+	Advertised []client.SharedFile
+	// PopStats, ServerStats and HoneypotStats expose component counters.
+	// Multi-workload campaigns sum their populations into PopStats; the
+	// per-workload breakdown is WorkloadStats, in spec order.
+	PopStats      peersim.Stats
+	WorkloadStats []peersim.Stats
+	ServerStats   server.Stats
+	HoneypotStats map[string]honeypot.Stats
+	// Relaunches counts fault-driven honeypot relaunches by ID.
+	Relaunches map[string]int
+	// Faults is the executed fault log, in order.
+	Faults []FaultEvent
+	// Events is the number of simulation events executed.
+	Events uint64
+	// StoreDir, when the campaign ran in spill-to-disk mode, is the
+	// logstore directory holding every record in segmented files (one
+	// shard per honeypot). Empty for in-memory campaigns.
+	StoreDir string
+	// StoredRecords is the record count persisted in StoreDir.
+	StoredRecords uint64
+}
+
+// FaultEvent is one executed entry of the fault schedule.
+type FaultEvent struct {
+	// At is when the action was applied (virtual time).
+	At time.Time
+	// Kind is "server-outage", "server-restart", "honeypot-crash" or
+	// "honeypot-relaunch".
+	Kind string
+	// Target is the server name or honeypot ID.
+	Target string
+}
+
+// launched is the engine's per-honeypot launch record, kept so fault
+// actions can rebuild the honeypot exactly as it was.
+type launched struct {
+	cfg    honeypot.Config
+	files  []client.SharedFile
+	server netip.AddrPort
+	shard  *logstore.Shard // non-nil in spill-to-disk mode
+}
+
+// world is the running campaign.
+type world struct {
+	spec  Spec
+	loop  *des.Loop
+	net   *netsim.Network
+	srvs  []*server.Server
+	mgr   *manager.Manager
+	hps   []*honeypot.Honeypot
+	ids   []string
+	info  []launched
+	store *logstore.Store // non-nil in spill-to-disk mode
+	cat   *catalog.Catalog
+
+	faultLog []FaultEvent
+}
+
+// Run validates the spec and executes it on a fresh simulated world.
+func Run(spec Spec) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := buildWorld(spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Collection.StoreDir != "" {
+		if err := w.attachStore(spec.Collection.StoreDir); err != nil {
+			return nil, err
+		}
+		defer w.closeStore() // error paths; finish() closes on success
+	}
+	w.cat = catalog.Generate(spec.Catalog)
+	secret := spec.secret()
+
+	env := &Env{
+		Spec:      spec,
+		Catalog:   w.cat,
+		Honeypots: make(map[string]*honeypot.Honeypot, len(spec.Fleet)),
+		Files:     make(map[string][]client.SharedFile, len(spec.Fleet)),
+	}
+	for _, hs := range spec.Fleet {
+		strat, err := parseStrategy(hs.Strategy)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: honeypot %s: %w", hs.ID, err)
+		}
+		files, err := resolveFiles(hs.Files, w.cat)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: honeypot %s: %w", hs.ID, err)
+		}
+		hp, err := w.addHoneypot(honeypot.Config{
+			ID: hs.ID, Strategy: strat, Port: honeypotPort, Secret: secret,
+			BrowseContacts: hs.BrowseContacts,
+			Greedy:         hs.Greedy,
+			GreedyWindow:   time.Duration(hs.GreedyWindow),
+			GreedyMaxFiles: hs.GreedyMaxFiles,
+		}, files, w.srvs[hs.Server].Addr())
+		if err != nil {
+			return nil, err
+		}
+		env.Honeypots[hs.ID] = hp
+		env.Files[hs.ID] = files
+	}
+	w.mgr.Start()
+	w.loop.RunUntil(CampaignStart.Add(settleDelay))
+
+	// Workload starts and fault actions share one timeline, executed in
+	// order between RunUntil segments — exactly how the hand-assembled
+	// failure tests drove their worlds. pops is indexed by workload spec
+	// position (not start order), so Result.WorkloadStats lines up with
+	// Spec.Workloads.
+	pops := make([]*peersim.Population, len(spec.Workloads))
+	actions, err := w.timeline(spec, env, pops)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range actions {
+		if at := CampaignStart.Add(a.at); at.After(w.loop.Now()) {
+			w.loop.RunUntil(at)
+		}
+		if err := a.run(); err != nil {
+			return nil, err
+		}
+	}
+	return w.finish(spec, pops)
+}
+
+// buildWorld creates the federation, the manager and an empty fleet.
+func buildWorld(spec Spec) (*world, error) {
+	n := spec.Topology.Servers
+	loop := des.NewLoop(CampaignStart, spec.Seed)
+	nw := netsim.New(loop, netsim.DefaultConfig())
+
+	hosts := make([]*netsim.Host, n)
+	addrs := make([]netip.AddrPort, n)
+	for i := 0; i < n; i++ {
+		hosts[i] = nw.NewHost(fmt.Sprintf("server-%d", i))
+		addrs[i] = netip.AddrPortFrom(hosts[i].Addr(), 4661)
+	}
+	w := &world{spec: spec, loop: loop, net: nw}
+	for i := 0; i < n; i++ {
+		cfg := server.DefaultConfig(fmt.Sprintf("paper-server-%d", i))
+		cfg.KnownServers = addrs // federation: everyone knows everyone
+		srv := server.New(hosts[i], cfg)
+		if err := srv.Start(); err != nil {
+			return nil, fmt.Errorf("scenario: starting server %d: %w", i, err)
+		}
+		w.srvs = append(w.srvs, srv)
+	}
+
+	mcfg := manager.DefaultConfig()
+	if spec.Collection.Every > 0 {
+		mcfg.CollectEvery = time.Duration(spec.Collection.Every)
+	}
+	w.mgr = manager.New(nw.NewHost("manager"), mcfg)
+	return w, nil
+}
+
+// attachStore switches the world to spill-to-disk mode: honeypots added
+// afterwards write through shards of a store at dir, and the manager
+// streams the store at finalize instead of holding logs in memory.
+func (w *world) attachStore(dir string) error {
+	store, err := logstore.Open(dir, logstore.Options{})
+	if err != nil {
+		return fmt.Errorf("scenario: opening store: %w", err)
+	}
+	// A simulated campaign starts from nothing; records left by an
+	// earlier run would silently merge into (and double) the dataset.
+	// Live honeypots resume dirty stores on purpose — campaigns refuse.
+	if n := store.TotalRecords(); n > 0 {
+		store.Close()
+		return fmt.Errorf("scenario: store %s already holds %d records from a previous run; point it at a fresh directory", dir, n)
+	}
+	w.store = store
+	w.mgr.SetStore(store)
+	return nil
+}
+
+// closeStore releases the spill store; safe to call twice, so Run can
+// defer it for error paths while finish() handles success.
+func (w *world) closeStore() error {
+	if w.store == nil {
+		return nil
+	}
+	err := w.store.Close()
+	w.store = nil
+	return err
+}
+
+// serverAddrs lists all directory servers.
+func (w *world) serverAddrs() []netip.AddrPort {
+	out := make([]netip.AddrPort, len(w.srvs))
+	for i, s := range w.srvs {
+		out[i] = s.Addr()
+	}
+	return out
+}
+
+// addHoneypot creates, registers and places one honeypot on the given
+// directory server.
+func (w *world) addHoneypot(cfg honeypot.Config, files []client.SharedFile, on netip.AddrPort) (*honeypot.Honeypot, error) {
+	var shard *logstore.Shard
+	if w.store != nil {
+		var err error
+		if shard, err = w.store.Shard(cfg.ID); err != nil {
+			return nil, fmt.Errorf("scenario: honeypot %s: %w", cfg.ID, err)
+		}
+		cfg.Sink = shard
+	}
+	hp := honeypot.New(w.net.NewHost(cfg.ID), cfg)
+	if err := hp.Client().Listen(); err != nil {
+		return nil, fmt.Errorf("scenario: honeypot %s: %w", cfg.ID, err)
+	}
+	handle := manager.NewLocalHandle(cfg.ID, hp, w.mgr.Host())
+	if shard != nil {
+		handle = manager.NewLocalHandleWithStore(cfg.ID, hp, shard, w.mgr.Host())
+	}
+	w.mgr.Add(handle, manager.Assignment{
+		Server: on,
+		Files:  files,
+	})
+	w.hps = append(w.hps, hp)
+	w.ids = append(w.ids, cfg.ID)
+	w.info = append(w.info, launched{cfg: cfg, files: files, server: on, shard: shard})
+	return hp, nil
+}
+
+// action is one timeline entry: start a workload, crash something,
+// restart something.
+type action struct {
+	at  time.Duration // offset from campaign start
+	run func() error
+}
+
+// timeline compiles workload starts and the fault schedule into one
+// time-ordered action list. Ties keep insertion order (workloads before
+// faults), so identical specs always replay identically. Each started
+// population lands in pops at its workload's spec index.
+func (w *world) timeline(spec Spec, env *Env, pops []*peersim.Population) ([]action, error) {
+	var actions []action
+
+	for i := range spec.Workloads {
+		i := i
+		ws := spec.Workloads[i]
+		pcfg, err := w.workloadConfig(spec, env, ws)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: workload %s: %w", ws.Label, err)
+		}
+		at := time.Duration(ws.StartOffset)
+		if at < settleDelay {
+			at = settleDelay // never before placement settles
+		}
+		actions = append(actions, action{at: at, run: func() error {
+			pop := peersim.New(w.net, pcfg)
+			pop.Start()
+			pops[i] = pop
+			return nil
+		}})
+	}
+
+	for i := range spec.Faults {
+		f := spec.Faults[i]
+		switch f.Kind {
+		case FaultServerOutage:
+			actions = append(actions,
+				action{at: time.Duration(f.At), run: func() error { return w.crashServer(f.Server) }},
+				action{at: time.Duration(f.At) + time.Duration(f.Downtime), run: func() error { return w.restartServer(f.Server) }},
+			)
+		case FaultHoneypotCrash:
+			actions = append(actions,
+				action{at: time.Duration(f.At), run: func() error { return w.crashHoneypot(f.Honeypot) }},
+				action{at: time.Duration(f.At) + time.Duration(f.Downtime), run: func() error { return w.relaunchHoneypot(f.Honeypot) }},
+			)
+		}
+	}
+
+	sort.SliceStable(actions, func(i, j int) bool { return actions[i].at < actions[j].at })
+	return actions, nil
+}
+
+// workloadConfig compiles one WorkloadSpec into a peersim.Config.
+func (w *world) workloadConfig(spec Spec, env *Env, ws WorkloadSpec) (peersim.Config, error) {
+	pcfg := peersim.DefaultConfig()
+	pcfg.Label = ws.Label
+	pcfg.Server = w.srvs[0].Addr()
+	if len(ws.Servers) > 0 {
+		addrs := make([]netip.AddrPort, len(ws.Servers))
+		for i, idx := range ws.Servers {
+			addrs[i] = w.srvs[idx].Addr()
+		}
+		pcfg.Server = addrs[0]
+		if len(addrs) > 1 {
+			pcfg.Servers = addrs
+		}
+	}
+	pcfg.Start = CampaignStart.Add(time.Duration(ws.StartOffset))
+	pcfg.End = spec.end()
+	if ws.EndOffset > 0 {
+		pcfg.End = CampaignStart.Add(time.Duration(ws.EndOffset))
+	}
+	pcfg.Scale = spec.Scale
+	pcfg.Catalog = env.Catalog
+	pcfg.LibraryRegion = ws.LibraryRegion
+	if ws.LibraryMean > 0 {
+		pcfg.LibraryMean = ws.LibraryMean
+	}
+	if ws.DecayPerDay > 0 {
+		pcfg.DecayPerDay = ws.DecayPerDay
+	}
+	pcfg.HeavyHitters = ws.HeavyHitters
+	if ws.MaxSourcesPerPeer > 0 {
+		pcfg.MaxSourcesPerPeer = ws.MaxSourcesPerPeer
+	}
+	pcfg.WantsMax = ws.WantsMax
+	pcfg.RefreshTargets = time.Duration(ws.RefreshTargets)
+
+	build := targetBuilders[ws.Targets.Kind]
+	if build == nil {
+		return pcfg, fmt.Errorf("unknown targets kind %q", ws.Targets.Kind)
+	}
+	targets, perWeight, err := build(env, ws)
+	if err != nil {
+		return pcfg, err
+	}
+	pcfg.Targets = targets
+	pcfg.ArrivalsPerWeightPerDay = perWeight
+	return pcfg, nil
+}
+
+// crashServer takes a federation member's host down.
+func (w *world) crashServer(idx int) error {
+	srv := w.srvs[idx]
+	host, ok := w.net.HostAt(srv.Addr().Addr())
+	if !ok {
+		return fmt.Errorf("scenario: fault: no host for server %d", idx)
+	}
+	host.Crash()
+	w.faultLog = append(w.faultLog, FaultEvent{At: w.loop.Now(), Kind: "server-outage", Target: fmt.Sprintf("server-%d", idx)})
+	return nil
+}
+
+// restartServer brings the host back and starts a fresh server process
+// on the same address, as an operator would; the manager's health check
+// then reconnects the fleet and re-pushes assignments.
+func (w *world) restartServer(idx int) error {
+	host, ok := w.net.HostAt(w.srvs[idx].Addr().Addr())
+	if !ok {
+		return fmt.Errorf("scenario: fault: no host for server %d", idx)
+	}
+	host.Restart()
+	cfg := server.DefaultConfig(fmt.Sprintf("paper-server-%d-restarted", idx))
+	cfg.KnownServers = w.serverAddrs()
+	srv := server.New(host, cfg)
+	if err := srv.Start(); err != nil {
+		return fmt.Errorf("scenario: fault: restarting server %d: %w", idx, err)
+	}
+	w.srvs[idx] = srv
+	w.faultLog = append(w.faultLog, FaultEvent{At: w.loop.Now(), Kind: "server-restart", Target: fmt.Sprintf("server-%d", idx)})
+	return nil
+}
+
+// crashHoneypot kills one fleet member's host; records not yet durable
+// or collected die with it, as they would on PlanetLab.
+func (w *world) crashHoneypot(id string) error {
+	i := w.fleetIndex(id)
+	if i < 0 {
+		return fmt.Errorf("scenario: fault: unknown honeypot %q", id)
+	}
+	w.hps[i].Client().Host().(*netsim.Host).Crash()
+	w.faultLog = append(w.faultLog, FaultEvent{At: w.loop.Now(), Kind: "honeypot-crash", Target: id})
+	return nil
+}
+
+// relaunchHoneypot restarts the host, rebuilds the honeypot with its
+// original config (and shard, so durable logging resumes in place) and
+// swaps the manager's handle, which re-pushes the assignment.
+func (w *world) relaunchHoneypot(id string) error {
+	i := w.fleetIndex(id)
+	if i < 0 {
+		return fmt.Errorf("scenario: fault: unknown honeypot %q", id)
+	}
+	info := w.info[i]
+	host := w.hps[i].Client().Host().(*netsim.Host)
+	host.Restart()
+	hp := honeypot.New(host, info.cfg)
+	if err := hp.Client().Listen(); err != nil {
+		return fmt.Errorf("scenario: fault: relaunching honeypot %s: %w", id, err)
+	}
+	handle := manager.NewLocalHandle(id, hp, w.mgr.Host())
+	if info.shard != nil {
+		handle = manager.NewLocalHandleWithStore(id, hp, info.shard, w.mgr.Host())
+	}
+	w.hps[i] = hp
+	w.mgr.ReplaceHandle(id, handle)
+	w.faultLog = append(w.faultLog, FaultEvent{At: w.loop.Now(), Kind: "honeypot-relaunch", Target: id})
+	return nil
+}
+
+func (w *world) fleetIndex(id string) int {
+	for i, have := range w.ids {
+		if have == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// finish runs the campaign to its end, finalizes the dataset and
+// collects metadata.
+func (w *world) finish(spec Spec, pops []*peersim.Population) (*Result, error) {
+	end := spec.end()
+	w.loop.RunUntil(end)
+	for _, pop := range pops {
+		if pop != nil {
+			pop.Stop()
+		}
+	}
+
+	var ds *manager.Dataset
+	var dsErr error
+	w.mgr.Finalize(func(d *manager.Dataset, err error) { ds, dsErr = d, err })
+	// Drain the finalize exchange (bounded: populations stopped).
+	w.loop.RunUntil(end.Add(time.Hour))
+	if dsErr != nil {
+		return nil, dsErr
+	}
+	if ds == nil {
+		return nil, fmt.Errorf("scenario: finalize did not complete")
+	}
+
+	groupOf := make(map[string]string, len(spec.Fleet))
+	for _, hs := range spec.Fleet {
+		groupOf[hs.ID] = hs.Strategy
+	}
+	res := &Result{
+		Name:          spec.Name,
+		Dataset:       ds,
+		Start:         CampaignStart,
+		Days:          spec.Days,
+		HoneypotIDs:   w.ids,
+		GroupOf:       groupOf,
+		ServerStats:   w.srvs[0].Stats(),
+		HoneypotStats: make(map[string]honeypot.Stats, len(w.hps)),
+		Faults:        w.faultLog,
+		Events:        w.loop.Executed(),
+	}
+	for _, pop := range pops {
+		var s peersim.Stats
+		if pop != nil {
+			s = pop.Stats()
+		}
+		res.WorkloadStats = append(res.WorkloadStats, s)
+		res.PopStats = sumStats(res.PopStats, s)
+	}
+	for i, hp := range w.hps {
+		res.HoneypotStats[w.ids[i]] = hp.Stats()
+	}
+	// Fleets advertising a shared set report the first member's list;
+	// greedy campaigns report the grown list the same way.
+	if len(w.hps) > 0 {
+		res.Advertised = append([]client.SharedFile(nil), w.hps[0].Advertised()...)
+	}
+	for _, st := range w.mgr.States() {
+		if st.Relaunches > 0 {
+			if res.Relaunches == nil {
+				res.Relaunches = make(map[string]int)
+			}
+			res.Relaunches[st.Handle.ID()] = st.Relaunches
+		}
+	}
+	if w.store != nil {
+		res.StoreDir = w.store.Dir()
+		res.StoredRecords = w.store.TotalRecords()
+		if err := w.closeStore(); err != nil {
+			return nil, fmt.Errorf("scenario: closing store: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// sumStats adds two populations' counters.
+func sumStats(a, b peersim.Stats) peersim.Stats {
+	a.Arrivals += b.Arrivals
+	a.PeerExchange += b.PeerExchange
+	a.LowID += b.LowID
+	a.NoSources += b.NoSources
+	a.Contacts += b.Contacts
+	a.HardFails += b.HardFails
+	a.Blacklists += b.Blacklists
+	a.Quits += b.Quits
+	a.Completejobs += b.Completejobs
+	return a
+}

@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"fmt"
+	"slices"
+)
+
+// registry maps scenario names to spec constructors. Constructors (not
+// specs) are stored so every Lookup hands out a fresh value the caller
+// can mutate freely.
+var registry = map[string]func() Spec{}
+
+// Register adds a named scenario. It errors on duplicate names so two
+// packages cannot silently shadow each other's campaigns.
+func Register(name string, fn func() Spec) error {
+	if name == "" || fn == nil {
+		return fmt.Errorf("scenario: Register needs a name and a constructor")
+	}
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("scenario: %q already registered", name)
+	}
+	registry[name] = fn
+	return nil
+}
+
+// mustRegister is Register for init-time built-ins.
+func mustRegister(name string, fn func() Spec) {
+	if err := Register(name, fn); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns a fresh copy of a registered scenario's spec.
+func Lookup(name string) (Spec, error) {
+	fn, ok := registry[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown scenario %q (registered: %v)", name, Names())
+	}
+	return fn(), nil
+}
+
+// Names lists the registered scenarios, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	slices.Sort(names)
+	return names
+}

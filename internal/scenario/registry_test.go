@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestRegistryHasBuiltins(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"distributed", "greedy", "federation-mixed", "churn-fleet", "flash-crowd"} {
+		if !slices.Contains(names, want) {
+			t.Errorf("registry missing %q (have %v)", want, names)
+		}
+	}
+	if !slices.IsSorted(names) {
+		t.Errorf("Names not sorted: %v", names)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("no-such-campaign"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestLookupReturnsFreshCopies(t *testing.T) {
+	a, err := Lookup("distributed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Seed = 999
+	a.Fleet[0].ID = "clobbered"
+	b, err := Lookup("distributed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Seed == 999 || b.Fleet[0].ID == "clobbered" {
+		t.Error("Lookup handed out shared state")
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	if err := Register("dup-test", PaperDistributed); err != nil {
+		t.Fatal(err)
+	}
+	defer delete(registry, "dup-test")
+	if err := Register("dup-test", PaperGreedy); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := Register("", PaperDistributed); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := Register("nil-fn", nil); err == nil {
+		t.Fatal("nil constructor accepted")
+	}
+}
+
+func TestRegisteredSpecsValidate(t *testing.T) {
+	for _, name := range Names() {
+		spec, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("registered scenario %q does not validate: %v", name, err)
+		}
+	}
+}
+
+func TestDuplicateTargetsRegistration(t *testing.T) {
+	if err := RegisterTargets("static", buildStaticTargets); err == nil {
+		t.Fatal("duplicate targets kind accepted")
+	}
+	if err := RegisterTargets("", buildStaticTargets); err == nil {
+		t.Fatal("empty targets kind accepted")
+	}
+}

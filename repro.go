@@ -2,19 +2,34 @@
 // "Measurement of eDonkey Activity with Distributed Honeypots" (Allali,
 // Latapy, Magnien — HotP2P/IPDPS 2009, arXiv:0904.3215).
 //
-// It exposes the two campaign runners (the paper's distributed and
-// greedy measurements) and a Report type that regenerates every table
-// and figure of the paper's evaluation from a campaign result:
+// Campaigns are declarative: a Spec composes a directory-server
+// topology, a honeypot fleet, one or more peer workloads, an optional
+// fault schedule and a collection policy, and RunSpec executes it on
+// the simulated world. Named scenarios live in a registry — the
+// paper's two measurements ("distributed", "greedy") plus regimes the
+// paper only gestures at (multi-server federations, churning fleets,
+// flash crowds) — and specs round-trip through JSON, so a campaign can
+// be a file:
 //
-//	res, err := repro.RunDistributed(repro.ScaledDistributed(0.1))
+//	spec, err := repro.ScenarioSpec("distributed")
+//	if err != nil { ... }
+//	spec.Scale = 0.1
+//	res, err := repro.RunSpec(spec)
 //	if err != nil { ... }
 //	rep := repro.Analyze(res)
 //	fmt.Println(rep.TableI)
 //
+// The typed configs for the paper's two campaigns remain as a stable
+// façade: RunDistributed and RunGreedy lower a DistributedConfig or
+// GreedyConfig to its spec and run it through the same engine. Analyze
+// regenerates every table and figure of the paper's evaluation from
+// any campaign result.
+//
 // The underlying platform — eDonkey wire protocol, directory server,
-// client engine, honeypots, manager, anonymization pipeline, and the
-// behavioural peer population that substitutes for the live network —
-// lives in the internal packages; see DESIGN.md for the inventory.
+// client engine, honeypots, manager, anonymization pipeline, the
+// behavioural peer population that substitutes for the live network,
+// and the scenario engine itself — lives in the internal packages; see
+// DESIGN.md for the inventory.
 package repro
 
 import (
@@ -24,11 +39,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/ed2k"
 	"repro/internal/logging"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
 // Re-exported campaign types.
 type (
+	// Spec is a declarative campaign: topology + fleet + workloads +
+	// faults + collection. Build one directly, fetch a registered one
+	// with ScenarioSpec, or decode one from JSON.
+	Spec = scenario.Spec
 	// DistributedConfig parameterizes the 24-honeypot campaign.
 	DistributedConfig = core.DistributedConfig
 	// GreedyConfig parameterizes the shared-list-harvesting campaign.
@@ -36,6 +56,15 @@ type (
 	// Result is a finished campaign.
 	Result = core.Result
 )
+
+// Scenarios lists the registered scenario names, sorted.
+func Scenarios() []string { return scenario.Names() }
+
+// ScenarioSpec returns a fresh copy of a registered scenario's spec.
+func ScenarioSpec(name string) (Spec, error) { return scenario.Lookup(name) }
+
+// RunSpec validates and executes any campaign spec.
+func RunSpec(spec Spec) (*Result, error) { return scenario.Run(spec) }
 
 // DefaultDistributed returns the paper's distributed setup (scale 1).
 func DefaultDistributed() DistributedConfig { return core.DefaultDistributedConfig() }
