@@ -12,12 +12,20 @@ import (
 	"testing"
 	"time"
 
+	"net/netip"
+	"runtime"
+
 	"repro"
 	"repro/internal/analysis"
 	"repro/internal/catalog"
+	"repro/internal/client"
+	"repro/internal/des"
 	"repro/internal/ed2k"
+	"repro/internal/honeypot"
 	"repro/internal/logging"
 	"repro/internal/logstore"
+	"repro/internal/manager"
+	"repro/internal/netsim"
 	"repro/internal/stats"
 )
 
@@ -532,4 +540,147 @@ func BenchmarkCoInterestGraph(b *testing.B) {
 	}
 	b.ReportMetric(float64(st.Edges), "edges")
 	b.ReportMetric(float64(st.LargestComponent), "largest_component")
+}
+
+// ---------------------------------------------------------------------------
+// Finalize: materialized vs streamed.
+
+// benchStoreHandle is a store-backed manager handle with inline
+// callbacks: collection transfers nothing, so the benchmark measures
+// the finalize pipeline alone.
+type benchStoreHandle struct {
+	id    string
+	shard *logstore.Shard
+}
+
+func (h *benchStoreHandle) ID() string                                      { return h.id }
+func (h *benchStoreHandle) Status(cb func(honeypot.Status, error))          { cb(honeypot.Status{}, nil) }
+func (h *benchStoreHandle) Advertise(_ []client.SharedFile, cb func(error)) { cb(nil) }
+func (h *benchStoreHandle) ConnectServer(_ netip.AddrPort, cb func(error))  { cb(nil) }
+func (h *benchStoreHandle) Close()                                          {}
+func (h *benchStoreHandle) TakeRecords(cb func([]logging.Record, error))    { cb(nil, nil) }
+func (h *benchStoreHandle) Shard() *logstore.Shard                          { return h.shard }
+
+// finalizeBenchManager spills the benchmark campaign into an on-disk
+// store and wires a manager over it, so each Finalize/FinalizeStream
+// call replays the full collect→merge→anonymize→audit path from disk.
+func finalizeBenchManager(b *testing.B) *manager.Manager {
+	b.Helper()
+	res, _ := distributed(b)
+	store, err := logstore.Open(b.TempDir(), logstore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { store.Close() })
+	for _, r := range res.Dataset.Records {
+		if err := store.AppendRecord(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	loop := des.NewLoop(time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC), 1)
+	nw := netsim.New(loop, netsim.DefaultConfig())
+	m := manager.New(nw.NewHost("bench-mgr"), manager.DefaultConfig())
+	m.SetStore(store)
+	for _, id := range store.ShardNames() {
+		sh, err := store.Shard(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Add(&benchStoreHandle{id: id, shard: sh}, manager.Assignment{})
+	}
+	return m
+}
+
+// liveHeapBytes returns the live heap after a forced GC — the
+// retained-memory complement to B/op's total-allocation view.
+func liveHeapBytes() float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc)
+}
+
+// BenchmarkFinalize compares the materialized finalize (the campaign
+// becomes a []Record dataset) against the streaming pipeline (records
+// flow source→audit→renumber→anonymize one at a time) over the same
+// spill store. "streamed" drains the pipeline itself — its live state
+// is O(distinct peers + distinct words), not O(records) — and
+// "streamed-frame" lands it in the columnar frame, the at-scale
+// analysis path (19 B/record instead of whole records).
+func BenchmarkFinalize(b *testing.B) {
+	b.Run("materialized", func(b *testing.B) {
+		m := finalizeBenchManager(b)
+		base := liveHeapBytes()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var ds *manager.Dataset
+		for i := 0; i < b.N; i++ {
+			m.Finalize(func(d *manager.Dataset, err error) {
+				if err != nil {
+					b.Fatal(err)
+				}
+				ds = d
+			})
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(len(ds.Records))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		b.ReportMetric(liveHeapBytes()-base, "live_B")
+		runtime.KeepAlive(ds)
+	})
+	b.Run("streamed", func(b *testing.B) {
+		m := finalizeBenchManager(b)
+		base := liveHeapBytes()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var stream *manager.DatasetStream
+		n := 0
+		for i := 0; i < b.N; i++ {
+			m.FinalizeStream(func(s *manager.DatasetStream, err error) {
+				if err != nil {
+					b.Fatal(err)
+				}
+				stream = s
+			})
+			n = 0
+			for {
+				if _, err := stream.Next(); err != nil {
+					if !errors.Is(err, io.EOF) {
+						b.Fatal(err)
+					}
+					break
+				}
+				n++
+			}
+			stream.Close() // per iteration: each FinalizeStream opens its own store cursor
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		b.ReportMetric(liveHeapBytes()-base, "live_B")
+		runtime.KeepAlive(stream)
+	})
+	b.Run("streamed-frame", func(b *testing.B) {
+		m := finalizeBenchManager(b)
+		base := liveHeapBytes()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var f *analysis.Frame
+		for i := 0; i < b.N; i++ {
+			var stream *manager.DatasetStream
+			m.FinalizeStream(func(s *manager.DatasetStream, err error) {
+				if err != nil {
+					b.Fatal(err)
+				}
+				stream = s
+			})
+			var err error
+			if f, err = analysis.BuildFrameIter(stream); err != nil {
+				b.Fatal(err)
+			}
+			stream.Close()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(f.Len())*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		b.ReportMetric(liveHeapBytes()-base, "live_B")
+		runtime.KeepAlive(f)
+	})
 }

@@ -39,15 +39,16 @@ func main() {
 	log.SetFlags(log.Ltime)
 	log.SetPrefix("hpmanager: ")
 	var (
-		hpList   = flag.String("honeypots", "", "comma-separated control endpoints (required)")
-		srvAddr  = flag.String("server", "127.0.0.1:4661", "directory server for the fleet")
-		linkFile = flag.String("links", "", "file of ed2k links to advertise (optional)")
-		duration = flag.Duration("duration", time.Minute, "measurement duration")
-		collect  = flag.Duration("collect-every", 10*time.Second, "log collection period")
-		health   = flag.Duration("health-every", 5*time.Second, "status poll period")
-		out      = flag.String("out", "dataset.jsonl", "output JSONL dataset")
-		ip       = flag.String("ip", "127.0.0.1", "address to bind the manager")
-		storeDir = flag.String("store", "", "spill collected records into a segmented on-disk logstore instead of holding them in memory")
+		hpList    = flag.String("honeypots", "", "comma-separated control endpoints (required)")
+		srvAddr   = flag.String("server", "127.0.0.1:4661", "directory server for the fleet")
+		linkFile  = flag.String("links", "", "file of ed2k links to advertise (optional)")
+		duration  = flag.Duration("duration", time.Minute, "measurement duration")
+		collect   = flag.Duration("collect-every", 10*time.Second, "log collection period")
+		health    = flag.Duration("health-every", 5*time.Second, "status poll period")
+		out       = flag.String("out", "dataset.jsonl", "output JSONL dataset")
+		ip        = flag.String("ip", "127.0.0.1", "address to bind the manager")
+		storeDir  = flag.String("store", "", "spill collected records into a segmented on-disk logstore instead of holding them in memory")
+		exportDir = flag.String("export", "", "additionally stream the anonymized dataset into a segmented on-disk logstore under this directory, for later streaming analysis")
 	)
 	flag.Parse()
 
@@ -128,13 +129,17 @@ func main() {
 	log.Printf("measuring for %v ...", *duration)
 	time.Sleep(*duration)
 
+	// Finalize through the streaming pipeline: the anonymized dataset
+	// flows record-by-record into the JSONL file (and the export store,
+	// when asked) without ever materializing a []Record — a ten-week
+	// campaign's dataset needs no more memory than its distinct values.
 	type finResult struct {
-		ds  *manager.Dataset
+		ds  *manager.DatasetStream
 		err error
 	}
 	fin := make(chan finResult, 1)
 	host.Post(func() {
-		mgr.Finalize(func(ds *manager.Dataset, err error) {
+		mgr.FinalizeStream(func(ds *manager.DatasetStream, err error) {
 			fin <- finResult{ds, err}
 		})
 	})
@@ -142,18 +147,39 @@ func main() {
 	if res.err != nil {
 		log.Fatalf("finalize: %v", res.err)
 	}
+	defer res.ds.Close()
+
+	var it logging.Iterator = res.ds
+	if *exportDir != "" {
+		export, err := logstore.Open(*exportDir, logstore.Options{})
+		if err != nil {
+			log.Fatalf("opening -export: %v", err)
+		}
+		defer export.Close()
+		// Appending a second campaign after a first would silently merge
+		// the two datasets on the next streamed analysis.
+		if n := export.TotalRecords(); n > 0 {
+			log.Fatalf("-export %s already holds %d records from a previous run; point it at a fresh directory", *exportDir, n)
+		}
+		it = logging.Map(it, func(r *logging.Record) error {
+			return export.AppendRecord(*r)
+		})
+		log.Printf("exporting anonymized dataset to %s", *exportDir)
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatalf("creating %s: %v", *out, err)
 	}
 	defer f.Close()
-	if err := logging.WriteJSONL(f, res.ds.Records); err != nil {
+	n, err := logging.WriteJSONLIter(f, it)
+	if err != nil {
 		log.Fatalf("writing %s: %v", *out, err)
 	}
 	log.Printf("wrote %d records (%d distinct peers) to %s",
-		len(res.ds.Records), res.ds.DistinctPeers, *out)
-	for id, n := range res.ds.PerHoneypot {
-		log.Printf("  %s contributed %d records", id, n)
+		n, res.ds.DistinctPeers(), *out)
+	for id, c := range res.ds.PerHoneypot() {
+		log.Printf("  %s contributed %d records", id, c)
 	}
 }
 

@@ -45,6 +45,8 @@ func main() {
 		jsonl     = flag.Bool("jsonl", false, "also dump the anonymized dataset as JSONL into -out")
 		servers   = flag.Int("servers", 1, "directory servers for the distributed campaign (1 = paper setup)")
 		storeDir  = flag.String("store", "", "spill records to a segmented on-disk logstore under this directory (per-campaign subdirectory)")
+		stream    = flag.Bool("stream", false, "finalize through the streaming record pipeline: the dataset flows straight into the columnar frame, never materializing records (scenario runs only)")
+		exportDir = flag.String("export", "", "stream the anonymized dataset into an on-disk logstore under this directory for later analysis (per-scenario subdirectory; implies -stream, scenario runs only)")
 		scenName  = flag.String("scenario", "", "run a registered scenario by name instead of -campaign")
 		scenFile  = flag.String("scenario-file", "", "run a campaign spec decoded from this JSON file")
 		listScens = flag.Bool("list-scenarios", false, "print registered scenario names and exit")
@@ -75,10 +77,19 @@ func main() {
 		if *storeDir != "" {
 			spec.Collection.StoreDir = filepath.Join(*storeDir, spec.Name)
 		}
+		if *stream {
+			spec.Collection.Stream = true // a spec's own "stream": true also stands
+		}
+		if *exportDir != "" {
+			spec.Collection.ExportDir = filepath.Join(*exportDir, spec.Name)
+		}
 		runScenario(spec, *outDir, *jsonl)
 		return
 	}
 
+	if *stream || *exportDir != "" {
+		log.Fatal("-stream and -export need a scenario run; use -scenario NAME (the paper's campaigns are registered as \"distributed\" and \"greedy\")")
+	}
 	runD := *campaign == "both" || *campaign == "distributed"
 	runG := *campaign == "both" || *campaign == "greedy"
 	if !runD && !runG {
@@ -169,6 +180,39 @@ func reportStore(res *repro.Result) {
 	}
 }
 
+// reportExport verifies the -export store round-trips: the anonymized
+// dataset written during the streamed finalize is reopened and streamed
+// into a fresh columnar frame — the "later analysis" path an exported
+// campaign exists for — and its stats must agree with the finalize's.
+func reportExport(res *repro.Result) {
+	if res.ExportDir == "" {
+		return
+	}
+	store, err := logstore.Open(res.ExportDir, logstore.Options{})
+	if err != nil {
+		log.Fatalf("reopening export store: %v", err)
+	}
+	defer store.Close()
+	it, err := store.Iterator()
+	if err != nil {
+		log.Fatalf("export store iterator: %v", err)
+	}
+	defer it.Close()
+	f, err := analysis.BuildFrameIter(it)
+	if err != nil {
+		log.Fatalf("streaming export store: %v", err)
+	}
+	fmt.Printf("export: %d anonymized records in %d shard(s) under %s; streamed re-read: %d distinct peers\n",
+		res.ExportedRecords, len(store.ShardNames()), res.ExportDir, f.DistinctPeers())
+	if uint64(f.Len()) != res.ExportedRecords {
+		log.Fatalf("export store re-read %d records, finalize wrote %d", f.Len(), res.ExportedRecords)
+	}
+	if f.DistinctPeers() != res.Dataset.DistinctPeers {
+		log.Fatalf("export store disagrees with dataset: %d vs %d distinct peers",
+			f.DistinctPeers(), res.Dataset.DistinctPeers)
+	}
+}
+
 // loadSpec fetches a registered scenario or decodes a spec file.
 func loadSpec(name, file string) repro.Spec {
 	if name != "" && file != "" {
@@ -203,16 +247,30 @@ func runScenario(spec repro.Spec, outDir string, jsonl bool) {
 	if err != nil {
 		log.Fatalf("%s: %v", spec.Name, err)
 	}
+	records := len(res.Dataset.Records)
+	if res.Frame != nil {
+		records = res.Frame.Len() // streamed finalize: no []Record exists
+	}
 	fmt.Printf("simulated %d events in %v; %d records, %d distinct peers\n",
 		res.Events, time.Since(start).Round(time.Millisecond),
-		len(res.Dataset.Records), res.Dataset.DistinctPeers)
+		records, res.Dataset.DistinctPeers)
 	reportStore(res)
+	reportExport(res)
 	for _, f := range res.Faults {
 		fmt.Printf("fault: %-18s %-12s at %s\n", f.Kind, f.Target, f.At.Format("2006-01-02 15:04"))
 	}
 	fmt.Println()
 
-	rep := repro.Analyze(res)
+	var rep *repro.Report
+	if res.Frame != nil {
+		// Streamed finalize: the report derives from the frame built
+		// while draining the pipeline — records never materialized.
+		if rep, err = repro.AnalyzeStream(res); err != nil {
+			log.Fatalf("%s: %v", spec.Name, err)
+		}
+	} else {
+		rep = repro.Analyze(res)
+	}
 	fmt.Println("--- Table I ---")
 	fmt.Println(rep.TableI)
 
@@ -245,9 +303,31 @@ func runScenario(spec repro.Spec, outDir string, jsonl bool) {
 			return analysis.GrowthCSV(f, rep.PeerGrowth)
 		})
 		if jsonl {
-			mustWrite(outDir, prefix+"_dataset.jsonl", func(f *os.File) error {
-				return logging.WriteJSONL(f, res.Dataset.Records)
-			})
+			switch {
+			case res.Frame == nil:
+				mustWrite(outDir, prefix+"_dataset.jsonl", func(f *os.File) error {
+					return logging.WriteJSONL(f, res.Dataset.Records)
+				})
+			case res.ExportDir != "":
+				// Streamed finalize: the records live only in the export
+				// store — stream them out without materializing.
+				mustWrite(outDir, prefix+"_dataset.jsonl", func(f *os.File) error {
+					store, err := logstore.Open(res.ExportDir, logstore.Options{})
+					if err != nil {
+						return err
+					}
+					defer store.Close()
+					it, err := store.Iterator()
+					if err != nil {
+						return err
+					}
+					defer it.Close()
+					_, err = logging.WriteJSONLIter(f, it)
+					return err
+				})
+			default:
+				log.Print("-jsonl ignored: a -stream run keeps no records; add -export DIR to persist the dataset")
+			}
 		}
 	}
 }

@@ -8,8 +8,6 @@ package analysis
 // the campaign size.
 
 import (
-	"errors"
-	"io"
 	"time"
 
 	"repro/internal/ed2k"
@@ -17,44 +15,25 @@ import (
 	"repro/internal/stats"
 )
 
-// RecordIter is a streaming record source: Next returns records in
-// timestamp order and io.EOF at the end. logstore's Iterator satisfies
-// it.
-type RecordIter interface {
-	Next() (logging.Record, error)
-}
+// RecordIter is the canonical streaming record source, promoted to
+// package logging so the storage, anonymization and analysis layers
+// share one contract: Next returns records in timestamp order and
+// io.EOF at the end. logstore's Iterator, manager.DatasetStream and
+// every logging pipeline stage satisfy it.
+type RecordIter = logging.Iterator
 
 // SliceIter adapts an in-memory record slice to RecordIter.
-type SliceIter struct {
-	recs []logging.Record
-	i    int
-}
+type SliceIter = logging.SliceIter
 
 // NewSliceIter iterates over recs.
-func NewSliceIter(recs []logging.Record) *SliceIter { return &SliceIter{recs: recs} }
-
-// Next implements RecordIter.
-func (s *SliceIter) Next() (logging.Record, error) {
-	if s.i >= len(s.recs) {
-		return logging.Record{}, io.EOF
-	}
-	r := s.recs[s.i]
-	s.i++
-	return r, nil
-}
+func NewSliceIter(recs []logging.Record) *SliceIter { return logging.NewSliceIter(recs) }
 
 // each drains the iterator, invoking fn per record.
 func each(it RecordIter, fn func(r *logging.Record)) error {
-	for {
-		r, err := it.Next()
-		if errors.Is(err, io.EOF) {
-			return nil
-		}
-		if err != nil {
-			return err
-		}
-		fn(&r)
-	}
+	return logging.Each(it, func(r *logging.Record) error {
+		fn(r)
+		return nil
+	})
 }
 
 // StreamTableI is ComputeTableI over a record stream.

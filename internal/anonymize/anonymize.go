@@ -1,16 +1,28 @@
-// Package anonymize implements the paper's privacy pipeline (its §III-C):
+// Package anonymize implements the paper's privacy pipeline (its §III-C)
+// as composable streaming stages over logging.Iterator, so the published
+// dataset of an arbitrarily large campaign is produced without ever
+// holding the merged log in memory:
 //
 //  1. Each honeypot encodes peer IP addresses with a keyed one-way hash
-//     before anything is written to disk or sent to the manager. The key
-//     is shared campaign-wide so the same address hashes identically at
-//     every honeypot, which step 2 requires.
+//     (IPHasher) before anything is written to disk or sent to the
+//     manager. The key is shared campaign-wide so the same address hashes
+//     identically at every honeypot, which step 2 requires.
 //  2. The manager replaces each hash value — coherently across all
-//     honeypot logs — by a small integer in order of first appearance,
+//     honeypot logs — by a small integer in order of first appearance
+//     (Renumberer.RenumberIter, a stateful single-pass map stage),
 //     defeating the 2^32 dictionary attack the paper warns about.
+//  3. File names are anonymized by replacing every word that appears less
+//     often than a threshold with an integer token (NameAnonymizer), an
+//     explicitly two-pass stage: ObserveIter counts corpus-wide word
+//     frequencies over one pass of a re-iterable source, AnonymizeIter
+//     rewrites names on the second pass. State is O(distinct words).
+//  4. AuditIter is a pass-through verifier: records flow unchanged while
+//     every PeerIP is checked for address leaks; a failure aborts the
+//     stream with an AuditError naming the offending record.
 //
-// Additionally, file names are anonymized by replacing every word that
-// appears less often than a threshold with an integer token, following
-// the paper's filename anonymization rule.
+// The slice-based entry points (RenumberRecords, AnonymizeRecordNames,
+// Audit) remain for in-memory datasets and tests; they run the same
+// stages over a slice iterator.
 package anonymize
 
 import (
@@ -72,6 +84,21 @@ func (r *Renumberer) Number(hash string) int {
 // Count returns how many distinct hashes were seen.
 func (r *Renumberer) Count() int { return len(r.m) }
 
+// RenumberIter is the streaming step-2 stage: records flow through with
+// PeerIP rewritten from step-1 hashes to first-appearance integers
+// (decimal strings). The renumberer's state — one map entry per distinct
+// peer, never per record — accumulates across everything streamed, so one
+// Renumberer keeps the numbering coherent over all of a campaign's logs.
+// Count is final once the stream is drained.
+func (r *Renumberer) RenumberIter(src logging.Iterator) logging.Iterator {
+	return logging.Map(src, func(rec *logging.Record) error {
+		if rec.PeerIP != "" {
+			rec.PeerIP = strconv.Itoa(r.Number(rec.PeerIP))
+		}
+		return nil
+	})
+}
+
 // RenumberRecords rewrites PeerIP in place from step-1 hashes to step-2
 // integers (decimal strings), and returns the number of distinct peers.
 // Records must already carry hashed (never raw) addresses.
@@ -89,6 +116,8 @@ func (r *Renumberer) RenumberRecords(recs []logging.Record) int {
 // Filename anonymization.
 
 // NameAnonymizer replaces rare words in file names with integer tokens.
+// It is a two-pass stage: frequencies must be corpus-wide, so every name
+// is observed (pass 1) before any name is rewritten (pass 2).
 type NameAnonymizer struct {
 	threshold int
 	freq      map[string]int
@@ -139,6 +168,21 @@ func (a *NameAnonymizer) Observe(name string) {
 	}
 }
 
+// ObserveIter is pass 1 of the streaming stage: it drains src, counting
+// the word frequencies of every file name (FileName fields and
+// shared-list entries). Memory is one counter per distinct word.
+func (a *NameAnonymizer) ObserveIter(src logging.Iterator) error {
+	return logging.Each(src, func(r *logging.Record) error {
+		if r.FileName != "" {
+			a.Observe(r.FileName)
+		}
+		for _, f := range r.Files {
+			a.Observe(f.Name)
+		}
+		return nil
+	})
+}
+
 // Anonymize rewrites a name, replacing below-threshold words coherently.
 func (a *NameAnonymizer) Anonymize(name string) string {
 	parts := splitWords(name)
@@ -164,6 +208,28 @@ func (a *NameAnonymizer) Anonymize(name string) string {
 	return b.String()
 }
 
+// AnonymizeIter is pass 2 of the streaming stage: records flow through
+// with every file name rewritten under the frequencies ObserveIter
+// gathered. Shared-list slices are cloned before rewriting, so the
+// source's records are never mutated — a re-iterable source stays
+// pristine for further passes.
+func (a *NameAnonymizer) AnonymizeIter(src logging.Iterator) logging.Iterator {
+	return logging.Map(src, func(r *logging.Record) error {
+		if r.FileName != "" {
+			r.FileName = a.Anonymize(r.FileName)
+		}
+		if len(r.Files) > 0 {
+			files := make([]logging.SharedFile, len(r.Files))
+			copy(files, r.Files)
+			for i := range files {
+				files[i].Name = a.Anonymize(files[i].Name)
+			}
+			r.Files = files
+		}
+		return nil
+	})
+}
+
 // ReplacedWords returns how many distinct words were replaced so far.
 func (a *NameAnonymizer) ReplacedWords() int { return len(a.mapping) }
 
@@ -172,13 +238,8 @@ func (a *NameAnonymizer) ReplacedWords() int { return len(a.mapping) }
 // frequencies computed over the whole set first.
 func AnonymizeRecordNames(recs []logging.Record, threshold int) *NameAnonymizer {
 	a := NewNameAnonymizer(threshold)
-	for i := range recs {
-		if recs[i].FileName != "" {
-			a.Observe(recs[i].FileName)
-		}
-		for _, f := range recs[i].Files {
-			a.Observe(f.Name)
-		}
+	if err := a.ObserveIter(logging.NewSliceIter(recs)); err != nil {
+		panic("anonymize: slice iterator cannot fail: " + err.Error())
 	}
 	for i := range recs {
 		if recs[i].FileName != "" {
@@ -194,20 +255,67 @@ func AnonymizeRecordNames(recs []logging.Record, threshold int) *NameAnonymizer 
 // ---------------------------------------------------------------------------
 // Audit.
 
-// Audit verifies no raw IP address survived anonymization: it fails if
-// any PeerIP field parses as an IP address or is neither a step-1 hash
-// (16 hex chars) nor a step-2 integer.
+// AuditError reports exactly which record leaked: its position in the
+// merged stream, the collecting honeypot, and the offending field and
+// value, so an operator can trace the leak to its source instead of
+// re-running the pipeline under a debugger.
+type AuditError struct {
+	// Index is the record's position in the audited stream (0-based).
+	Index int
+	// Honeypot is the record's collecting honeypot.
+	Honeypot string
+	// Field names the leaking record field (e.g. "peer_ip").
+	Field string
+	// Value is the offending field content.
+	Value string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+// Error implements error.
+func (e *AuditError) Error() string {
+	return fmt.Sprintf("anonymize: record %d (honeypot %q) field %s = %q %s",
+		e.Index, e.Honeypot, e.Field, e.Value, e.Reason)
+}
+
+// auditRecord checks one record for address leaks.
+func auditRecord(i int, r *logging.Record) *AuditError {
+	ip := r.PeerIP
+	if ip == "" {
+		return nil
+	}
+	if _, err := netip.ParseAddr(ip); err == nil {
+		return &AuditError{Index: i, Honeypot: r.Honeypot, Field: "peer_ip", Value: ip,
+			Reason: "leaks a raw address"}
+	}
+	if !looksHashed(ip) && !looksNumbered(ip) {
+		return &AuditError{Index: i, Honeypot: r.Honeypot, Field: "peer_ip", Value: ip,
+			Reason: "is neither hashed nor renumbered"}
+	}
+	return nil
+}
+
+// AuditIter is the pass-through verifier stage: records flow through
+// unchanged while every one is checked for raw-address leaks; the first
+// leak aborts the stream with an *AuditError.
+func AuditIter(src logging.Iterator) logging.Iterator {
+	i := 0
+	return logging.Map(src, func(r *logging.Record) error {
+		if err := auditRecord(i, r); err != nil {
+			return err
+		}
+		i++
+		return nil
+	})
+}
+
+// Audit verifies no raw IP address survived anonymization: it fails with
+// an *AuditError if any PeerIP field parses as an IP address or is
+// neither a step-1 hash (16 hex chars) nor a step-2 integer.
 func Audit(recs []logging.Record) error {
 	for i := range recs {
-		ip := recs[i].PeerIP
-		if ip == "" {
-			continue
-		}
-		if _, err := netip.ParseAddr(ip); err == nil {
-			return fmt.Errorf("anonymize: record %d leaks raw address %q", i, ip)
-		}
-		if !looksHashed(ip) && !looksNumbered(ip) {
-			return fmt.Errorf("anonymize: record %d PeerIP %q is neither hashed nor renumbered", i, ip)
+		if err := auditRecord(i, &recs[i]); err != nil {
+			return err
 		}
 	}
 	return nil

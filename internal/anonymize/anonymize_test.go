@@ -1,8 +1,11 @@
 package anonymize
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"net/netip"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -275,5 +278,153 @@ func BenchmarkRenumber100k(b *testing.B) {
 		cp := make([]logging.Record, len(recs))
 		copy(cp, recs)
 		NewRenumberer().RenumberRecords(cp)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Streaming stages.
+
+// drainAll pulls an iterator dry, returning records and the terminal
+// error (nil for a clean io.EOF).
+func drainAll(t *testing.T, it logging.Iterator) ([]logging.Record, error) {
+	t.Helper()
+	var out []logging.Record
+	for {
+		r, err := it.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+}
+
+// TestStagesMatchSlicePipeline pins the streaming pipeline (renumber →
+// observe/anonymize → audit) bit-identical to the slice-based one on
+// the same input.
+func TestStagesMatchSlicePipeline(t *testing.T) {
+	h := NewIPHasher([]byte("stage-secret"))
+	var recs []logging.Record
+	base := netip.MustParseAddr("10.0.0.0")
+	names := []string{
+		"popular.word.rareone.avi",
+		"popular.word.raretwo.avi",
+		"popular.word.mp3",
+		"", // records without a file
+	}
+	addr := base
+	for i := 0; i < 40; i++ {
+		addr = addr.Next()
+		if i%3 == 0 {
+			addr = base // repeats: coherent renumbering matters
+		}
+		r := logging.Record{
+			Honeypot: fmt.Sprintf("hp-%d", i%3),
+			PeerIP:   h.HashIP(addr),
+			FileName: names[i%len(names)],
+		}
+		if i%7 == 0 {
+			r.Files = []logging.SharedFile{{Name: "popular.shared.rarethree.iso"}}
+		}
+		recs = append(recs, r)
+	}
+
+	// Slice path.
+	want := make([]logging.Record, len(recs))
+	copy(want, recs)
+	for i := range want { // deep-copy shared lists: the slice path mutates them
+		if len(want[i].Files) > 0 {
+			want[i].Files = append([]logging.SharedFile(nil), recs[i].Files...)
+		}
+	}
+	renA := NewRenumberer()
+	distinctWant := renA.RenumberRecords(want)
+	naA := AnonymizeRecordNames(want, 2)
+	if err := Audit(want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Streaming path over a re-iterable source.
+	src := logging.NewMergeSource(recs)
+	renB := NewRenumberer()
+	naB := NewNameAnonymizer(2)
+	pass1, _ := src.Iter()
+	if err := naB.ObserveIter(pass1); err != nil {
+		t.Fatal(err)
+	}
+	pass2, _ := src.Iter()
+	got, err := drainAll(t, AuditIter(naB.AnonymizeIter(renB.RenumberIter(pass2))))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("streamed records differ from slice pipeline")
+	}
+	if renB.Count() != distinctWant {
+		t.Fatalf("distinct peers: streamed %d, slice %d", renB.Count(), distinctWant)
+	}
+	if naB.ReplacedWords() != naA.ReplacedWords() {
+		t.Fatalf("replaced words: streamed %d, slice %d", naB.ReplacedWords(), naA.ReplacedWords())
+	}
+	// The streaming stage must not have touched the source records.
+	for i := range recs {
+		if recs[i].PeerIP == want[i].PeerIP && want[i].PeerIP != "" {
+			t.Fatalf("record %d source PeerIP was rewritten in place", i)
+		}
+		for j := range recs[i].Files {
+			if recs[i].Files[j].Name != "popular.shared.rarethree.iso" {
+				t.Fatalf("record %d source shared list mutated: %q", i, recs[i].Files[j].Name)
+			}
+		}
+	}
+}
+
+// TestAuditErrorNamesOffendingRecord: audit failures identify the
+// record by stream index, honeypot, field and value.
+func TestAuditErrorNamesOffendingRecord(t *testing.T) {
+	recs := []logging.Record{
+		{Honeypot: "hp-0", PeerIP: "42"},
+		{Honeypot: "hp-7", PeerIP: "192.0.2.55"},
+	}
+	err := Audit(recs)
+	if err == nil {
+		t.Fatal("raw address passed the audit")
+	}
+	var ae *AuditError
+	if !errors.As(err, &ae) {
+		t.Fatalf("audit error is %T, want *AuditError", err)
+	}
+	if ae.Index != 1 || ae.Honeypot != "hp-7" || ae.Field != "peer_ip" || ae.Value != "192.0.2.55" {
+		t.Fatalf("AuditError = %+v", ae)
+	}
+	for _, want := range []string{"record 1", "hp-7", "peer_ip", "192.0.2.55"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+
+	// The streaming verifier reports the same identification.
+	_, serr := drainAll(t, AuditIter(logging.NewSliceIter(recs)))
+	var sae *AuditError
+	if !errors.As(serr, &sae) {
+		t.Fatalf("stream audit error is %T, want *AuditError", serr)
+	}
+	if *sae != *ae {
+		t.Fatalf("stream AuditError %+v differs from slice %+v", sae, ae)
+	}
+}
+
+// TestAuditIterPassThrough: clean records flow unchanged.
+func TestAuditIterPassThrough(t *testing.T) {
+	recs := []logging.Record{{PeerIP: "0"}, {PeerIP: ""}, {PeerIP: "12"}}
+	got, err := drainAll(t, AuditIter(logging.NewSliceIter(recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatal("audit stage altered records")
 	}
 }

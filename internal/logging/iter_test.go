@@ -1,0 +1,148 @@
+package logging
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// randomLogs fabricates per-honeypot logs in time order, with plenty of
+// equal timestamps so merge tie-breaking is exercised.
+func randomLogs(rng *rand.Rand, n int) [][]Record {
+	logs := make([][]Record, n)
+	for i := range logs {
+		t := time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC)
+		for j := 0; j < rng.Intn(50); j++ {
+			t = t.Add(time.Duration(rng.Intn(3)) * time.Second) // frequent ties
+			logs[i] = append(logs[i], Record{
+				Time:     t,
+				Honeypot: fmt.Sprintf("hp-%d", i),
+				Kind:     KindHello,
+				PeerIP:   fmt.Sprintf("%016x", rng.Uint64()),
+			})
+		}
+	}
+	return logs
+}
+
+// TestMergeIterMatchesMerge pins the streaming merge to the
+// materialized one: identical records, identical tie-break order.
+func TestMergeIterMatchesMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		logs := randomLogs(rng, 1+rng.Intn(5))
+		want := Merge(logs...)
+		got, err := Drain(MergeIter(logs...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d records streamed, %d merged", trial, len(got), len(want))
+		}
+		if !reflect.DeepEqual(got, want) && len(want) > 0 {
+			t.Fatalf("trial %d: streams differ", trial)
+		}
+	}
+}
+
+func TestMergeIterEmpty(t *testing.T) {
+	it := MergeIter(nil, []Record{})
+	if _, err := it.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty merge: %v", err)
+	}
+	// EOF is sticky.
+	if _, err := it.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("EOF not sticky: %v", err)
+	}
+}
+
+// TestMergeSourceReIterates: every Iter pass over a MergeSource yields
+// the same stream — the contract two-pass pipeline stages rely on.
+func TestMergeSourceReIterates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	logs := randomLogs(rng, 3)
+	src := NewMergeSource(logs...)
+	it1, err := src.Iter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Drain(it1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it2, err := src.Iter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Drain(it2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("second pass differs from first")
+	}
+}
+
+func TestMapTransformsAndAborts(t *testing.T) {
+	recs := []Record{{PeerIP: "a"}, {PeerIP: "b"}, {PeerIP: "boom"}, {PeerIP: "c"}}
+	sentinel := errors.New("bad record")
+	it := Map(NewSliceIter(recs), func(r *Record) error {
+		if r.PeerIP == "boom" {
+			return sentinel
+		}
+		r.PeerIP = strings.ToUpper(r.PeerIP)
+		return nil
+	})
+	got, err := Drain(it)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if len(got) != 2 || got[0].PeerIP != "A" || got[1].PeerIP != "B" {
+		t.Fatalf("transformed prefix = %+v", got)
+	}
+	// Map must not mutate the source slice.
+	if recs[0].PeerIP != "a" {
+		t.Fatal("Map mutated its source")
+	}
+}
+
+func TestWriteJSONLIterMatchesWriteJSONL(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	recs := Merge(randomLogs(rng, 2)...)
+	var a, b strings.Builder
+	if err := WriteJSONL(&a, recs); err != nil {
+		t.Fatal(err)
+	}
+	n, err := WriteJSONLIter(&b, NewSliceIter(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(recs) {
+		t.Fatalf("wrote %d records, want %d", n, len(recs))
+	}
+	if a.String() != b.String() {
+		t.Fatal("streaming JSONL differs from materialized JSONL")
+	}
+}
+
+type closeRecorder struct {
+	SliceIter
+	closed bool
+}
+
+func (c *closeRecorder) Close() error { c.closed = true; return nil }
+
+func TestCloseIter(t *testing.T) {
+	c := &closeRecorder{}
+	if err := CloseIter(c); err != nil || !c.closed {
+		t.Fatalf("CloseIter missed the closer: err=%v closed=%v", err, c.closed)
+	}
+	if err := CloseIter(NewSliceIter(nil)); err != nil {
+		t.Fatalf("plain iterator close: %v", err)
+	}
+}

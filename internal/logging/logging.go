@@ -13,7 +13,6 @@ package logging
 
 import (
 	"bufio"
-	"container/heap"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -475,25 +474,20 @@ func (h *mergeHeap) Pop() any {
 
 // Merge combines per-honeypot logs (each already in time order, as
 // produced) into one stream ordered by timestamp. This is the manager's
-// "merge and unify" step.
+// "merge and unify" step, materialized; MergeIter is the streaming form
+// it drains.
 func Merge(logs ...[]Record) []Record {
 	total := 0
-	h := make(mergeHeap, 0, len(logs))
-	for i, l := range logs {
+	for _, l := range logs {
 		total += len(l)
-		if len(l) > 0 {
-			h = append(h, mergeItem{rec: l[0], src: i, pos: 0})
-		}
 	}
-	heap.Init(&h)
 	out := make([]Record, 0, total)
-	for h.Len() > 0 {
-		it := heap.Pop(&h).(mergeItem)
-		out = append(out, it.rec)
-		next := it.pos + 1
-		if next < len(logs[it.src]) {
-			heap.Push(&h, mergeItem{rec: logs[it.src][next], src: it.src, pos: next})
+	it := MergeIter(logs...)
+	for {
+		r, err := it.Next()
+		if err != nil {
+			return out
 		}
+		out = append(out, r)
 	}
-	return out
 }

@@ -1,0 +1,25 @@
+package logstore
+
+import (
+	"fmt"
+
+	"repro/internal/logging"
+)
+
+// AppendRecord appends r into the shard named by its Honeypot field,
+// creating the shard on first sight. This is the write side of dataset
+// export: an anonymized finalize stream teed through here lands in a
+// store whose merged Iterator replays the exact stream order (ties
+// break by shard name, matching the finalize merge), ready for later
+// streaming analysis.
+func (s *Store) AppendRecord(r logging.Record) error {
+	name := r.Honeypot
+	if name == "" {
+		return fmt.Errorf("logstore: cannot shard a record with no honeypot id")
+	}
+	sh, err := s.Shard(name)
+	if err != nil {
+		return err
+	}
+	return sh.AppendRecord(r)
+}

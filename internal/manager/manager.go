@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"sort"
 	"time"
 
 	"repro/internal/anonymize"
@@ -511,82 +512,215 @@ type Dataset struct {
 	PerHoneypot map[string]int
 }
 
+// DatasetStream is the streaming form of Dataset: the unified,
+// anonymized, audited campaign log as an iterator. Records flow
+// source → renumber → filename-anonymize → audit one at a time; peak
+// pipeline memory is O(distinct peers + distinct filename words), never
+// O(records). The stats accessors (DistinctPeers, ReplacedWords,
+// PerHoneypot) are final only once Next has returned io.EOF. Close
+// releases the underlying store cursor, if any; consume and close the
+// stream before reusing or closing the manager's store.
+type DatasetStream struct {
+	it   logging.Iterator // full pipeline output
+	base logging.Iterator // the source cursor, for Close
+	ren  *anonymize.Renumberer
+	na   *anonymize.NameAnonymizer // nil when name anonymization is off
+
+	perHP   map[string]int
+	countHP bool     // store mode: count honeypots while draining
+	hps     []string // known honeypot IDs, zero-filled at EOF
+}
+
+// Next implements logging.Iterator: it returns the next anonymized
+// record, an *anonymize.AuditError if a leak is detected, or io.EOF at
+// the end of the campaign.
+func (d *DatasetStream) Next() (logging.Record, error) {
+	r, err := d.it.Next()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			for _, id := range d.hps {
+				if _, ok := d.perHP[id]; !ok {
+					d.perHP[id] = 0
+				}
+			}
+		}
+		return logging.Record{}, err
+	}
+	if d.countHP {
+		d.perHP[r.Honeypot]++
+	}
+	return r, nil
+}
+
+// Close releases the stream's resources (the spill store's cursor, when
+// reading from disk). The stream is unusable afterwards.
+func (d *DatasetStream) Close() error { return logging.CloseIter(d.base) }
+
+// DistinctPeers returns the number of distinct peers renumbered so far;
+// final after io.EOF.
+func (d *DatasetStream) DistinctPeers() int { return d.ren.Count() }
+
+// ReplacedWords returns how many distinct filename words were anonymized
+// away; final after io.EOF.
+func (d *DatasetStream) ReplacedWords() int {
+	if d.na == nil {
+		return 0
+	}
+	return d.na.ReplacedWords()
+}
+
+// PerHoneypot returns the record count each honeypot contributed; final
+// after io.EOF.
+func (d *DatasetStream) PerHoneypot() map[string]int { return d.perHP }
+
 // Finalize runs a last collection, then merges and unifies all logs:
 // k-way timestamp merge, coherent renumbering of hashed peer addresses,
 // filename anonymization, and the leak audit. The result is delivered to
-// done on the manager's executor.
+// done on the manager's executor. It is the materialized form of
+// FinalizeStream — the campaign must fit in memory.
 func (m *Manager) Finalize(done func(*Dataset, error)) {
-	m.Stop()
-	m.CollectNow(func() {
-		merged, perHP, err := m.mergedRecords()
+	m.FinalizeStream(func(ds *DatasetStream, err error) {
 		if err != nil {
-			done(nil, fmt.Errorf("manager: merging collected logs: %w", err))
+			done(nil, err)
 			return
 		}
-
-		ren := anonymize.NewRenumberer()
-		distinct := ren.RenumberRecords(merged)
-
-		replaced := 0
-		if m.cfg.NameThreshold > 0 {
-			na := anonymize.AnonymizeRecordNames(merged, m.cfg.NameThreshold)
-			replaced = na.ReplacedWords()
-		}
-		if err := anonymize.Audit(merged); err != nil {
-			done(nil, fmt.Errorf("manager: anonymization audit failed: %w", err))
-			return
+		defer ds.Close()
+		var merged []logging.Record
+		for {
+			r, err := ds.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				done(nil, wrapFinalizeErr(err))
+				return
+			}
+			merged = append(merged, r)
 		}
 		done(&Dataset{
 			Records:       merged,
-			DistinctPeers: distinct,
-			ReplacedWords: replaced,
-			PerHoneypot:   perHP,
+			DistinctPeers: ds.DistinctPeers(),
+			ReplacedWords: ds.ReplacedWords(),
+			PerHoneypot:   ds.PerHoneypot(),
 		}, nil)
 	})
 }
 
-// mergedRecords produces the unified timestamp-ordered log: a k-way
-// logging.Merge of the in-memory per-honeypot logs, or a streamed drain
-// of the spill store's Iterator — the two produce identical streams when
-// honeypots were added in shard-name order (both break timestamp ties
-// the same way).
-func (m *Manager) mergedRecords() ([]logging.Record, map[string]int, error) {
-	perHP := make(map[string]int, len(m.hps))
+// FinalizeStream runs a last collection, then hands done the campaign as
+// a streaming record pipeline instead of a materialized dataset: the
+// caller pulls anonymized, audited records one at a time (feeding them
+// to analysis.BuildFrameIter, a JSONL export, or an on-disk store) and
+// no []Record for the campaign is ever allocated. The filename pass
+// observes word frequencies in a first scan of the source (the spill
+// store is scanned twice; in-memory logs are re-merged), so the stream
+// delivered to done is ready to yield final names immediately.
+func (m *Manager) FinalizeStream(done func(*DatasetStream, error)) {
+	m.Stop()
+	m.CollectNow(func() {
+		ds, err := m.newDatasetStream()
+		if err != nil {
+			done(nil, wrapFinalizeErr(err))
+			return
+		}
+		done(ds, nil)
+	})
+}
+
+// wrapFinalizeErr keeps Finalize's historical error surface: audit
+// failures and pipeline/merge failures wrap differently so callers (and
+// operators reading logs) can tell a privacy leak from an I/O problem.
+func wrapFinalizeErr(err error) error {
+	var ae *anonymize.AuditError
+	if errors.As(err, &ae) {
+		return fmt.Errorf("manager: anonymization audit failed: %w", err)
+	}
+	return fmt.Errorf("manager: merging collected logs: %w", err)
+}
+
+// newDatasetStream assembles the finalize pipeline over the collected
+// logs: re-iterable source → (pass 1: observe filename corpus) →
+// renumber → anonymize names → audit.
+func (m *Manager) newDatasetStream() (*DatasetStream, error) {
+	src, perHP, err := m.datasetSource()
+	if err != nil {
+		return nil, err
+	}
+
+	var na *anonymize.NameAnonymizer
+	if m.cfg.NameThreshold > 0 {
+		na = anonymize.NewNameAnonymizer(m.cfg.NameThreshold)
+		pass1, err := src.Iter()
+		if err != nil {
+			return nil, err
+		}
+		obsErr := na.ObserveIter(pass1)
+		if cerr := logging.CloseIter(pass1); obsErr == nil {
+			obsErr = cerr
+		}
+		if obsErr != nil {
+			return nil, obsErr
+		}
+	}
+
+	base, err := src.Iter()
+	if err != nil {
+		return nil, err
+	}
+	// The leak audit verifies the pipeline's *input*: every PeerIP must
+	// already be a step-1 hash (or an earlier run's step-2 number) —
+	// after renumbering the check would be vacuous, since the renumberer
+	// normalizes even a raw address into an anonymous integer. A honeypot
+	// that ever shipped a raw address fails the whole finalize here.
+	ren := anonymize.NewRenumberer()
+	out := ren.RenumberIter(anonymize.AuditIter(base))
+	if na != nil {
+		out = na.AnonymizeIter(out)
+	}
+
+	ds := &DatasetStream{it: out, base: base, ren: ren, na: na, perHP: perHP}
+	for _, st := range m.hps {
+		ds.hps = append(ds.hps, st.Handle.ID())
+	}
+	if ds.perHP == nil { // store mode: counted while draining
+		ds.perHP = make(map[string]int, len(m.hps))
+		ds.countHP = true
+	}
+	return ds, nil
+}
+
+// datasetSource returns the re-iterable unified log: the spill store
+// (each Iter is a fresh k-way segment scan) or a re-mergeable view of
+// the in-memory per-honeypot logs. Memory-mode logs are ordered by
+// honeypot ID — the spill store's shard-name tie-break — so the two
+// modes produce identical streams no matter the order handles were
+// added in. The memory-mode per-honeypot counts are returned eagerly;
+// store mode returns nil and the counts are taken during the drain.
+func (m *Manager) datasetSource() (logging.Source, map[string]int, error) {
 	if m.store != nil {
 		// A sticky append error means the store is missing records; a
 		// silently truncated dataset is worse than a failed finalize.
 		if err := m.store.Err(); err != nil {
 			return nil, nil, err
 		}
-		it, err := m.store.Iterator()
-		if err != nil {
-			return nil, nil, err
-		}
-		defer it.Close()
-		var merged []logging.Record
-		for {
-			r, err := it.Next()
-			if errors.Is(err, io.EOF) {
-				break
-			}
-			if err != nil {
-				return nil, nil, err
-			}
-			merged = append(merged, r)
-			perHP[r.Honeypot]++
-		}
-		for _, st := range m.hps {
-			if _, ok := perHP[st.Handle.ID()]; !ok {
-				perHP[st.Handle.ID()] = 0
-			}
-		}
-		return merged, perHP, nil
+		return storeSource{m.store}, nil, nil
 	}
-	logs := make([][]logging.Record, 0, len(m.hps))
+	ids := make([]string, 0, len(m.hps))
 	for _, st := range m.hps {
-		id := st.Handle.ID()
+		ids = append(ids, st.Handle.ID())
+	}
+	sort.Strings(ids)
+	perHP := make(map[string]int, len(ids))
+	logs := make([][]logging.Record, 0, len(ids))
+	for _, id := range ids {
 		logs = append(logs, m.logs[id])
 		perHP[id] = len(m.logs[id])
 	}
-	return logging.Merge(logs...), perHP, nil
+	return logging.NewMergeSource(logs...), perHP, nil
 }
+
+// storeSource adapts the spill store to the pipeline's re-iterable
+// source contract: every Iter is a fresh merged scan over all shards.
+type storeSource struct{ s *logstore.Store }
+
+// Iter implements logging.Source.
+func (ss storeSource) Iter() (logging.Iterator, error) { return ss.s.Iterator() }

@@ -2,12 +2,15 @@ package manager
 
 import (
 	"errors"
+	"io"
 	"net/netip"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/anonymize"
 	"repro/internal/client"
 	"repro/internal/control"
 	"repro/internal/des"
@@ -858,3 +861,239 @@ func TestIncrementalFallbackOnlyOnNoSource(t *testing.T) {
 }
 
 var _ logging.Record // keep import if helpers change
+
+// ---------------------------------------------------------------------------
+// Streaming finalize.
+
+// fakeHandle is a minimal Handle whose callbacks run inline; TakeRecords
+// serves a scripted log once.
+type fakeHandle struct {
+	id   string
+	recs []logging.Record
+}
+
+func (f *fakeHandle) ID() string                                      { return f.id }
+func (f *fakeHandle) Status(cb func(honeypot.Status, error))          { cb(honeypot.Status{}, nil) }
+func (f *fakeHandle) Advertise(_ []client.SharedFile, cb func(error)) { cb(nil) }
+func (f *fakeHandle) ConnectServer(_ netip.AddrPort, cb func(error))  { cb(nil) }
+func (f *fakeHandle) Close()                                          {}
+func (f *fakeHandle) TakeRecords(cb func([]logging.Record, error)) {
+	recs := f.recs
+	f.recs = nil
+	cb(recs, nil)
+}
+
+// fakeStoreHandle is a store-backed handle over a shard of the
+// manager's own store: collection transfers nothing.
+type fakeStoreHandle struct {
+	fakeHandle
+	shard *logstore.Shard
+}
+
+func (f *fakeStoreHandle) Shard() *logstore.Shard { return f.shard }
+
+// tieLogs fabricates per-honeypot logs whose timestamps collide across
+// honeypots, so finalize's merge tie-breaking is what decides the
+// dataset order.
+func tieLogs(ids []string) map[string][]logging.Record {
+	h := anonymize.NewIPHasher(secret)
+	logs := make(map[string][]logging.Record, len(ids))
+	for hi, id := range ids {
+		for j := 0; j < 6; j++ {
+			ip, _ := netip.AddrFromSlice([]byte{10, 0, byte(hi), byte(j % 3)})
+			logs[id] = append(logs[id], logging.Record{
+				Time:     t0.Add(time.Duration(j) * time.Minute), // same instants everywhere
+				Honeypot: id,
+				Kind:     logging.KindHello,
+				PeerIP:   h.HashIP(ip),
+				FileName: "bait.movie.avi",
+			})
+		}
+	}
+	return logs
+}
+
+func finalizeNow(t *testing.T, m *Manager) *Dataset {
+	t.Helper()
+	var ds *Dataset
+	var dsErr error
+	m.Finalize(func(d *Dataset, err error) { ds, dsErr = d, err })
+	if dsErr != nil {
+		t.Fatal(dsErr)
+	}
+	if ds == nil {
+		t.Fatal("finalize did not complete (fake handles are synchronous)")
+	}
+	return ds
+}
+
+// TestFinalizeHandleOrderIrrelevant is the regression test for the
+// memory/store merge-equivalence guarantee: honeypot states are sorted
+// by ID at finalize, so adding handles out of shard-name order changes
+// nothing, and the in-memory dataset matches the spill store's
+// shard-name tie-break exactly.
+func TestFinalizeHandleOrderIrrelevant(t *testing.T) {
+	ids := []string{"hp-a", "hp-b", "hp-c"}
+	logs := tieLogs(ids)
+	loop := des.NewLoop(t0, 1)
+	nw := netsim.New(loop, netsim.DefaultConfig())
+
+	run := func(hostName string, order []string) *Dataset {
+		m := New(nw.NewHost(hostName), DefaultConfig())
+		for _, id := range order {
+			recs := make([]logging.Record, len(logs[id]))
+			copy(recs, logs[id])
+			m.Add(&fakeHandle{id: id, recs: recs}, Assignment{})
+		}
+		m.CollectNow(nil)
+		return finalizeNow(t, m)
+	}
+
+	sorted := run("m-sorted", []string{"hp-a", "hp-b", "hp-c"})
+	shuffled := run("m-shuffled", []string{"hp-c", "hp-a", "hp-b"})
+	if len(sorted.Records) == 0 {
+		t.Fatal("no records")
+	}
+	for i := range sorted.Records {
+		g, w := shuffled.Records[i], sorted.Records[i]
+		if !g.Time.Equal(w.Time) || g.Honeypot != w.Honeypot || g.PeerIP != w.PeerIP {
+			t.Fatalf("record %d: add order changed the dataset: %+v vs %+v", i, g, w)
+		}
+	}
+
+	// Equal timestamps must resolve by honeypot ID, not add order.
+	for i := 1; i < len(sorted.Records); i++ {
+		a, b := sorted.Records[i-1], sorted.Records[i]
+		if a.Time.Equal(b.Time) && a.Honeypot > b.Honeypot {
+			t.Fatalf("tie at %v ordered %s before %s", a.Time, a.Honeypot, b.Honeypot)
+		}
+	}
+
+	// Store mode (shard-name tie-break) produces the identical stream.
+	store, err := logstore.Open(t.TempDir(), logstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ms := New(nw.NewHost("m-store"), DefaultConfig())
+	ms.SetStore(store)
+	for _, id := range []string{"hp-c", "hp-a", "hp-b"} { // out of order here too
+		sh, err := store.Shard(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range logs[id] {
+			if err := sh.AppendRecord(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ms.Add(&fakeStoreHandle{fakeHandle: fakeHandle{id: id}, shard: sh}, Assignment{})
+	}
+	ms.CollectNow(nil)
+	spilled := finalizeNow(t, ms)
+	if len(spilled.Records) != len(sorted.Records) {
+		t.Fatalf("store mode: %d records, memory mode %d", len(spilled.Records), len(sorted.Records))
+	}
+	for i := range sorted.Records {
+		g, w := spilled.Records[i], sorted.Records[i]
+		if !g.Time.Equal(w.Time) || g.Honeypot != w.Honeypot || g.PeerIP != w.PeerIP {
+			t.Fatalf("record %d: store and memory modes diverge: %+v vs %+v", i, g, w)
+		}
+	}
+}
+
+// TestFinalizeStreamMatchesFinalize drains the streaming pipeline by
+// hand and pins it to the materialized dataset: records, stats, and the
+// after-EOF contract of the stats accessors.
+func TestFinalizeStreamMatchesFinalize(t *testing.T) {
+	ids := []string{"hp-a", "hp-b"}
+	logs := tieLogs(ids)
+	loop := des.NewLoop(t0, 1)
+	nw := netsim.New(loop, netsim.DefaultConfig())
+
+	build := func(hostName string) *Manager {
+		m := New(nw.NewHost(hostName), DefaultConfig())
+		for _, id := range ids {
+			recs := make([]logging.Record, len(logs[id]))
+			copy(recs, logs[id])
+			m.Add(&fakeHandle{id: id, recs: recs}, Assignment{})
+		}
+		m.CollectNow(nil)
+		return m
+	}
+
+	want := finalizeNow(t, build("m-mat"))
+
+	var stream *DatasetStream
+	build("m-stream").FinalizeStream(func(s *DatasetStream, err error) {
+		if err != nil {
+			t.Fatalf("FinalizeStream: %v", err)
+		}
+		stream = s
+	})
+	if stream == nil {
+		t.Fatal("no stream")
+	}
+	defer stream.Close()
+	var got []logging.Record
+	for {
+		r, err := stream.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, r)
+	}
+	if len(got) != len(want.Records) {
+		t.Fatalf("streamed %d records, materialized %d", len(got), len(want.Records))
+	}
+	for i := range got {
+		g, w := got[i], want.Records[i]
+		if !g.Time.Equal(w.Time) || g.Honeypot != w.Honeypot || g.PeerIP != w.PeerIP || g.FileName != w.FileName {
+			t.Fatalf("record %d differs: %+v vs %+v", i, g, w)
+		}
+	}
+	if stream.DistinctPeers() != want.DistinctPeers {
+		t.Errorf("distinct peers: %d vs %d", stream.DistinctPeers(), want.DistinctPeers)
+	}
+	if stream.ReplacedWords() != want.ReplacedWords {
+		t.Errorf("replaced words: %d vs %d", stream.ReplacedWords(), want.ReplacedWords)
+	}
+	if len(stream.PerHoneypot()) != len(want.PerHoneypot) {
+		t.Errorf("per-honeypot: %v vs %v", stream.PerHoneypot(), want.PerHoneypot)
+	}
+	for id, n := range want.PerHoneypot {
+		if stream.PerHoneypot()[id] != n {
+			t.Errorf("per-honeypot[%s]: %d vs %d", id, stream.PerHoneypot()[id], n)
+		}
+	}
+}
+
+// TestFinalizeAuditFailureNamesRecord: a leaked raw address aborts
+// finalize with an error identifying the offending record.
+func TestFinalizeAuditFailureNamesRecord(t *testing.T) {
+	loop := des.NewLoop(t0, 1)
+	nw := netsim.New(loop, netsim.DefaultConfig())
+	m := New(nw.NewHost("m-audit"), DefaultConfig())
+	m.Add(&fakeHandle{id: "hp-leak", recs: []logging.Record{
+		{Time: t0, Honeypot: "hp-leak", PeerIP: "192.0.2.55"},
+	}}, Assignment{})
+	m.CollectNow(nil)
+	var gotErr error
+	m.Finalize(func(d *Dataset, err error) { gotErr = err })
+	if gotErr == nil {
+		t.Fatal("leaked address survived finalize")
+	}
+	var ae *anonymize.AuditError
+	if !errors.As(gotErr, &ae) {
+		t.Fatalf("finalize error %v does not wrap *anonymize.AuditError", gotErr)
+	}
+	if ae.Honeypot != "hp-leak" || ae.Index != 0 || ae.Value != "192.0.2.55" {
+		t.Fatalf("AuditError = %+v", ae)
+	}
+	if !strings.Contains(gotErr.Error(), "audit failed") {
+		t.Fatalf("error %q lost the audit-failed wrapping", gotErr)
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/catalog"
 	"repro/internal/client"
 	"repro/internal/des"
 	"repro/internal/honeypot"
+	"repro/internal/logging"
 	"repro/internal/logstore"
 	"repro/internal/manager"
 	"repro/internal/netsim"
@@ -61,6 +63,16 @@ type Result struct {
 	StoreDir string
 	// StoredRecords is the record count persisted in StoreDir.
 	StoredRecords uint64
+	// Frame is the columnar campaign image, built record-by-record from
+	// the streaming finalize pipeline when Collection.Stream (or
+	// ExportDir) is set — in that mode Dataset.Records is nil and every
+	// analysis derives from the frame. Nil for materialized campaigns.
+	Frame *analysis.Frame
+	// ExportDir, when Collection.ExportDir was set, is the logstore
+	// directory holding the anonymized dataset (one shard per
+	// honeypot); ExportedRecords is the record count written there.
+	ExportDir       string
+	ExportedRecords uint64
 }
 
 // FaultEvent is one executed entry of the fault schedule.
@@ -461,15 +473,67 @@ func (w *world) finish(spec Spec, pops []*peersim.Population) (*Result, error) {
 	}
 
 	var ds *manager.Dataset
+	var frame *analysis.Frame
+	var exported uint64
 	var dsErr error
-	w.mgr.Finalize(func(d *manager.Dataset, err error) { ds, dsErr = d, err })
-	// Drain the finalize exchange (bounded: populations stopped).
-	w.loop.RunUntil(end.Add(time.Hour))
-	if dsErr != nil {
-		return nil, dsErr
-	}
-	if ds == nil {
-		return nil, fmt.Errorf("scenario: finalize did not complete")
+	if spec.Collection.Stream || spec.Collection.ExportDir != "" {
+		// Streaming finalize: the manager hands over the anonymized
+		// pipeline and the engine drains it straight into the columnar
+		// frame (and the export store, when asked) — the campaign's
+		// records are never materialized.
+		var stream *manager.DatasetStream
+		w.mgr.FinalizeStream(func(s *manager.DatasetStream, err error) { stream, dsErr = s, err })
+		w.loop.RunUntil(end.Add(time.Hour))
+		if dsErr != nil {
+			return nil, dsErr
+		}
+		if stream == nil {
+			return nil, fmt.Errorf("scenario: finalize did not complete")
+		}
+		defer stream.Close()
+		var it logging.Iterator = stream
+		var export *logstore.Store
+		if dir := spec.Collection.ExportDir; dir != "" {
+			var err error
+			if export, err = logstore.Open(dir, logstore.Options{}); err != nil {
+				return nil, fmt.Errorf("scenario: opening export store: %w", err)
+			}
+			defer export.Close()
+			if n := export.TotalRecords(); n > 0 {
+				return nil, fmt.Errorf("scenario: export store %s already holds %d records from a previous run; point it at a fresh directory", dir, n)
+			}
+			it = logging.Map(it, func(r *logging.Record) error {
+				if err := export.AppendRecord(*r); err != nil {
+					return err
+				}
+				exported++
+				return nil
+			})
+		}
+		var err error
+		if frame, err = analysis.BuildFrameIter(it); err != nil {
+			return nil, fmt.Errorf("scenario: streaming finalize: %w", err)
+		}
+		if export != nil {
+			if err := export.Close(); err != nil {
+				return nil, fmt.Errorf("scenario: closing export store: %w", err)
+			}
+		}
+		ds = &manager.Dataset{
+			DistinctPeers: stream.DistinctPeers(),
+			ReplacedWords: stream.ReplacedWords(),
+			PerHoneypot:   stream.PerHoneypot(),
+		}
+	} else {
+		w.mgr.Finalize(func(d *manager.Dataset, err error) { ds, dsErr = d, err })
+		// Drain the finalize exchange (bounded: populations stopped).
+		w.loop.RunUntil(end.Add(time.Hour))
+		if dsErr != nil {
+			return nil, dsErr
+		}
+		if ds == nil {
+			return nil, fmt.Errorf("scenario: finalize did not complete")
+		}
 	}
 
 	groupOf := make(map[string]string, len(spec.Fleet))
@@ -477,16 +541,19 @@ func (w *world) finish(spec Spec, pops []*peersim.Population) (*Result, error) {
 		groupOf[hs.ID] = hs.Strategy
 	}
 	res := &Result{
-		Name:          spec.Name,
-		Dataset:       ds,
-		Start:         CampaignStart,
-		Days:          spec.Days,
-		HoneypotIDs:   w.ids,
-		GroupOf:       groupOf,
-		ServerStats:   w.srvs[0].Stats(),
-		HoneypotStats: make(map[string]honeypot.Stats, len(w.hps)),
-		Faults:        w.faultLog,
-		Events:        w.loop.Executed(),
+		Name:            spec.Name,
+		Dataset:         ds,
+		Frame:           frame,
+		ExportDir:       spec.Collection.ExportDir,
+		ExportedRecords: exported,
+		Start:           CampaignStart,
+		Days:            spec.Days,
+		HoneypotIDs:     w.ids,
+		GroupOf:         groupOf,
+		ServerStats:     w.srvs[0].Stats(),
+		HoneypotStats:   make(map[string]honeypot.Stats, len(w.hps)),
+		Faults:          w.faultLog,
+		Events:          w.loop.Executed(),
 	}
 	for _, pop := range pops {
 		var s peersim.Stats

@@ -226,6 +226,19 @@ type Collection struct {
 	// logstore shards under this directory and the manager streams them
 	// back at finalize. Empty keeps the in-memory path.
 	StoreDir string `json:"store_dir,omitempty"`
+	// Stream finalizes through the streaming record pipeline: the
+	// anonymized log flows straight into a columnar frame
+	// (Result.Frame) and Result.Dataset carries only the summary stats
+	// — no []Record is ever materialized. The at-scale mode for
+	// campaigns that do not fit in memory.
+	Stream bool `json:"stream,omitempty"`
+	// ExportDir, when set, streams the anonymized dataset into a
+	// segmented logstore under this directory as it is finalized (one
+	// shard per honeypot), so the published dataset can be re-analyzed
+	// later without re-running the campaign. Implies Stream. Must
+	// differ from StoreDir, which holds the raw (hashed, un-renumbered)
+	// records.
+	ExportDir string `json:"export_dir,omitempty"`
 }
 
 // secret returns the campaign anonymization key.
@@ -278,6 +291,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Collection.Every < 0 {
 		bad("collection.every", "must not be negative")
+	}
+	if s.Collection.ExportDir != "" && s.Collection.ExportDir == s.Collection.StoreDir {
+		bad("collection.export_dir", "must differ from collection.store_dir: the export holds the anonymized dataset, the store holds the raw spill")
 	}
 
 	campaign := time.Duration(s.Days) * 24 * time.Hour

@@ -33,6 +33,7 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/analysis"
@@ -162,11 +163,30 @@ func Analyze(res *Result) *Report {
 }
 
 // AnalyzeWith computes the full report. The dataset is compiled into a
-// columnar frame in exactly one pass over the records; every artifact is
-// then derived from the frame's interned integer columns.
+// columnar frame in exactly one pass over the records — or, for a
+// campaign finalized through the streaming pipeline (Collection.Stream
+// or Collection.ExportDir), the frame built during finalize is reused
+// and no records are ever touched; every artifact is then derived from
+// the frame's interned integer columns.
 func AnalyzeWith(res *Result, opt AnalyzeOptions) *Report {
-	f := analysis.BuildFrame(res.Dataset.Records)
+	f := res.Frame
+	if f == nil {
+		f = analysis.BuildFrame(res.Dataset.Records)
+	}
 	return AnalyzeFrame(res, f, opt)
+}
+
+// AnalyzeStream computes the full report for a campaign finalized
+// through the streaming record pipeline: the report derives entirely
+// from the frame the engine built while draining the anonymized
+// stream, so the campaign's records never materialize. It errors on a
+// campaign that was not run with Collection.Stream or
+// Collection.ExportDir (use Analyze there).
+func AnalyzeStream(res *Result) (*Report, error) {
+	if res.Frame == nil {
+		return nil, fmt.Errorf("repro: campaign %q was not finalized through the streaming pipeline (set Collection.Stream or Collection.ExportDir)", res.Name)
+	}
+	return AnalyzeWith(res, DefaultAnalyzeOptions()), nil
 }
 
 // AnalyzeFrame computes the full report from an already-built frame —
