@@ -600,6 +600,38 @@ func liveHeapBytes() float64 {
 	return float64(ms.HeapAlloc)
 }
 
+// BenchmarkExecPlan compares the analysis query engine's serial and
+// parallel executions of the full paper plan over the distributed
+// campaign's frame — the wall-clock win of running independent
+// artifact extractors on the GOMAXPROCS worker pool. One untimed
+// execution first populates the frame's sync.Once caches (the parsed
+// peer-number column, the query-pair index) so both modes measure pure
+// extraction.
+func BenchmarkExecPlan(b *testing.B) {
+	res, _ := distributed(b)
+	meta := res.Meta()
+	plan := analysis.PaperPlan(meta, analysis.QueryOptions{SubsetSamples: 100, FileSubsetSize: 100, Seed: 1})
+	if _, err := analysis.Exec(distFrame, meta, plan); err != nil {
+		b.Fatal(err)
+	}
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			var rs analysis.ReportSet
+			for i := 0; i < b.N; i++ {
+				var err error
+				rs, err = analysis.ExecWorkers(distFrame, meta, plan, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(rs.Names())), "queries")
+		}
+	}
+	b.Run("serial", run(1))
+	b.Run("parallel", run(runtime.GOMAXPROCS(0)))
+}
+
 // BenchmarkFinalize compares the materialized finalize (the campaign
 // becomes a []Record dataset) against the streaming pipeline (records
 // flow source→audit→renumber→anonymize one at a time) over the same

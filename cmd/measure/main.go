@@ -7,7 +7,10 @@
 //	measure [-scale 0.1] [-campaign both|distributed|greedy] [-out dir] [-seed 1]
 //	measure -scenario NAME [-scale 0.1]      run a registered scenario
 //	measure -scenario-file spec.json         run a campaign spec from disk
-//	measure -list-scenarios                  print the registry and exit
+//	measure -list-scenarios                  print the scenario registry and exit
+//	measure -scenario NAME -queries a,b,c    extract only the named artifacts
+//	measure -scenario NAME -plan-file p.json extract an analysis plan from disk
+//	measure -list-queries                    print the query registry and exit
 //
 // The -campaign path keeps the paper's two typed configs; -scenario and
 // -scenario-file run any declarative spec (federations, churn fleets,
@@ -15,6 +18,16 @@
 // summarizes each artifact; with -out, the raw series are written as
 // CSV files (fig02.csv ... fig12.csv, table1.txt) that plot directly
 // with gnuplot.
+//
+// Analyses are declarative too: -queries (comma-separated registered
+// query names) or -plan-file (an analysis.Plan as JSON: query names
+// plus per-query options such as subset_samples and seed) select
+// exactly which artifacts to extract — dependencies are resolved
+// automatically and independent queries run in parallel, so asking for
+// one figure never computes the other eleven. The executed result set
+// is emitted as JSON, to stdout or to the -report file. Both flags
+// apply to scenario runs, including logstore-resident ones (-store /
+// -stream / -export).
 package main
 
 import (
@@ -25,6 +38,7 @@ import (
 	"os"
 	"path/filepath"
 	"slices"
+	"strings"
 	"time"
 
 	"repro"
@@ -47,15 +61,29 @@ func main() {
 		storeDir  = flag.String("store", "", "spill records to a segmented on-disk logstore under this directory (per-campaign subdirectory)")
 		stream    = flag.Bool("stream", false, "finalize through the streaming record pipeline: the dataset flows straight into the columnar frame, never materializing records (scenario runs only)")
 		exportDir = flag.String("export", "", "stream the anonymized dataset into an on-disk logstore under this directory for later analysis (per-scenario subdirectory; implies -stream, scenario runs only)")
-		scenName  = flag.String("scenario", "", "run a registered scenario by name instead of -campaign")
-		scenFile  = flag.String("scenario-file", "", "run a campaign spec decoded from this JSON file")
-		listScens = flag.Bool("list-scenarios", false, "print registered scenario names and exit")
+		scenName    = flag.String("scenario", "", "run a registered scenario by name instead of -campaign")
+		scenFile    = flag.String("scenario-file", "", "run a campaign spec decoded from this JSON file")
+		listScens   = flag.Bool("list-scenarios", false, "print registered scenario names and exit")
+		queries     = flag.String("queries", "", "extract only these analysis queries (comma-separated names; scenario runs only)")
+		planFile    = flag.String("plan-file", "", "extract the analysis plan decoded from this JSON file (scenario runs only)")
+		listQueries = flag.Bool("list-queries", false, "print registered analysis query names and exit")
+		reportPath  = flag.String("report", "", "write the executed plan's results as JSON to this file (default: stdout)")
 	)
 	flag.Parse()
 
 	if *listScens {
 		for _, name := range repro.Scenarios() {
 			fmt.Println(name)
+		}
+		return
+	}
+	if *listQueries {
+		for _, name := range repro.Queries() {
+			q, err := analysis.Lookup(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-28s %s\n", name, q.Doc)
 		}
 		return
 	}
@@ -83,12 +111,19 @@ func main() {
 		if *exportDir != "" {
 			spec.Collection.ExportDir = filepath.Join(*exportDir, spec.Name)
 		}
+		if plan := loadPlan(*queries, *planFile, *seed); plan != nil {
+			if *outDir != "" || *jsonl {
+				log.Print("-out and -jsonl ignored: a plan run emits only the selected queries as JSON (use -report FILE)")
+			}
+			runPlan(spec, *plan, *reportPath)
+			return
+		}
 		runScenario(spec, *outDir, *jsonl)
 		return
 	}
 
-	if *stream || *exportDir != "" {
-		log.Fatal("-stream and -export need a scenario run; use -scenario NAME (the paper's campaigns are registered as \"distributed\" and \"greedy\")")
+	if *stream || *exportDir != "" || *queries != "" || *planFile != "" {
+		log.Fatal("-stream, -export, -queries and -plan-file need a scenario run; use -scenario NAME (the paper's campaigns are registered as \"distributed\" and \"greedy\")")
 	}
 	runD := *campaign == "both" || *campaign == "distributed"
 	runG := *campaign == "both" || *campaign == "greedy"
@@ -234,6 +269,75 @@ func loadSpec(name, file string) repro.Spec {
 		log.Fatalf("decoding %s: %v", file, err)
 	}
 	return spec
+}
+
+// loadPlan builds the analysis plan selected by -queries or -plan-file;
+// nil means "no plan: print the full generic report". The -seed flag
+// seeds -queries plans (a plan file carries its own per-query options).
+func loadPlan(queries, file string, seed int64) *analysis.Plan {
+	if queries != "" && file != "" {
+		log.Fatal("-queries and -plan-file are mutually exclusive")
+	}
+	switch {
+	case queries != "":
+		names := strings.Split(queries, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		plan := analysis.NewPlan(analysis.QueryOptions{Seed: seed}, names...)
+		return &plan
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			log.Fatalf("reading plan: %v", err)
+		}
+		plan, err := analysis.ParsePlan(data)
+		if err != nil {
+			log.Fatalf("decoding %s: %v", file, err)
+		}
+		return &plan
+	}
+	return nil
+}
+
+// runPlan executes one spec, then extracts exactly the plan's queries —
+// dependencies resolved by the engine, independent artifacts in
+// parallel — and emits the result set as JSON to -report or stdout. The
+// run summary goes to stderr so stdout is clean JSON.
+func runPlan(spec repro.Spec, plan analysis.Plan, reportPath string) {
+	start := time.Now()
+	res, err := repro.RunSpec(spec)
+	if err != nil {
+		log.Fatalf("%s: %v", spec.Name, err)
+	}
+	records := len(res.Dataset.Records)
+	if res.Frame != nil {
+		records = res.Frame.Len() // streamed finalize: no []Record exists
+	}
+	log.Printf("scenario %s: simulated %d events in %v; %d records, %d distinct peers",
+		spec.Name, res.Events, time.Since(start).Round(time.Millisecond),
+		records, res.Dataset.DistinctPeers)
+
+	rs, err := repro.ExecPlan(res, plan)
+	if err != nil {
+		log.Fatalf("%s: %v", spec.Name, err)
+	}
+	log.Printf("executed queries: %s", strings.Join(rs.Names(), ", "))
+	data, err := json.MarshalIndent(rs, "", "  ")
+	if err != nil {
+		log.Fatalf("encoding report: %v", err)
+	}
+	data = append(data, '\n')
+	if reportPath == "" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			log.Fatalf("writing report: %v", err)
+		}
+		return
+	}
+	if err := os.WriteFile(reportPath, data, 0o644); err != nil {
+		log.Fatalf("writing report: %v", err)
+	}
+	log.Printf("report written to %s", reportPath)
 }
 
 // runScenario executes one spec and prints a generic report: Table I

@@ -1,17 +1,41 @@
 // Package analysis turns a campaign's merged log into the paper's tables
-// and figures: Table I's basic statistics, the peer-growth curves of
+// and figures — Table I's basic statistics, the peer-growth curves of
 // Figs 2-3, the hourly HELLO series of Fig 4, the per-strategy
-// comparisons of Figs 5-9, and the random-subset union estimates of
-// Figs 10-12.
+// comparisons of Figs 5-9, the random-subset union estimates of Figs
+// 10-12, and the co-interest analysis the paper's conclusion announces —
+// through a declarative query engine.
+//
+// The package has three layers:
+//
+//   - The Frame (frame.go) is the substrate: a campaign compiled once,
+//     via BuildFrame or the streaming BuildFrameIter, into a columnar
+//     struct-of-arrays image with every string interned to a dense ID.
+//     Every extractor runs over its flat integer columns.
+//
+//   - A Query (query.go, queries.go) is a named, registered artifact
+//     extractor over the frame: declared inputs (frame columns plus a
+//     CampaignMeta of campaign-level metadata), declared options
+//     (QueryOptions) and declared dependencies on other queries. Every
+//     paper artifact is a built-in query; callers register their own
+//     with Register, exactly like the scenario registry.
+//
+//   - A Plan is a selected set of queries — it round-trips through JSON,
+//     so an analysis is data the same way a campaign spec is — and Exec
+//     (exec.go) runs a plan's dependency closure on a worker pool:
+//     independent queries extract concurrently, dependents start when
+//     their inputs finish, and results land in a typed ReportSet.
+//     Queries are pure functions, so parallel execution is bit-identical
+//     to serial.
 //
 // All extractors operate on the anonymized dataset (step-2 peer numbers),
-// exactly like the paper's own post-processing.
+// exactly like the paper's own post-processing. repro.Analyze executes
+// the full paper plan (PaperPlan); cmd/measure -queries extracts any
+// subset without computing the rest.
 //
 // The slice-based functions in this file are the reference
-// implementations; the columnar Frame (frame.go) computes the same
-// artifacts from an intern-once struct-of-arrays image of the log and is
-// what repro.Analyze uses. frame_test.go pins the two to bit-identical
-// results.
+// implementations for the frame's extractors; frame_test.go pins the two
+// to bit-identical results, and the repro-level equivalence test pins
+// the parallel engine to the retained serial report assembly.
 package analysis
 
 import (

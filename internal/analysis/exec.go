@@ -1,0 +1,199 @@
+package analysis
+
+// This file is the imperative half of the query engine: Exec takes a
+// frame, the campaign metadata and a plan, resolves the plan's
+// dependency closure into a small DAG, and runs it on a worker pool —
+// independent queries extract concurrently, dependents start the moment
+// their inputs finish. Queries are pure functions of (frame, meta,
+// options, dependency results), so the results are bit-identical to a
+// serial run regardless of scheduling; the frame's lazy caches (the
+// parsed peer-number column, the query-pair index) are sync.Once-guarded
+// for exactly this consumer.
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+)
+
+// execNode is one resolved plan entry.
+type execNode struct {
+	q   Query
+	opt QueryOptions
+}
+
+// resolve expands the plan into its dependency closure. A dependency
+// pulled in implicitly inherits the options of the first plan entry
+// that (transitively) required it; an explicit plan entry always keeps
+// its own options, wherever it appears in the list. Unknown names and
+// dependency cycles are reported as errors.
+func resolve(plan Plan) (map[string]*execNode, error) {
+	nodes := make(map[string]*execNode, len(plan.Queries))
+	// Explicit entries first, so a dependency that is also listed keeps
+	// its own options. Duplicate explicit entries are an error — silently
+	// keeping one of the two option sets would surprise.
+	for _, pq := range plan.Queries {
+		if _, dup := nodes[pq.Name]; dup {
+			return nil, fmt.Errorf("analysis: plan lists query %q twice", pq.Name)
+		}
+		q, err := Lookup(pq.Name)
+		if err != nil {
+			return nil, err
+		}
+		nodes[pq.Name] = &execNode{q: q, opt: pq.Opt.normalize()}
+	}
+	// Closure over Needs, depth-first; visiting tracks the current DFS
+	// stack for cycle detection (the registry is caller-extensible, so a
+	// cycle is a real possibility, not a can't-happen), and done memoizes
+	// fully-explored nodes so a shared subgraph is walked once, not once
+	// per path (a diamond-shaped caller-registered DAG would otherwise
+	// make resolution exponential).
+	visiting := map[string]bool{}
+	done := map[string]bool{}
+	var visit func(name string, opt QueryOptions) error
+	visit = func(name string, opt QueryOptions) error {
+		if visiting[name] {
+			return fmt.Errorf("analysis: query dependency cycle through %q", name)
+		}
+		if done[name] {
+			return nil
+		}
+		n, ok := nodes[name]
+		if !ok {
+			q, err := Lookup(name)
+			if err != nil {
+				return err
+			}
+			n = &execNode{q: q, opt: opt}
+			nodes[name] = n
+		}
+		visiting[name] = true
+		defer delete(visiting, name)
+		for _, d := range n.q.Needs {
+			if err := visit(d, n.opt); err != nil {
+				return err
+			}
+		}
+		done[name] = true
+		return nil
+	}
+	for _, pq := range plan.Queries {
+		if err := visit(pq.Name, nodes[pq.Name].opt); err != nil {
+			return nil, err
+		}
+	}
+	return nodes, nil
+}
+
+// Exec runs the plan's queries over the frame on a worker pool sized by
+// GOMAXPROCS and returns every executed result (including implicitly
+// added dependencies). The result is bit-identical to ExecWorkers with
+// one worker.
+func Exec(f *Frame, meta CampaignMeta, plan Plan) (ReportSet, error) {
+	return ExecWorkers(f, meta, plan, runtime.GOMAXPROCS(0))
+}
+
+// ExecWorkers is Exec with an explicit worker count; 1 executes the
+// plan serially (the reference the determinism tests and benchmarks
+// compare against).
+func ExecWorkers(f *Frame, meta CampaignMeta, plan Plan, workers int) (ReportSet, error) {
+	nodes, err := resolve(plan)
+	if err != nil {
+		return ReportSet{}, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+
+	// Indegrees and reverse edges over the resolved closure.
+	indeg := make(map[string]int, len(nodes))
+	dependents := make(map[string][]string, len(nodes))
+	for name, n := range nodes {
+		indeg[name] += 0
+		for _, d := range n.q.Needs {
+			indeg[name]++
+			dependents[d] = append(dependents[d], name)
+		}
+	}
+
+	// ready is buffered to the node count, so completion handlers never
+	// block enqueueing newly unblocked queries.
+	ready := make(chan string, len(nodes))
+	roots := make([]string, 0, len(nodes))
+	for name, d := range indeg {
+		if d == 0 {
+			roots = append(roots, name)
+		}
+	}
+	slices.Sort(roots) // deterministic seeding (not required, but tidy)
+	for _, name := range roots {
+		ready <- name
+	}
+
+	var (
+		mu       sync.Mutex
+		results  = make(map[string]any, len(nodes))
+		firstErr error
+		pending  = len(nodes)
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range ready {
+				n := nodes[name]
+
+				mu.Lock()
+				failed := firstErr != nil
+				var deps map[string]any
+				if !failed && len(n.q.Needs) > 0 {
+					deps = make(map[string]any, len(n.q.Needs))
+					for _, d := range n.q.Needs {
+						deps[d] = results[d]
+					}
+				}
+				mu.Unlock()
+
+				var v any
+				var err error
+				if !failed {
+					// Run outside the lock: this is the concurrency the
+					// engine exists for.
+					v, err = n.q.Run(&QueryContext{Frame: f, Meta: meta, Opt: n.opt, deps: deps})
+				}
+
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("analysis: query %q: %w", name, err)
+				}
+				if err == nil && firstErr == nil {
+					results[name] = v
+				}
+				// Unblock dependents even after a failure so the pool
+				// drains instead of deadlocking; they see firstErr set and
+				// skip their Run.
+				for _, d := range dependents[name] {
+					indeg[d]--
+					if indeg[d] == 0 {
+						ready <- d
+					}
+				}
+				pending--
+				if pending == 0 {
+					close(ready)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return ReportSet{}, firstErr
+	}
+	return ReportSet{results: results}, nil
+}

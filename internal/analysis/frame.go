@@ -17,6 +17,7 @@ import (
 	"slices"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/ed2k"
@@ -53,8 +54,13 @@ type Frame struct {
 	sharedTab   *intern.Table[ed2k.Hash]
 	sharedSizes []int64
 
-	peerNums []int64 // lazy: parsed step-2 number per peer symbol, noNum if not decimal
-	pairs    *queryIndex
+	// The two lazy caches are sync.Once-guarded: the query engine
+	// (exec.go) runs extractors concurrently over one shared frame, and
+	// these are the frame's only post-build mutations.
+	peerNumsOnce sync.Once
+	peerNums     []int64 // parsed step-2 number per peer symbol, noNum if not decimal
+	pairsOnce    sync.Once
+	pairs        *queryIndex
 }
 
 func newFrame(capacity int) *Frame {
@@ -126,21 +132,24 @@ func (f *Frame) DistinctPeers() int { return f.peerTab.Len() }
 
 // peerNumbers parses each distinct peer identifier as a step-2 decimal
 // number exactly once, caching the column for every later extractor.
+// Safe under concurrent extractions.
 func (f *Frame) peerNumbers() []int64 {
-	if f.peerNums != nil || f.peerTab.Len() == 0 {
-		return f.peerNums
-	}
-	nums := make([]int64, f.peerTab.Len())
-	for id, s := range f.peerTab.Values() {
-		n, err := strconv.Atoi(s)
-		if err != nil {
-			nums[id] = noNum
-		} else {
-			nums[id] = int64(n)
+	f.peerNumsOnce.Do(func() {
+		if f.peerTab.Len() == 0 {
+			return
 		}
-	}
-	f.peerNums = nums
-	return nums
+		nums := make([]int64, f.peerTab.Len())
+		for id, s := range f.peerTab.Values() {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				nums[id] = noNum
+			} else {
+				nums[id] = int64(n)
+			}
+		}
+		f.peerNums = nums
+	})
+	return f.peerNums
 }
 
 // TableI derives the frame's row of the paper's Table I. O(distinct
@@ -554,11 +563,14 @@ type queryIndex struct {
 // 11-12's ranking and the §V bipartite graph): START-UPLOAD and
 // REQUEST-PART records with a peer and a non-zero file, grouped by file
 // symbol via a counting sort. The index is computed once per frame and
-// shared by QueriedFiles and InterestGraph.
+// shared by QueriedFiles and InterestGraph; safe under concurrent
+// extractions.
 func (f *Frame) queryPairs() (groupedPeers []uint32, perFileOff []int32, perFileCnt []int32) {
-	if f.pairs != nil {
-		return f.pairs.peers, f.pairs.off, f.pairs.cnt
-	}
+	f.pairsOnce.Do(f.buildQueryPairs)
+	return f.pairs.peers, f.pairs.off, f.pairs.cnt
+}
+
+func (f *Frame) buildQueryPairs() {
 	zeroSym := uint32(0)
 	hasZero := false
 	if sym, ok := f.fileTab.Lookup(ed2k.Hash{}); ok {
@@ -602,7 +614,6 @@ func (f *Frame) queryPairs() (groupedPeers []uint32, perFileOff []int32, perFile
 		}
 	}
 	f.pairs = &queryIndex{peers: grouped, off: off, cnt: cnt}
-	return grouped, off, cnt
 }
 
 // QueriedFiles ranks queried files by distinct peers from the frame,

@@ -10,6 +10,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/client"
 	"repro/internal/des"
+	"repro/internal/ed2k"
 	"repro/internal/honeypot"
 	"repro/internal/logging"
 	"repro/internal/logstore"
@@ -73,6 +74,24 @@ type Result struct {
 	// honeypot); ExportedRecords is the record count written there.
 	ExportDir       string
 	ExportedRecords uint64
+}
+
+// Meta derives the campaign's analysis metadata — the measurement
+// window, fleet, strategy grouping and advertised hashes — in the shape
+// the analysis query engine consumes (analysis.Exec, analysis.PaperPlan).
+func (r *Result) Meta() analysis.CampaignMeta {
+	adv := make([]ed2k.Hash, len(r.Advertised))
+	for i := range r.Advertised {
+		adv[i] = r.Advertised[i].Hash
+	}
+	return analysis.CampaignMeta{
+		Name:        r.Name,
+		Start:       r.Start,
+		Days:        r.Days,
+		HoneypotIDs: r.HoneypotIDs,
+		GroupOf:     r.GroupOf,
+		Advertised:  adv,
+	}
 }
 
 // FaultEvent is one executed entry of the fault schedule.

@@ -25,6 +25,14 @@
 // regenerates every table and figure of the paper's evaluation from
 // any campaign result.
 //
+// Analyses are declarative too: every artifact is a named query in a
+// registry (Queries lists them), any selection forms an analysis.Plan
+// (JSON round-trip, like campaign specs), and ExecPlan runs one
+// against a finished campaign — dependencies resolved automatically,
+// independent queries extracted in parallel — so one figure can be
+// regenerated without computing the rest. Analyze itself executes the
+// full paper plan through the same engine.
+//
 // The underlying platform — eDonkey wire protocol, directory server,
 // client engine, honeypots, manager, anonymization pipeline, the
 // behavioural peer population that substitutes for the live network,
@@ -34,12 +42,10 @@ package repro
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/ed2k"
-	"repro/internal/logging"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 )
@@ -176,92 +182,96 @@ func AnalyzeWith(res *Result, opt AnalyzeOptions) *Report {
 	return AnalyzeFrame(res, f, opt)
 }
 
-// AnalyzeStream computes the full report for a campaign finalized
-// through the streaming record pipeline: the report derives entirely
-// from the frame the engine built while draining the anonymized
-// stream, so the campaign's records never materialize. It errors on a
-// campaign that was not run with Collection.Stream or
+// AnalyzeStream computes the full report, with default options, for a
+// campaign finalized through the streaming record pipeline: the report
+// derives entirely from the frame the engine built while draining the
+// anonymized stream, so the campaign's records never materialize. It
+// errors on a campaign that was not run with Collection.Stream or
 // Collection.ExportDir (use Analyze there).
 func AnalyzeStream(res *Result) (*Report, error) {
+	return AnalyzeStreamWith(res, DefaultAnalyzeOptions())
+}
+
+// AnalyzeStreamWith is AnalyzeStream with explicit options.
+func AnalyzeStreamWith(res *Result, opt AnalyzeOptions) (*Report, error) {
 	if res.Frame == nil {
 		return nil, fmt.Errorf("repro: campaign %q was not finalized through the streaming pipeline (set Collection.Stream or Collection.ExportDir)", res.Name)
 	}
-	return AnalyzeWith(res, DefaultAnalyzeOptions()), nil
+	return AnalyzeWith(res, opt), nil
+}
+
+// Queries lists the registered analysis query names, sorted. Any subset
+// forms a plan ExecPlan can run.
+func Queries() []string { return analysis.Names() }
+
+// ExecPlan runs an analysis plan — any selection of registered queries,
+// e.g. exactly one figure — against a finished campaign, executing
+// independent queries concurrently. The campaign's frame is reused when
+// the streaming pipeline built one, otherwise compiled once from the
+// records.
+func ExecPlan(res *Result, plan analysis.Plan) (analysis.ReportSet, error) {
+	f := res.Frame
+	if f == nil {
+		f = analysis.BuildFrame(res.Dataset.Records)
+	}
+	return analysis.Exec(f, res.Meta(), plan)
 }
 
 // AnalyzeFrame computes the full report from an already-built frame —
 // e.g. one streamed out of a logstore with analysis.BuildFrameIter, so
-// campaigns too large for memory never materialize their records.
+// campaigns too large for memory never materialize their records. It
+// builds the campaign's full paper plan, executes it on the query
+// engine (independent artifacts extract in parallel), and assembles the
+// Report from the result set.
 func AnalyzeFrame(res *Result, f *analysis.Frame, opt AnalyzeOptions) *Report {
-	if opt.SubsetSamples <= 0 {
-		opt.SubsetSamples = 100
-	}
-	if opt.FileSubsetSize <= 0 {
-		opt.FileSubsetSize = 100
+	meta := res.Meta()
+	plan := analysis.PaperPlan(meta, analysis.QueryOptions{
+		SubsetSamples:  opt.SubsetSamples,
+		FileSubsetSize: opt.FileSubsetSize,
+		Seed:           opt.Seed,
+	})
+	rs, err := analysis.Exec(f, meta, plan)
+	if err != nil {
+		// The paper plan selects only built-in queries, which never fail;
+		// an error here is a bug in the engine, not a runtime condition.
+		panic("repro: paper plan failed: " + err.Error())
 	}
 	rep := &Report{
-		TableI: f.TableI(len(res.HoneypotIDs), res.Days, len(res.Advertised)),
+		TableI:      artifact[analysis.TableI](rs, analysis.QueryTableI),
+		PeerGrowth:  artifact[stats.GrowthCurve](rs, analysis.QueryPeerGrowth),
+		HourlyHello: artifact[[]int](rs, analysis.QueryHourlyHello),
+		CoInterest:  artifact[analysis.InterestStats](rs, analysis.QueryCoInterest),
+
+		HelloPeersByGroup:       artifact[analysis.GroupSeries](rs, analysis.QueryHelloPeersByGroup),
+		StartUploadPeersByGroup: artifact[analysis.GroupSeries](rs, analysis.QueryStartUploadPeersByGroup),
+		RequestPartsByGroup:     artifact[analysis.GroupSeries](rs, analysis.QueryRequestPartsByGroup),
+		TopPeerStartUpload:      artifact[analysis.GroupSeries](rs, analysis.QueryTopPeerStartUpload),
+		TopPeerRequestParts:     artifact[analysis.GroupSeries](rs, analysis.QueryTopPeerRequestParts),
+		HoneypotSubsets:         artifact[stats.SubsetUnion](rs, analysis.QueryHoneypotSubsets),
+
+		RandomFiles:        artifact[[]ed2k.Hash](rs, analysis.QueryRandomFiles),
+		PopularFiles:       artifact[[]ed2k.Hash](rs, analysis.QueryPopularFiles),
+		RandomFileSubsets:  artifact[stats.SubsetUnion](rs, analysis.QueryRandomFileSubsets),
+		PopularFileSubsets: artifact[stats.SubsetUnion](rs, analysis.QueryPopularFileSubsets),
 	}
-	rep.PeerGrowth = f.PeerGrowth(res.Start, res.Days)
-	rep.CoInterest = f.InterestGraph().Stats()
-
-	hours := res.Days * 24
-	if hours > 168 {
-		hours = 168
-	}
-	rep.HourlyHello = f.HourlyHello(res.Start, hours)
-
-	if len(res.HoneypotIDs) > 1 {
-		rep.HelloPeersByGroup = f.GroupDistinctPeers(res.GroupOf, logging.KindHello, res.Start, res.Days)
-		rep.StartUploadPeersByGroup = f.GroupDistinctPeers(res.GroupOf, logging.KindStartUpload, res.Start, res.Days)
-		rep.RequestPartsByGroup = f.GroupMessageCounts(res.GroupOf, logging.KindRequestPart, res.Start, res.Days)
-
-		rep.TopPeer, rep.TopPeerQueries = f.TopPeer()
-		rep.TopPeerStartUpload = f.TopPeerSeries(res.GroupOf, rep.TopPeer, logging.KindStartUpload, res.Start, res.Days)
-		rep.TopPeerRequestParts = f.TopPeerSeries(res.GroupOf, rep.TopPeer, logging.KindRequestPart, res.Start, res.Days)
-
-		sets, universe := f.HoneypotPeerSets(res.HoneypotIDs)
-		rep.HoneypotSubsets = stats.UnionEstimate(sets, universe, stats.SubsetUnionConfig{
-			Samples: opt.SubsetSamples, Seed: opt.Seed, IncludeZero: true,
-		})
-	}
-
-	if res.Name == "greedy" {
-		ranked := f.QueriedFiles()
-		nPop := opt.FileSubsetSize
-		if nPop > len(ranked) {
-			nPop = len(ranked)
-		}
-		rep.PopularFiles = make([]ed2k.Hash, nPop)
-		for i := 0; i < nPop; i++ {
-			rep.PopularFiles[i] = ranked[i].Hash
-		}
-
-		// Random files are drawn from the advertised list, as the paper
-		// drew from its 3,175 shared files.
-		rng := rand.New(rand.NewSource(opt.Seed))
-		perm := rng.Perm(len(res.Advertised))
-		nRand := opt.FileSubsetSize
-		if nRand > len(perm) {
-			nRand = len(perm)
-		}
-		rep.RandomFiles = make([]ed2k.Hash, nRand)
-		for i := 0; i < nRand; i++ {
-			rep.RandomFiles[i] = res.Advertised[perm[i]].Hash
-		}
-
-		if nPop > 0 {
-			sets, universe := f.FilePeerSets(rep.PopularFiles)
-			rep.PopularFileSubsets = stats.UnionEstimate(sets, universe, stats.SubsetUnionConfig{
-				Samples: opt.SubsetSamples, Seed: opt.Seed,
-			})
-		}
-		if nRand > 0 {
-			sets, universe := f.FilePeerSets(rep.RandomFiles)
-			rep.RandomFileSubsets = stats.UnionEstimate(sets, universe, stats.SubsetUnionConfig{
-				Samples: opt.SubsetSamples, Seed: opt.Seed,
-			})
-		}
-	}
+	top := artifact[analysis.TopPeerInfo](rs, analysis.QueryTopPeer)
+	rep.TopPeer, rep.TopPeerQueries = top.Peer, top.Queries
 	return rep
+}
+
+// artifact fetches one typed result; a query the plan did not select
+// (the menu varies by campaign kind) yields the field's zero value,
+// exactly as the pre-engine assembly left those fields unset. A type
+// mismatch on a present result, by contrast, is a bug in a built-in
+// query and panics rather than silently zeroing a Report field.
+func artifact[T any](rs analysis.ReportSet, name string) T {
+	var zero T
+	if _, ok := rs.Value(name); !ok {
+		return zero
+	}
+	v, err := analysis.Artifact[T](rs, name)
+	if err != nil {
+		panic("repro: " + err.Error())
+	}
+	return v
 }

@@ -114,6 +114,45 @@ func TestAnalyzeGreedyFileSubsetsRespectOptions(t *testing.T) {
 	}
 }
 
+// TestAnalyzeStreamWith pins the streamed-analysis entry points: the
+// options actually reach the extractors (AnalyzeStream used to hardcode
+// the defaults), and a campaign that never streamed errors cleanly.
+func TestAnalyzeStreamWith(t *testing.T) {
+	spec, err := repro.ScenarioSpec("greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Scale *= 0.004
+	spec.Collection.Stream = true
+	res, err := repro.RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := repro.DefaultAnalyzeOptions()
+	opt.FileSubsetSize = 12
+	rep, err := repro.AnalyzeStreamWith(res, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RandomFiles) != 12 || len(rep.PopularFiles) != 12 {
+		t.Errorf("options ignored: %d random / %d popular files",
+			len(rep.RandomFiles), len(rep.PopularFiles))
+	}
+
+	spec.Collection.Stream = false
+	spec.Collection.ExportDir = ""
+	mres, err := repro.RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.AnalyzeStreamWith(mres, opt); err == nil {
+		t.Error("AnalyzeStreamWith accepted a materialized campaign")
+	}
+	if _, err := repro.AnalyzeStream(mres); err == nil {
+		t.Error("AnalyzeStream accepted a materialized campaign")
+	}
+}
+
 // TestAnalyzeMatchesReferenceExtractors pins the frame-based Analyze to
 // the slice-based reference extractors on real simulated campaigns: the
 // report must be identical field by field.
