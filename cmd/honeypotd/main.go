@@ -7,6 +7,10 @@
 //
 //	honeypotd -id hp-00 [-ip 127.0.0.1] [-peer-port 4662] [-control-port 4700]
 //	          [-strategy random|none] -secret campaign-secret [-browse]
+//	          [-store DIR] [-debug-addr 127.0.0.1:8061]
+//
+// -debug-addr serves the daemon's telemetry over HTTP: /metrics (the
+// registry as JSON), /debug/vars (expvar) and /debug/pprof.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"repro/internal/honeypot"
 	"repro/internal/livenet"
 	"repro/internal/logstore"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -36,7 +41,8 @@ func main() {
 		secret   = flag.String("secret", "", "campaign anonymization secret (required)")
 		browse   = flag.Bool("browse", true, "retrieve shared lists of contacting peers")
 		statusIv = flag.Duration("status", time.Minute, "status log interval (0 disables)")
-		storeDir = flag.String("store", "", "durable record store directory: records land in segment files and the manager collects incrementally (take-records-since), surviving restarts")
+		storeDir  = flag.String("store", "", "durable record store directory: records land in segment files and the manager collects incrementally (take-records-since), surviving restarts")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics (JSON snapshot), /debug/vars (expvar) and /debug/pprof on this address (e.g. 127.0.0.1:8061); empty disables")
 	)
 	flag.Parse()
 
@@ -57,6 +63,20 @@ func main() {
 		log.Fatalf("unknown -strategy %q (want random or none)", *strategy)
 	}
 
+	// With -debug-addr, the daemon exposes its telemetry over HTTP: the
+	// registry feeds the store's counters and the status-tick gauges. A
+	// nil registry (flag unset) keeps every update a one-branch no-op.
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.New()
+		dbg, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			log.Fatalf("-debug-addr: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("debug server on http://%s (/metrics, /debug/vars, /debug/pprof)", dbg.Addr())
+	}
+
 	// With -store, records are durable: the store recovers torn tails
 	// from a previous crash, and the manager's checkpoints mean nothing
 	// already collected is ever re-sent.
@@ -64,7 +84,7 @@ func main() {
 	if *storeDir != "" {
 		// FlushEvery bounds what a hard kill can lose to about a second
 		// of buffered records; a graceful shutdown loses nothing.
-		store, err := logstore.Open(*storeDir, logstore.Options{FlushEvery: time.Second})
+		store, err := logstore.Open(*storeDir, logstore.Options{FlushEvery: time.Second, Metrics: reg})
 		if err != nil {
 			log.Fatalf("opening -store: %v", err)
 		}
@@ -104,9 +124,29 @@ func main() {
 			agent.SetSource(shard)
 		}
 		if *statusIv > 0 {
+			// Status gauges refresh on the same tick as the status log;
+			// nil-safe, so they cost nothing without -debug-addr.
+			var (
+				gConnected   = reg.Gauge("honeypot.connected")
+				gRecords     = reg.Gauge("honeypot.records")
+				gAdvertised  = reg.Gauge("honeypot.advertised")
+				gHello       = reg.Gauge("honeypot.hello")
+				gStartUpload = reg.Gauge("honeypot.start_upload")
+				gRequestPart = reg.Gauge("honeypot.request_part")
+			)
 			var tick func()
 			tick = func() {
 				st := hp.Status()
+				connected := int64(0)
+				if st.Connected {
+					connected = 1
+				}
+				gConnected.Set(connected)
+				gRecords.Set(int64(st.Records))
+				gAdvertised.Set(int64(st.Advertised))
+				gHello.Set(int64(st.Stats.Hello))
+				gStartUpload.Set(int64(st.Stats.StartUpload))
+				gRequestPart.Set(int64(st.Stats.RequestParts))
 				log.Printf("connected=%v id=%d records=%d advertised=%d hello=%d start-upload=%d request-part=%d",
 					st.Connected, st.ClientID, st.Records, st.Advertised,
 					st.Stats.Hello, st.Stats.StartUpload, st.Stats.RequestParts)

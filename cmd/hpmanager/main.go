@@ -33,6 +33,7 @@ import (
 	"repro/internal/logging"
 	"repro/internal/logstore"
 	"repro/internal/manager"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -49,6 +50,7 @@ func main() {
 		ip        = flag.String("ip", "127.0.0.1", "address to bind the manager")
 		storeDir  = flag.String("store", "", "spill collected records into a segmented on-disk logstore instead of holding them in memory")
 		exportDir = flag.String("export", "", "additionally stream the anonymized dataset into a segmented on-disk logstore under this directory, for later streaming analysis")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics (JSON snapshot), /debug/vars (expvar) and /debug/pprof on this address (e.g. 127.0.0.1:8060); empty disables")
 	)
 	flag.Parse()
 
@@ -72,12 +74,27 @@ func main() {
 	host := livenet.NewHost(mgrAddr, time.Now().UnixNano())
 	defer host.Close()
 
+	// With -debug-addr, the manager's telemetry — collection counters,
+	// finalize pipeline stages, store counters — is live over HTTP for
+	// the whole campaign. A nil registry (flag unset) disables all of it.
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.New()
+		dbg, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			log.Fatalf("-debug-addr: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("debug server on http://%s (/metrics, /debug/vars, /debug/pprof)", dbg.Addr())
+	}
+
 	cfg := manager.DefaultConfig()
 	cfg.CollectEvery = *collect
 	cfg.HealthEvery = *health
+	cfg.Metrics = reg
 	mgr := manager.New(host, cfg)
 	if *storeDir != "" {
-		store, err := logstore.Open(*storeDir, logstore.Options{})
+		store, err := logstore.Open(*storeDir, logstore.Options{Metrics: reg})
 		if err != nil {
 			log.Fatalf("opening -store: %v", err)
 		}
@@ -151,7 +168,7 @@ func main() {
 
 	var it logging.Iterator = res.ds
 	if *exportDir != "" {
-		export, err := logstore.Open(*exportDir, logstore.Options{})
+		export, err := logstore.Open(*exportDir, logstore.Options{Metrics: reg})
 		if err != nil {
 			log.Fatalf("opening -export: %v", err)
 		}

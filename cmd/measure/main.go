@@ -11,6 +11,8 @@
 //	measure -scenario NAME -queries a,b,c    extract only the named artifacts
 //	measure -scenario NAME -plan-file p.json extract an analysis plan from disk
 //	measure -list-queries                    print the query registry and exit
+//	measure -scenario NAME -progress         live progress on stderr; Ctrl-C aborts cleanly
+//	measure -scenario NAME -metrics-file m.json  dump the run's telemetry registry
 //
 // The -campaign path keeps the paper's two typed configs; -scenario and
 // -scenario-file run any declarative spec (federations, churn fleets,
@@ -32,19 +34,24 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"slices"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/internal/analysis"
+	"repro/internal/anonymize"
 	"repro/internal/logging"
 	"repro/internal/logstore"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -68,6 +75,8 @@ func main() {
 		planFile    = flag.String("plan-file", "", "extract the analysis plan decoded from this JSON file (scenario runs only)")
 		listQueries = flag.Bool("list-queries", false, "print registered analysis query names and exit")
 		reportPath  = flag.String("report", "", "write the executed plan's results as JSON to this file (default: stdout)")
+		progress    = flag.Bool("progress", false, "print periodic campaign progress to stderr (sim time, events/s, records, fleet health); Ctrl-C aborts cleanly into a partial dataset (scenario runs only)")
+		metricsFile = flag.String("metrics-file", "", "write the run's full telemetry registry (engine, logstore, finalize pipeline) as JSON to this file (scenario runs only)")
 	)
 	flag.Parse()
 
@@ -111,19 +120,20 @@ func main() {
 		if *exportDir != "" {
 			spec.Collection.ExportDir = filepath.Join(*exportDir, spec.Name)
 		}
+		opts := runOptions(*progress, *metricsFile)
 		if plan := loadPlan(*queries, *planFile, *seed); plan != nil {
 			if *outDir != "" || *jsonl {
 				log.Print("-out and -jsonl ignored: a plan run emits only the selected queries as JSON (use -report FILE)")
 			}
-			runPlan(spec, *plan, *reportPath)
+			runPlan(spec, *plan, *reportPath, opts, *metricsFile)
 			return
 		}
-		runScenario(spec, *outDir, *jsonl)
+		runScenario(spec, *outDir, *jsonl, opts, *metricsFile)
 		return
 	}
 
-	if *stream || *exportDir != "" || *queries != "" || *planFile != "" {
-		log.Fatal("-stream, -export, -queries and -plan-file need a scenario run; use -scenario NAME (the paper's campaigns are registered as \"distributed\" and \"greedy\")")
+	if *stream || *exportDir != "" || *queries != "" || *planFile != "" || *progress || *metricsFile != "" {
+		log.Fatal("-stream, -export, -queries, -plan-file, -progress and -metrics-file need a scenario run; use -scenario NAME (the paper's campaigns are registered as \"distributed\" and \"greedy\")")
 	}
 	runD := *campaign == "both" || *campaign == "distributed"
 	runG := *campaign == "both" || *campaign == "greedy"
@@ -143,11 +153,9 @@ func main() {
 		start := time.Now()
 		res, err := repro.RunDistributed(cfg)
 		if err != nil {
-			log.Fatalf("distributed: %v", err)
+			fatalRun("distributed", err)
 		}
-		fmt.Printf("simulated %d events in %v; %d records, %d distinct peers\n",
-			res.Events, time.Since(start).Round(time.Millisecond),
-			len(res.Dataset.Records), res.Dataset.DistinctPeers)
+		summarizeRun(res, len(res.Dataset.Records), time.Since(start))
 		reportStore(res)
 		fmt.Println()
 		rep := repro.Analyze(res)
@@ -167,11 +175,9 @@ func main() {
 		start := time.Now()
 		res, err := repro.RunGreedy(cfg)
 		if err != nil {
-			log.Fatalf("greedy: %v", err)
+			fatalRun("greedy", err)
 		}
-		fmt.Printf("simulated %d events in %v; %d records, %d distinct peers\n",
-			res.Events, time.Since(start).Round(time.Millisecond),
-			len(res.Dataset.Records), res.Dataset.DistinctPeers)
+		summarizeRun(res, len(res.Dataset.Records), time.Since(start))
 		reportStore(res)
 		fmt.Println()
 		rep := repro.Analyze(res)
@@ -180,6 +186,89 @@ func main() {
 			writeGreedy(*outDir, res, rep, *jsonl)
 		}
 	}
+}
+
+// runOptions assembles the scenario engine's telemetry tap from the
+// -progress and -metrics-file flags: a stderr progress printer (with
+// Ctrl-C turned into a clean early abort) and a metrics registry.
+func runOptions(progress bool, metricsFile string) repro.RunOptions {
+	var opts repro.RunOptions
+	if metricsFile != "" {
+		opts.Metrics = obs.New()
+	}
+	if progress {
+		var interrupted atomic.Bool
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		go func() {
+			<-sig
+			signal.Stop(sig) // a second Ctrl-C kills the process normally
+			log.Print("interrupt: aborting campaign, finalizing records collected so far...")
+			interrupted.Store(true)
+		}()
+		opts.WallEvery = time.Second
+		opts.Progress = func(p repro.Progress) bool {
+			total := p.SimElapsed + p.SimEnd.Sub(p.SimTime)
+			elapsed := p.SimElapsed
+			if elapsed > total {
+				elapsed = total // the finalize drain runs past campaign end
+			}
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(elapsed) / float64(total)
+			}
+			log.Printf("progress: sim %s/%s (%3.0f%%)  events %d (%.0f/s)  records %d  fleet %d up / %d down",
+				elapsed.Round(time.Minute), total.Round(time.Minute), pct,
+				p.Events, p.EventsPerSec, p.RecordsCollected, p.FleetUp, p.FleetDown)
+			return !interrupted.Load()
+		}
+	}
+	return opts
+}
+
+// summarizeRun prints the end-of-run line every path shares: events,
+// records, distinct peers, elapsed wall time and throughput. It always
+// runs, -progress or not.
+func summarizeRun(res *repro.Result, records int, elapsed time.Duration) {
+	perSec := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		perSec = float64(records) / s
+	}
+	fmt.Printf("simulated %d events in %v; %d records, %d distinct peers\n",
+		res.Events, elapsed.Round(time.Millisecond),
+		records, res.Dataset.DistinctPeers)
+	fmt.Printf("wall %v; %.0f records/s finalized\n", elapsed.Round(time.Millisecond), perSec)
+	if res.Aborted {
+		fmt.Printf("campaign ABORTED at %s (sim time); the dataset covers only records collected before the abort\n",
+			res.AbortedAt.Format("2006-01-02 15:04"))
+	}
+}
+
+// fatalRun exits nonzero on a campaign error, naming the finalize stage
+// when the anonymization audit is what failed — an operator grepping
+// logs must be able to tell a privacy leak from an I/O problem.
+func fatalRun(name string, err error) {
+	var ae *anonymize.AuditError
+	if errors.As(err, &ae) {
+		log.Fatalf("%s: finalize stage audit failed: %v", name, err)
+	}
+	log.Fatalf("%s: %v", name, err)
+}
+
+// writeMetrics dumps the registry snapshot collected over the run.
+func writeMetrics(path string, reg *obs.Registry) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("creating %s: %v", path, err)
+	}
+	defer f.Close()
+	if err := reg.WriteJSON(f); err != nil {
+		log.Fatalf("writing %s: %v", path, err)
+	}
+	log.Printf("metrics written to %s", path)
 }
 
 // reportStore summarizes the campaign's on-disk store and re-derives the
@@ -304,25 +393,39 @@ func loadPlan(queries, file string, seed int64) *analysis.Plan {
 // dependencies resolved by the engine, independent artifacts in
 // parallel — and emits the result set as JSON to -report or stdout. The
 // run summary goes to stderr so stdout is clean JSON.
-func runPlan(spec repro.Spec, plan analysis.Plan, reportPath string) {
+func runPlan(spec repro.Spec, plan analysis.Plan, reportPath string, opts repro.RunOptions, metricsFile string) {
 	start := time.Now()
-	res, err := repro.RunSpec(spec)
+	res, err := repro.RunSpecWith(spec, opts)
 	if err != nil {
-		log.Fatalf("%s: %v", spec.Name, err)
+		fatalRun(spec.Name, err)
 	}
+	elapsed := time.Since(start)
 	records := len(res.Dataset.Records)
 	if res.Frame != nil {
 		records = res.Frame.Len() // streamed finalize: no []Record exists
 	}
-	log.Printf("scenario %s: simulated %d events in %v; %d records, %d distinct peers",
-		spec.Name, res.Events, time.Since(start).Round(time.Millisecond),
-		records, res.Dataset.DistinctPeers)
+	perSec := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		perSec = float64(records) / s
+	}
+	log.Printf("scenario %s: simulated %d events in %v; %d records (%.0f records/s), %d distinct peers",
+		spec.Name, res.Events, elapsed.Round(time.Millisecond),
+		records, perSec, res.Dataset.DistinctPeers)
+	if res.Aborted {
+		log.Printf("campaign ABORTED at %s (sim time); the report covers only records collected before the abort",
+			res.AbortedAt.Format("2006-01-02 15:04"))
+	}
 
 	rs, err := repro.ExecPlan(res, plan)
 	if err != nil {
 		log.Fatalf("%s: %v", spec.Name, err)
 	}
+	es := rs.ExecStats()
 	log.Printf("executed queries: %s", strings.Join(rs.Names(), ", "))
+	log.Printf("analysis: %d queries in %v on %d worker(s), %.0f%% utilization; critical path %v: %s",
+		len(es.Queries), es.Wall.Round(time.Millisecond), es.Workers, 100*es.Utilization,
+		es.CriticalPathWall.Round(time.Millisecond), strings.Join(es.CriticalPath, " → "))
+	writeMetrics(metricsFile, opts.Metrics)
 	data, err := json.MarshalIndent(rs, "", "  ")
 	if err != nil {
 		log.Fatalf("encoding report: %v", err)
@@ -343,21 +446,20 @@ func runPlan(spec repro.Spec, plan analysis.Plan, reportPath string) {
 // runScenario executes one spec and prints a generic report: Table I
 // and peer growth always, the group figures when the fleet has several
 // members, the fault log when faults fired.
-func runScenario(spec repro.Spec, outDir string, jsonl bool) {
+func runScenario(spec repro.Spec, outDir string, jsonl bool, opts repro.RunOptions, metricsFile string) {
 	fmt.Printf("=== scenario %s (%d honeypot(s), %d server(s), %d workload(s), %d days, scale %g) ===\n",
 		spec.Name, len(spec.Fleet), spec.Topology.Servers, len(spec.Workloads), spec.Days, spec.Scale)
 	start := time.Now()
-	res, err := repro.RunSpec(spec)
+	res, err := repro.RunSpecWith(spec, opts)
 	if err != nil {
-		log.Fatalf("%s: %v", spec.Name, err)
+		fatalRun(spec.Name, err)
 	}
 	records := len(res.Dataset.Records)
 	if res.Frame != nil {
 		records = res.Frame.Len() // streamed finalize: no []Record exists
 	}
-	fmt.Printf("simulated %d events in %v; %d records, %d distinct peers\n",
-		res.Events, time.Since(start).Round(time.Millisecond),
-		records, res.Dataset.DistinctPeers)
+	summarizeRun(res, records, time.Since(start))
+	writeMetrics(metricsFile, opts.Metrics)
 	reportStore(res)
 	reportExport(res)
 	for _, f := range res.Faults {

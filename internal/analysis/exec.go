@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"time"
 )
 
 // execNode is one resolved plan entry.
@@ -137,9 +138,11 @@ func ExecWorkers(f *Frame, meta CampaignMeta, plan Plan, workers int) (ReportSet
 	var (
 		mu       sync.Mutex
 		results  = make(map[string]any, len(nodes))
+		durs     = make(map[string]time.Duration, len(nodes))
 		firstErr error
 		pending  = len(nodes)
 		wg       sync.WaitGroup
+		started  = time.Now()
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -161,13 +164,17 @@ func ExecWorkers(f *Frame, meta CampaignMeta, plan Plan, workers int) (ReportSet
 
 				var v any
 				var err error
+				var dur time.Duration
 				if !failed {
 					// Run outside the lock: this is the concurrency the
 					// engine exists for.
+					t0 := time.Now()
 					v, err = n.q.Run(&QueryContext{Frame: f, Meta: meta, Opt: n.opt, deps: deps})
+					dur = time.Since(t0)
 				}
 
 				mu.Lock()
+				durs[name] = dur
 				if err != nil && firstErr == nil {
 					firstErr = fmt.Errorf("analysis: query %q: %w", name, err)
 				}
@@ -195,5 +202,8 @@ func ExecWorkers(f *Frame, meta CampaignMeta, plan Plan, workers int) (ReportSet
 	if firstErr != nil {
 		return ReportSet{}, firstErr
 	}
-	return ReportSet{results: results}, nil
+	return ReportSet{
+		results: results,
+		stats:   newExecStats(nodes, durs, workers, time.Since(started)),
+	}, nil
 }

@@ -204,7 +204,14 @@ func ParsePlan(data []byte) (Plan, error) {
 // includes dependencies Exec pulled in implicitly.
 type ReportSet struct {
 	results map[string]any
+	stats   ExecStats
 }
+
+// ExecStats returns the run's execution telemetry: per-query wall
+// times, pool utilization and the DAG's critical path. It is
+// intentionally excluded from MarshalJSON — report artifacts stay
+// bit-identical across runs; timings never are.
+func (rs ReportSet) ExecStats() ExecStats { return rs.stats }
 
 // Value returns a query's result.
 func (rs ReportSet) Value(name string) (any, bool) {

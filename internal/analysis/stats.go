@@ -1,0 +1,105 @@
+package analysis
+
+// Execution telemetry for the query engine: per-query wall times, pool
+// utilization and the dependency DAG's critical path. The stats ride on
+// the ReportSet but deliberately stay OUT of its JSON marshalling —
+// report artifacts must be bit-identical across runs and worker counts,
+// and wall times never are. Consumers read them through ExecStats().
+
+import (
+	"slices"
+	"time"
+)
+
+// QueryStat is one executed query's timing.
+type QueryStat struct {
+	// Name is the query's registered name.
+	Name string `json:"name"`
+	// Wall is the query's own Run wall time (excluding its dependencies).
+	Wall time.Duration `json:"wall"`
+}
+
+// ExecStats is one Exec run's telemetry.
+type ExecStats struct {
+	// Queries lists every executed query's timing, sorted by name.
+	Queries []QueryStat `json:"queries"`
+	// Workers is the pool size actually used; Wall is the whole run's
+	// wall time; Busy sums the per-query walls (Busy/Wall > 1 means the
+	// pool ran queries concurrently).
+	Workers int           `json:"workers"`
+	Wall    time.Duration `json:"wall"`
+	Busy    time.Duration `json:"busy"`
+	// Utilization is Busy / (Wall × Workers): the fraction of the pool's
+	// capacity spent inside query Runs.
+	Utilization float64 `json:"utilization"`
+	// CriticalPath is the most expensive dependency chain, in execution
+	// order (dependency first); CriticalPathWall is its summed wall time
+	// — the lower bound on Exec latency no worker count can beat.
+	CriticalPath     []string      `json:"critical_path"`
+	CriticalPathWall time.Duration `json:"critical_path_wall"`
+}
+
+// newExecStats assembles the run's telemetry from the resolved DAG and
+// the measured per-query durations.
+func newExecStats(nodes map[string]*execNode, durs map[string]time.Duration, workers int, wall time.Duration) ExecStats {
+	st := ExecStats{Workers: workers, Wall: wall}
+	names := make([]string, 0, len(nodes))
+	for name := range nodes {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	for _, name := range names {
+		st.Queries = append(st.Queries, QueryStat{Name: name, Wall: durs[name]})
+		st.Busy += durs[name]
+	}
+	if wall > 0 && workers > 0 {
+		st.Utilization = float64(st.Busy) / (float64(wall) * float64(workers))
+	}
+	st.CriticalPath, st.CriticalPathWall = criticalPath(nodes, durs, names)
+	return st
+}
+
+// criticalPath finds the dependency chain with the largest summed wall
+// time via memoized DFS: cost(q) = dur(q) + max over q's needs. Ties
+// keep the first candidate in deterministic (sorted / declaration)
+// order. The DAG is already cycle-checked by resolve.
+func criticalPath(nodes map[string]*execNode, durs map[string]time.Duration, sortedNames []string) ([]string, time.Duration) {
+	if len(sortedNames) == 0 {
+		return nil, 0
+	}
+	memo := make(map[string]time.Duration, len(nodes))
+	var cost func(name string) time.Duration
+	cost = func(name string) time.Duration {
+		if c, ok := memo[name]; ok {
+			return c
+		}
+		var deepest time.Duration
+		for _, d := range nodes[name].q.Needs {
+			if c := cost(d); c > deepest {
+				deepest = c
+			}
+		}
+		c := durs[name] + deepest
+		memo[name] = c
+		return c
+	}
+	end, total := "", time.Duration(-1)
+	for _, name := range sortedNames {
+		if c := cost(name); c > total {
+			end, total = name, c
+		}
+	}
+	var path []string
+	for cur := end; cur != ""; {
+		path = append(path, cur)
+		next, best := "", time.Duration(-1)
+		for _, d := range nodes[cur].q.Needs {
+			if c := memo[d]; c > best {
+				next, best = d, c
+			}
+		}
+		cur = next
+	}
+	slices.Reverse(path)
+	return path, total
+}

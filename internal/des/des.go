@@ -86,13 +86,48 @@ func (q *eventQueue) Pop() any {
 // Loop is a single-threaded discrete-event loop. All callbacks run on the
 // goroutine that calls Run/RunUntil/Step, so event handlers never race.
 type Loop struct {
-	now      time.Time
-	queue    eventQueue
-	seq      uint64
-	seed     int64
-	rng      *rand.Rand
-	executed uint64
-	free     []*event // recycled events
+	now       time.Time
+	queue     eventQueue
+	seq       uint64
+	seed      int64
+	rng       *rand.Rand
+	executed  uint64
+	free      []*event // recycled events
+	allocated uint64   // events allocated fresh (free list empty)
+	recycled  uint64   // events reused from the free list
+	maxQueue  int      // high-water mark of the pending queue
+}
+
+// Stats is a snapshot of the loop's internal counters — the engine's
+// side of the campaign progress tap (scenario.Progress) and the input
+// the scheduler work on the roadmap (calendar queues, sharded loops)
+// needs to know where event memory and queue depth actually go.
+type Stats struct {
+	// Executed is the number of events processed so far.
+	Executed uint64
+	// Scheduled is the number of events ever scheduled (At/After calls).
+	Scheduled uint64
+	// Allocated counts events allocated fresh because the free list was
+	// empty; Recycled counts events reused from it. Allocated is the
+	// loop's steady-state event memory footprint in units of events.
+	Allocated uint64
+	Recycled  uint64
+	// Pending is the current queue depth (including canceled events not
+	// yet reaped); MaxPending is its high-water mark.
+	Pending    int
+	MaxPending int
+}
+
+// Stats snapshots the loop's counters without exposing its internals.
+func (l *Loop) Stats() Stats {
+	return Stats{
+		Executed:   l.executed,
+		Scheduled:  l.seq,
+		Allocated:  l.allocated,
+		Recycled:   l.recycled,
+		Pending:    len(l.queue),
+		MaxPending: l.maxQueue,
+	}
 }
 
 // NewLoop returns a loop whose virtual clock starts at start and whose
@@ -135,8 +170,10 @@ func (l *Loop) alloc(t time.Time, fn func()) *event {
 		e = l.free[n-1]
 		l.free[n-1] = nil
 		l.free = l.free[:n-1]
+		l.recycled++
 	} else {
 		e = &event{}
+		l.allocated++
 	}
 	e.when, e.seq, e.fn, e.canceled = t, l.seq, fn, false
 	l.seq++
@@ -160,6 +197,9 @@ func (l *Loop) At(t time.Time, fn func()) Timer {
 	}
 	e := l.alloc(t, fn)
 	heap.Push(&l.queue, e)
+	if len(l.queue) > l.maxQueue {
+		l.maxQueue = len(l.queue)
+	}
 	return Timer{e: e, gen: e.gen}
 }
 

@@ -247,3 +247,49 @@ func BenchmarkEventThroughput(b *testing.B) {
 	l.After(time.Millisecond, tick)
 	l.Run()
 }
+
+// TestLoopStats pins the engine's introspection counters: executed and
+// scheduled totals, free-list recycling (allocated once, recycled
+// thereafter) and queue depth tracking including the high-water mark.
+func TestLoopStats(t *testing.T) {
+	l := NewLoop(t0, 1)
+	fn := func() {}
+
+	if s := l.Stats(); s != (Stats{}) {
+		t.Fatalf("fresh loop stats = %+v, want zero", s)
+	}
+
+	// Three events pending at once: max depth 3, three fresh allocations.
+	for i := 1; i <= 3; i++ {
+		l.After(time.Duration(i)*time.Second, fn)
+	}
+	if s := l.Stats(); s.Pending != 3 || s.MaxPending != 3 || s.Allocated != 3 || s.Recycled != 0 {
+		t.Fatalf("after scheduling 3: %+v", s)
+	}
+	l.Run()
+	if s := l.Stats(); s.Executed != 3 || s.Scheduled != 3 || s.Pending != 0 || s.MaxPending != 3 {
+		t.Fatalf("after run: %+v", s)
+	}
+
+	// One more event reuses the free list and never deepens the queue.
+	l.After(time.Second, fn)
+	l.Run()
+	s := l.Stats()
+	if s.Executed != 4 || s.Scheduled != 4 {
+		t.Fatalf("after 4th event: %+v", s)
+	}
+	if s.Allocated != 3 || s.Recycled != 1 {
+		t.Errorf("free list not reflected: allocated %d, recycled %d (want 3, 1)", s.Allocated, s.Recycled)
+	}
+	if s.MaxPending != 3 {
+		t.Errorf("max pending = %d, want high-water mark 3", s.MaxPending)
+	}
+
+	// A cancelled event still counts as scheduled, never as executed.
+	tm := l.After(time.Second, fn)
+	tm.Cancel()
+	l.Run()
+	if s := l.Stats(); s.Scheduled != 5 || s.Executed != 4 {
+		t.Errorf("after cancel: %+v", s)
+	}
+}

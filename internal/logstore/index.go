@@ -30,8 +30,9 @@ func writeIndex(dir string, info SegmentInfo) error {
 
 // loadIndex reads a sealed segment's sidecar and validates it against the
 // segment's size; on any mismatch it falls back to scanning the segment
-// (and repairs the sidecar).
-func loadIndex(dir string, seq uint64) (SegmentInfo, error) {
+// (and repairs the sidecar). Rebuilds and recovery truncations report
+// through m.
+func loadIndex(dir string, seq uint64, m storeMetrics) (SegmentInfo, error) {
 	segPath := filepath.Join(dir, segName(seq))
 	st, err := os.Stat(segPath)
 	if err != nil {
@@ -47,6 +48,7 @@ func loadIndex(dir string, seq uint64) (SegmentInfo, error) {
 		return SegmentInfo{}, err
 	}
 	// Missing or stale: rebuild from the segment itself.
+	m.rebuilds.Inc()
 	info, good, err := scanSegment(segPath, seq)
 	if err != nil {
 		return SegmentInfo{}, fmt.Errorf("logstore: rebuilding index of %s: %w", segPath, err)
@@ -58,6 +60,7 @@ func loadIndex(dir string, seq uint64) (SegmentInfo, error) {
 		if terr := os.Truncate(segPath, good); terr != nil {
 			return SegmentInfo{}, terr
 		}
+		m.truncations.Inc()
 	}
 	info.Bytes = good
 	if werr := writeIndex(dir, info); werr != nil {

@@ -36,6 +36,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
@@ -57,6 +59,12 @@ type Options struct {
 	// readers and Close — right for simulations, wrong for live
 	// honeypots, whose records must outlive the process.
 	FlushEvery time.Duration
+	// Metrics, when set, reports the store's activity (appends, bytes,
+	// segment rotations, index rebuilds, recovery truncations, scan
+	// records and bytes) into the registry under "logstore.*" names.
+	// Counters are resolved once at open time, so the hot paths stay
+	// allocation-free; nil disables telemetry at one-branch cost.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,35 @@
+package logstore
+
+import "repro/internal/obs"
+
+// storeMetrics is the store's pre-resolved telemetry: every counter is
+// looked up in the registry once, at open time, so the append and scan
+// hot paths pay exactly one atomic add per metric — no map lookups, no
+// allocation. The zero storeMetrics (nil counters) is the disabled form:
+// obs metrics are nil-receiver-safe, so updates cost one branch.
+type storeMetrics struct {
+	appends     *obs.Counter // logstore.append.records
+	appendBytes *obs.Counter // logstore.append.bytes
+	rotations   *obs.Counter // logstore.segment.rotations
+	rebuilds    *obs.Counter // logstore.index.rebuilds
+	truncations *obs.Counter // logstore.recovery.truncations
+	scanRecords *obs.Counter // logstore.scan.records
+	scanBytes   *obs.Counter // logstore.scan.bytes
+}
+
+// newStoreMetrics resolves the store's counters; a nil registry yields
+// the zero (disabled) set.
+func newStoreMetrics(r *obs.Registry) storeMetrics {
+	if r == nil {
+		return storeMetrics{}
+	}
+	return storeMetrics{
+		appends:     r.Counter("logstore.append.records"),
+		appendBytes: r.Counter("logstore.append.bytes"),
+		rotations:   r.Counter("logstore.segment.rotations"),
+		rebuilds:    r.Counter("logstore.index.rebuilds"),
+		truncations: r.Counter("logstore.recovery.truncations"),
+		scanRecords: r.Counter("logstore.scan.records"),
+		scanBytes:   r.Counter("logstore.scan.bytes"),
+	}
+}

@@ -211,7 +211,7 @@ func TestScanCleanVsCorrupt(t *testing.T) {
 	if _, _, err := scanSegment(path, 1); err != nil {
 		t.Errorf("clean segment scans with error: %v", err)
 	}
-	r, err := openSegmentReader(path, 0, nil)
+	r, err := openSegmentReader(path, 0, nil, storeMetrics{})
 	if err != nil {
 		t.Fatal(err)
 	}

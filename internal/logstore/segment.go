@@ -53,18 +53,19 @@ type segmentReader struct {
 	hdr  [frameOverhead]byte
 	buf  []byte
 	pool *intern.Pool // nil: decode without interning
+	m    storeMetrics // scan telemetry (zero = disabled)
 }
 
 // openSegmentReader opens the segment at path positioned at off (0 means
 // "start of records", i.e. just past the header, with the magic checked).
 // A non-nil pool — typically shared across the segments and shards of
 // one scan — deduplicates the honeypot/server/peer-name strings.
-func openSegmentReader(path string, off int64, pool *intern.Pool) (*segmentReader, error) {
+func openSegmentReader(path string, off int64, pool *intern.Pool, m storeMetrics) (*segmentReader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	r := &segmentReader{f: f, pool: pool}
+	r := &segmentReader{f: f, pool: pool, m: m}
 	if off <= 0 {
 		off = segHeaderSize
 		var magic [segHeaderSize]byte
@@ -122,6 +123,8 @@ func (r *segmentReader) next() (logging.Record, int64, error) {
 	if err != nil {
 		return logging.Record{}, r.off, fmt.Errorf("%w: %v", errCorrupt, err)
 	}
+	r.m.scanRecords.Inc()
+	r.m.scanBytes.Add(frameOverhead + uint64(n))
 	r.off += frameOverhead + int64(n)
 	return rec, r.off, nil
 }
@@ -134,7 +137,7 @@ func (r *segmentReader) Close() error { return r.f.Close() }
 // frames mid-file surface as errCorrupt.
 func scanSegment(path string, seq uint64) (SegmentInfo, int64, error) {
 	info := SegmentInfo{Seq: seq}
-	r, err := openSegmentReader(path, 0, intern.NewPool())
+	r, err := openSegmentReader(path, 0, intern.NewPool(), storeMetrics{})
 	if errors.Is(err, io.EOF) {
 		return info, 0, nil // shorter than the magic: empty
 	}

@@ -25,7 +25,8 @@ type Shard struct {
 	dir   string
 	name  string
 	opt   Options
-	store *Store // owning store, nil for a standalone shard
+	store *Store       // owning store, nil for a standalone shard
+	m     storeMetrics // pre-resolved telemetry (zero = disabled)
 
 	mu     sync.Mutex
 	sealed []SegmentInfo // all segments before the active one
@@ -43,7 +44,7 @@ func openShard(dir, name string, opt Options) (*Shard, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("logstore: %w", err)
 	}
-	sh := &Shard{dir: dir, name: name, opt: opt}
+	sh := &Shard{dir: dir, name: name, opt: opt, m: newStoreMetrics(opt.Metrics)}
 
 	seqs, err := listSegments(dir)
 	if err != nil {
@@ -53,7 +54,7 @@ func openShard(dir, name string, opt Options) (*Shard, error) {
 		return sh, sh.startSegment(1)
 	}
 	for _, seq := range seqs[:len(seqs)-1] {
-		info, err := loadIndex(dir, seq)
+		info, err := loadIndex(dir, seq, sh.m)
 		if err != nil {
 			return nil, err
 		}
@@ -67,6 +68,11 @@ func openShard(dir, name string, opt Options) (*Shard, error) {
 	info, good, err := scanSegment(path, last)
 	if err != nil && !errors.Is(err, errCorrupt) {
 		return nil, fmt.Errorf("logstore: recovering %s: %w", path, err)
+	}
+	if st, serr := os.Stat(path); serr == nil && st.Size() != good {
+		// The tail held torn or corrupt bytes the truncation below will
+		// drop — the crash-artifact case the recovery path exists for.
+		sh.m.truncations.Inc()
 	}
 	// A corrupt frame in the tail segment is a crash artifact (partially
 	// persisted append): recover by truncating at the last intact frame,
@@ -180,6 +186,8 @@ func (sh *Shard) AppendRecord(r logging.Record) error {
 		sh.err = err
 		return err
 	}
+	sh.m.appends.Inc()
+	sh.m.appendBytes.Add(uint64(len(frame)))
 	sh.active.observe(r.Time)
 	sh.active.Bytes += int64(len(frame))
 	if sh.active.Bytes >= sh.opt.SegmentBytes {
@@ -208,6 +216,7 @@ func (sh *Shard) rotateLocked() error {
 	if err := writeIndex(sh.dir, sh.active); err != nil {
 		return err
 	}
+	sh.m.rotations.Inc()
 	sh.sealed = append(sh.sealed, sh.active)
 	return sh.startSegment(sh.active.Seq + 1)
 }
@@ -376,7 +385,7 @@ func (sh *Shard) ReadSince(cp Checkpoint, max int) ([]logging.Record, Checkpoint
 // (bytes appended after the snapshot wait for the next call). It returns
 // the offset just past the last record consumed.
 func (sh *Shard) readSegment(si SegmentInfo, off int64, limit int, pool *intern.Pool, out *[]logging.Record) (int64, error) {
-	r, err := openSegmentReader(filepath.Join(sh.dir, segName(si.Seq)), off, pool)
+	r, err := openSegmentReader(filepath.Join(sh.dir, segName(si.Seq)), off, pool, sh.m)
 	if errors.Is(err, io.EOF) {
 		return off, nil
 	}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/honeypot"
 	"repro/internal/logging"
 	"repro/internal/logstore"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -155,6 +156,12 @@ type Config struct {
 	// NameThreshold is the filename anonymization threshold applied at
 	// Finalize (words rarer than this are replaced); 0 disables.
 	NameThreshold int
+	// Metrics, when set, receives the manager's telemetry: collection
+	// round/record counters and the finalize pipeline's per-stage record
+	// counts and cumulative durations (finalize.<stage>.records /
+	// finalize.<stage>.nanos, inclusive of upstream stages). Nil disables
+	// instrumentation entirely — the pipeline is not even wrapped.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the cadence used by the campaigns.
@@ -204,6 +211,26 @@ type Manager struct {
 	running      bool
 	collectTimer transport.Timer
 	healthTimer  transport.Timer
+
+	met mgrMetrics
+}
+
+// mgrMetrics is the manager's pre-resolved metric set (zero = disabled).
+type mgrMetrics struct {
+	collectRounds  *obs.Counter   // manager.collect.rounds
+	collectRecords *obs.Counter   // manager.collect.records (transferred)
+	finalizeDur    *obs.Histogram // manager.finalize.duration (pipeline build + pass 1)
+}
+
+func newMgrMetrics(r *obs.Registry) mgrMetrics {
+	if r == nil {
+		return mgrMetrics{}
+	}
+	return mgrMetrics{
+		collectRounds:  r.Counter("manager.collect.rounds"),
+		collectRecords: r.Counter("manager.collect.records"),
+		finalizeDur:    r.Histogram("manager.finalize.duration", obs.DurationBuckets),
+	}
 }
 
 // New creates a manager on host.
@@ -219,6 +246,7 @@ func New(host transport.Host, cfg Config) *Manager {
 		cfg:  cfg,
 		byID: make(map[string]*HoneypotState),
 		logs: make(map[string][]logging.Record),
+		met:  newMgrMetrics(cfg.Metrics),
 	}
 }
 
@@ -312,6 +340,7 @@ const collectBatch = 2048
 // yet; handles writing straight into the manager's store transfer
 // nothing.
 func (m *Manager) CollectNow(done func()) {
+	m.met.collectRounds.Inc()
 	remaining := len(m.hps)
 	if remaining == 0 {
 		if done != nil {
@@ -425,6 +454,7 @@ func (m *Manager) ingest(st *HoneypotState, recs []logging.Record) error {
 	} else {
 		m.logs[id] = append(m.logs[id], recs...)
 	}
+	m.met.collectRecords.Add(uint64(len(recs)))
 	st.Collected += len(recs)
 	return nil
 }
@@ -637,10 +667,45 @@ func wrapFinalizeErr(err error) error {
 	return fmt.Errorf("manager: merging collected logs: %w", err)
 }
 
+// stage wraps one finalize pipeline stage's output in a counting,
+// timing iterator — only when telemetry is on, so a disabled registry
+// leaves the pipeline exactly as it was. Durations are cumulative and
+// inclusive of upstream stages (subtract the upstream stage's nanos for
+// exclusive time).
+func (m *Manager) stage(it logging.Iterator, name string) logging.Iterator {
+	if m.cfg.Metrics == nil {
+		return it
+	}
+	return &stageIter{
+		up:      it,
+		records: m.cfg.Metrics.Counter("finalize." + name + ".records"),
+		nanos:   m.cfg.Metrics.Counter("finalize." + name + ".nanos"),
+	}
+}
+
+// stageIter counts the records a stage yields and accumulates the wall
+// time spent pulling them (inclusive of upstream).
+type stageIter struct {
+	up      logging.Iterator
+	records *obs.Counter
+	nanos   *obs.Counter
+}
+
+func (s *stageIter) Next() (logging.Record, error) {
+	start := time.Now()
+	r, err := s.up.Next()
+	s.nanos.Add(uint64(time.Since(start)))
+	if err == nil {
+		s.records.Inc()
+	}
+	return r, err
+}
+
 // newDatasetStream assembles the finalize pipeline over the collected
 // logs: re-iterable source → (pass 1: observe filename corpus) →
 // renumber → anonymize names → audit.
 func (m *Manager) newDatasetStream() (*DatasetStream, error) {
+	span := obs.StartSpan(m.met.finalizeDur)
 	src, perHP, err := m.datasetSource()
 	if err != nil {
 		return nil, err
@@ -653,7 +718,7 @@ func (m *Manager) newDatasetStream() (*DatasetStream, error) {
 		if err != nil {
 			return nil, err
 		}
-		obsErr := na.ObserveIter(pass1)
+		obsErr := na.ObserveIter(m.stage(pass1, "observe"))
 		if cerr := logging.CloseIter(pass1); obsErr == nil {
 			obsErr = cerr
 		}
@@ -672,12 +737,14 @@ func (m *Manager) newDatasetStream() (*DatasetStream, error) {
 	// normalizes even a raw address into an anonymous integer. A honeypot
 	// that ever shipped a raw address fails the whole finalize here.
 	ren := anonymize.NewRenumberer()
-	out := ren.RenumberIter(anonymize.AuditIter(base))
+	out := ren.RenumberIter(m.stage(anonymize.AuditIter(m.stage(base, "scan")), "audit"))
+	out = m.stage(out, "renumber")
 	if na != nil {
-		out = na.AnonymizeIter(out)
+		out = m.stage(na.AnonymizeIter(out), "anonymize")
 	}
 
 	ds := &DatasetStream{it: out, base: base, ren: ren, na: na, perHP: perHP}
+	span.End()
 	for _, st := range m.hps {
 		ds.hps = append(ds.hps, st.Handle.ID())
 	}

@@ -1,0 +1,85 @@
+package obs
+
+// The operational surface: a debug HTTP listener serving the registry's
+// JSON snapshot at /metrics, the process's expvar page (including the
+// registry, published as "metrics") at /debug/vars, and the standard
+// net/http/pprof profiling endpoints. cmd/honeypotd and cmd/hpmanager
+// expose it behind -debug-addr; the future service plane (cmd/measured)
+// mounts the same mux.
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// expvarReg is the registry published under the "metrics" expvar name.
+// expvar.Publish panics on duplicate names, so the name is published
+// once per process and re-pointed at the most recent registry.
+var (
+	expvarReg  atomic.Pointer[Registry]
+	expvarOnce sync.Once
+)
+
+// publishExpvar exposes r on the process's expvar page as "metrics".
+func publishExpvar(r *Registry) {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("metrics", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+}
+
+// DebugMux builds the debug endpoints for a registry:
+//
+//	/metrics          registry snapshot as JSON
+//	/debug/vars       expvar page (registry published as "metrics")
+//	/debug/pprof/...  net/http/pprof profiling
+func DebugMux(r *Registry) *http.ServeMux {
+	publishExpvar(r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug HTTP listener.
+type DebugServer struct {
+	srv  *http.Server
+	addr net.Addr
+}
+
+// Addr returns the listener's bound address (useful with ":0").
+func (d *DebugServer) Addr() net.Addr { return d.addr }
+
+// Close shuts the listener down.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// ServeDebug starts a debug HTTP listener on addr (e.g. "127.0.0.1:6060"
+// or ":0" for an ephemeral port) serving DebugMux(r) in a background
+// goroutine. The caller owns the returned server and should Close it on
+// shutdown.
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: DebugMux(r)}
+	go srv.Serve(ln)
+	return &DebugServer{srv: srv, addr: ln.Addr()}, nil
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// get fetches one debug endpoint and returns the body.
+func get(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestDebugServerEndpoints boots the debug listener on an ephemeral
+// port and checks all three surfaces: /metrics (registry JSON),
+// /debug/vars (expvar, including the published registry) and
+// /debug/pprof.
+func TestDebugServerEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("test.hits").Add(42)
+	r.Gauge("test.depth").Set(-7)
+
+	srv, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+	defer srv.Close()
+	addr := srv.Addr().String()
+
+	code, body := get(t, addr, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["test.hits"] != 42 || snap.Gauges["test.depth"] != -7 {
+		t.Errorf("/metrics content wrong: %+v", snap)
+	}
+
+	code, body = get(t, addr, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	if !strings.Contains(body, `"metrics"`) || !strings.Contains(body, "test.hits") {
+		t.Errorf("/debug/vars does not expose the registry:\n%s", body)
+	}
+
+	code, body = get(t, addr, "/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index unexpected:\n%s", body)
+	}
+}
+
+// TestServeDebugTwice pins that a second server (e.g. honeypotd and a
+// test in one process) re-points the expvar export instead of
+// panicking on duplicate publication.
+func TestServeDebugTwice(t *testing.T) {
+	r1 := New()
+	r1.Counter("first.only").Inc()
+	s1, err := ServeDebug("127.0.0.1:0", r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+
+	r2 := New()
+	r2.Counter("second.only").Inc()
+	s2, err := ServeDebug("127.0.0.1:0", r2) // must not panic
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	_, body := get(t, s2.Addr().String(), "/debug/vars")
+	if !strings.Contains(body, "second.only") {
+		t.Errorf("expvar still exports the first registry:\n%s", body)
+	}
+}

@@ -74,6 +74,14 @@ type Result struct {
 	// honeypot); ExportedRecords is the record count written there.
 	ExportDir       string
 	ExportedRecords uint64
+	// Engine is the event loop's final internal counters.
+	Engine des.Stats
+	// Aborted reports that a progress callback stopped the campaign
+	// before its scheduled end; AbortedAt is the virtual time it
+	// stopped. The Result then covers only the records collected up to
+	// that point.
+	Aborted   bool
+	AbortedAt time.Time
 }
 
 // Meta derives the campaign's analysis metadata — the measurement
@@ -128,14 +136,32 @@ type world struct {
 	cat   *catalog.Catalog
 
 	faultLog []FaultEvent
+
+	// Telemetry tap state (see progress.go).
+	opts       RunOptions
+	em         engineMetrics
+	pops       []*peersim.Population
+	wallStart  time.Time
+	lastEvents uint64
+	lastWall   time.Duration
+	lastEmit   time.Duration
+	aborted    bool
 }
 
 // Run validates the spec and executes it on a fresh simulated world.
-func Run(spec Spec) (*Result, error) {
+// It is RunWith with no tap and no telemetry.
+func Run(spec Spec) (*Result, error) { return RunWith(spec, RunOptions{}) }
+
+// RunWith is Run with a telemetry tap: opts.Progress receives
+// mid-campaign snapshots (and can abort the run), opts.Metrics receives
+// the whole stack's counters and gauges. The tap never perturbs the
+// simulation — a tapped campaign's dataset is record-for-record
+// identical to an untapped one.
+func RunWith(spec Spec, opts RunOptions) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	w, err := buildWorld(spec)
+	w, err := buildWorld(spec, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +203,7 @@ func Run(spec Spec) (*Result, error) {
 		env.Files[hs.ID] = files
 	}
 	w.mgr.Start()
-	w.loop.RunUntil(CampaignStart.Add(settleDelay))
+	w.advance(CampaignStart.Add(settleDelay))
 
 	// Workload starts and fault actions share one timeline, executed in
 	// order between RunUntil segments — exactly how the hand-assembled
@@ -185,13 +211,19 @@ func Run(spec Spec) (*Result, error) {
 	// position (not start order), so Result.WorkloadStats lines up with
 	// Spec.Workloads.
 	pops := make([]*peersim.Population, len(spec.Workloads))
+	w.pops = pops
 	actions, err := w.timeline(spec, env, pops)
 	if err != nil {
 		return nil, err
 	}
 	for _, a := range actions {
 		if at := CampaignStart.Add(a.at); at.After(w.loop.Now()) {
-			w.loop.RunUntil(at)
+			w.advance(at)
+		}
+		if w.aborted {
+			// The tap stopped the campaign: skip every not-yet-due
+			// action and go straight to finalize.
+			break
 		}
 		if err := a.run(); err != nil {
 			return nil, err
@@ -201,7 +233,7 @@ func Run(spec Spec) (*Result, error) {
 }
 
 // buildWorld creates the federation, the manager and an empty fleet.
-func buildWorld(spec Spec) (*world, error) {
+func buildWorld(spec Spec, opts RunOptions) (*world, error) {
 	n := spec.Topology.Servers
 	loop := des.NewLoop(CampaignStart, spec.Seed)
 	nw := netsim.New(loop, netsim.DefaultConfig())
@@ -212,7 +244,12 @@ func buildWorld(spec Spec) (*world, error) {
 		hosts[i] = nw.NewHost(fmt.Sprintf("server-%d", i))
 		addrs[i] = netip.AddrPortFrom(hosts[i].Addr(), 4661)
 	}
-	w := &world{spec: spec, loop: loop, net: nw}
+	w := &world{
+		spec: spec, loop: loop, net: nw,
+		opts:      opts,
+		em:        newEngineMetrics(opts.Metrics),
+		wallStart: time.Now(),
+	}
 	for i := 0; i < n; i++ {
 		cfg := server.DefaultConfig(fmt.Sprintf("paper-server-%d", i))
 		cfg.KnownServers = addrs // federation: everyone knows everyone
@@ -227,6 +264,7 @@ func buildWorld(spec Spec) (*world, error) {
 	if spec.Collection.Every > 0 {
 		mcfg.CollectEvery = time.Duration(spec.Collection.Every)
 	}
+	mcfg.Metrics = opts.Metrics
 	w.mgr = manager.New(nw.NewHost("manager"), mcfg)
 	return w, nil
 }
@@ -235,7 +273,7 @@ func buildWorld(spec Spec) (*world, error) {
 // afterwards write through shards of a store at dir, and the manager
 // streams the store at finalize instead of holding logs in memory.
 func (w *world) attachStore(dir string) error {
-	store, err := logstore.Open(dir, logstore.Options{})
+	store, err := logstore.Open(dir, logstore.Options{Metrics: w.opts.Metrics})
 	if err != nil {
 		return fmt.Errorf("scenario: opening store: %w", err)
 	}
@@ -484,7 +522,14 @@ func (w *world) fleetIndex(id string) int {
 // collects metadata.
 func (w *world) finish(spec Spec, pops []*peersim.Population) (*Result, error) {
 	end := spec.end()
-	w.loop.RunUntil(end)
+	w.advance(end)
+	abortedAt := w.loop.Now()
+	// Aborted runs drain the collection exchange from where they
+	// stopped instead of silently simulating the rest of the campaign.
+	drainUntil := end.Add(time.Hour)
+	if w.aborted {
+		drainUntil = w.loop.Now().Add(time.Hour)
+	}
 	for _, pop := range pops {
 		if pop != nil {
 			pop.Stop()
@@ -502,7 +547,7 @@ func (w *world) finish(spec Spec, pops []*peersim.Population) (*Result, error) {
 		// records are never materialized.
 		var stream *manager.DatasetStream
 		w.mgr.FinalizeStream(func(s *manager.DatasetStream, err error) { stream, dsErr = s, err })
-		w.loop.RunUntil(end.Add(time.Hour))
+		w.loop.RunUntil(drainUntil)
 		if dsErr != nil {
 			return nil, dsErr
 		}
@@ -514,17 +559,31 @@ func (w *world) finish(spec Spec, pops []*peersim.Population) (*Result, error) {
 		var export *logstore.Store
 		if dir := spec.Collection.ExportDir; dir != "" {
 			var err error
-			if export, err = logstore.Open(dir, logstore.Options{}); err != nil {
+			if export, err = logstore.Open(dir, logstore.Options{Metrics: w.opts.Metrics}); err != nil {
 				return nil, fmt.Errorf("scenario: opening export store: %w", err)
 			}
 			defer export.Close()
 			if n := export.TotalRecords(); n > 0 {
 				return nil, fmt.Errorf("scenario: export store %s already holds %d records from a previous run; point it at a fresh directory", dir, n)
 			}
+			// The export tee is the pipeline's last stage; count and time
+			// it like the manager's stages (nil-safe counters make the
+			// disabled case one branch per record).
+			expRecs := w.opts.Metrics.Counter("finalize.export.records")
+			expNanos := w.opts.Metrics.Counter("finalize.export.nanos")
+			timed := w.opts.Metrics != nil
 			it = logging.Map(it, func(r *logging.Record) error {
+				var start time.Time
+				if timed {
+					start = time.Now()
+				}
 				if err := export.AppendRecord(*r); err != nil {
 					return err
 				}
+				if timed {
+					expNanos.Add(uint64(time.Since(start)))
+				}
+				expRecs.Inc()
 				exported++
 				return nil
 			})
@@ -546,7 +605,7 @@ func (w *world) finish(spec Spec, pops []*peersim.Population) (*Result, error) {
 	} else {
 		w.mgr.Finalize(func(d *manager.Dataset, err error) { ds, dsErr = d, err })
 		// Drain the finalize exchange (bounded: populations stopped).
-		w.loop.RunUntil(end.Add(time.Hour))
+		w.loop.RunUntil(drainUntil)
 		if dsErr != nil {
 			return nil, dsErr
 		}
@@ -573,6 +632,11 @@ func (w *world) finish(spec Spec, pops []*peersim.Population) (*Result, error) {
 		HoneypotStats:   make(map[string]honeypot.Stats, len(w.hps)),
 		Faults:          w.faultLog,
 		Events:          w.loop.Executed(),
+		Engine:          w.loop.Stats(),
+		Aborted:         w.aborted,
+	}
+	if w.aborted {
+		res.AbortedAt = abortedAt
 	}
 	for _, pop := range pops {
 		var s peersim.Stats
@@ -604,6 +668,12 @@ func (w *world) finish(spec Spec, pops []*peersim.Population) (*Result, error) {
 		if err := w.closeStore(); err != nil {
 			return nil, fmt.Errorf("scenario: closing store: %w", err)
 		}
+	}
+	// The final snapshot always fires (even wall-throttled), so the tap
+	// sees the campaign's end state; its abort return is meaningless now
+	// and ignored.
+	if w.opts.tapped() {
+		w.observe(true)
 	}
 	return res, nil
 }

@@ -62,6 +62,14 @@ type (
 	GreedyConfig = core.GreedyConfig
 	// Result is a finished campaign.
 	Result = core.Result
+	// RunOptions is the engine's telemetry tap configuration: a progress
+	// callback (with early abort), its cadence, and a metrics registry.
+	RunOptions = scenario.RunOptions
+	// Progress is one mid-campaign snapshot delivered to the tap.
+	Progress = scenario.Progress
+	// ProgressFunc receives Progress snapshots; returning false aborts
+	// the campaign cleanly into a partial Result.
+	ProgressFunc = scenario.ProgressFunc
 )
 
 // Scenarios lists the registered scenario names, sorted.
@@ -72,6 +80,15 @@ func ScenarioSpec(name string) (Spec, error) { return scenario.Lookup(name) }
 
 // RunSpec validates and executes any campaign spec.
 func RunSpec(spec Spec) (*Result, error) { return scenario.Run(spec) }
+
+// RunSpecWith is RunSpec with a telemetry tap: opts.Progress receives
+// mid-campaign snapshots (and can abort the run early), opts.Metrics
+// collects the whole stack's counters and gauges. The tap never
+// perturbs the simulation — a tapped campaign's dataset is
+// record-for-record identical to an untapped one.
+func RunSpecWith(spec Spec, opts RunOptions) (*Result, error) {
+	return scenario.RunWith(spec, opts)
+}
 
 // DefaultDistributed returns the paper's distributed setup (scale 1).
 func DefaultDistributed() DistributedConfig { return core.DefaultDistributedConfig() }
