@@ -33,14 +33,14 @@ func main() {
 	log.SetFlags(log.Ltime)
 	log.SetPrefix("honeypotd: ")
 	var (
-		id       = flag.String("id", "hp-00", "honeypot identifier in logs")
-		ip       = flag.String("ip", "127.0.0.1", "address to bind")
-		peerPort = flag.Uint("peer-port", 4662, "eDonkey peer port")
-		ctlPort  = flag.Uint("control-port", control.DefaultPort, "manager control port")
-		strategy = flag.String("strategy", "none", "part-request strategy: random or none")
-		secret   = flag.String("secret", "", "campaign anonymization secret (required)")
-		browse   = flag.Bool("browse", true, "retrieve shared lists of contacting peers")
-		statusIv = flag.Duration("status", time.Minute, "status log interval (0 disables)")
+		id        = flag.String("id", "hp-00", "honeypot identifier in logs")
+		ip        = flag.String("ip", "127.0.0.1", "address to bind")
+		peerPort  = flag.Uint("peer-port", 4662, "eDonkey peer port")
+		ctlPort   = flag.Uint("control-port", control.DefaultPort, "manager control port")
+		strategy  = flag.String("strategy", "none", "part-request strategy: random or none")
+		secret    = flag.String("secret", "", "campaign anonymization secret (required)")
+		browse    = flag.Bool("browse", true, "retrieve shared lists of contacting peers")
+		statusIv  = flag.Duration("status", time.Minute, "status log interval (0 disables)")
 		storeDir  = flag.String("store", "", "durable record store directory: records land in segment files and the manager collects incrementally (take-records-since), surviving restarts")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics (JSON snapshot), /debug/vars (expvar) and /debug/pprof on this address (e.g. 127.0.0.1:8061); empty disables")
 	)
@@ -89,6 +89,15 @@ func main() {
 			log.Fatalf("opening -store: %v", err)
 		}
 		defer store.Close()
+		// Quarantined segments mean recovery refused part of a previous
+		// run's data. A honeypot that kept logging would bury the evidence;
+		// exit and name the shard so the operator decides.
+		if q := store.Quarantined(); len(q) > 0 {
+			for _, e := range q {
+				log.Printf("-store %s: quarantined: shard %s seq %d: %s", *storeDir, e.Shard, e.Seq, e.Reason)
+			}
+			log.Fatalf("-store %s: %d quarantined segment(s), first in shard %s; inspect the store's _quarantine directory before logging into it", *storeDir, len(q), q[0].Shard)
+		}
 		if shard, err = store.Shard(*id); err != nil {
 			log.Fatalf("opening shard: %v", err)
 		}

@@ -46,6 +46,9 @@ func main() {
 		duration  = flag.Duration("duration", time.Minute, "measurement duration")
 		collect   = flag.Duration("collect-every", 10*time.Second, "log collection period")
 		health    = flag.Duration("health-every", 5*time.Second, "status poll period")
+		collectTO = flag.Duration("collect-timeout", 10*time.Second, "deadline for one control exchange; a silent honeypot fails the request instead of hanging the round (0 waits forever)")
+		retries   = flag.Int("collect-retries", 2, "per-round retry budget when a honeypot's collection fails; past it the round is recorded as a gap and the next period tries again")
+		backoff   = flag.Duration("collect-retry-backoff", 2*time.Second, "base delay before a collection retry, doubling per attempt")
 		out       = flag.String("out", "dataset.jsonl", "output JSONL dataset")
 		ip        = flag.String("ip", "127.0.0.1", "address to bind the manager")
 		storeDir  = flag.String("store", "", "spill collected records into a segmented on-disk logstore instead of holding them in memory")
@@ -91,6 +94,8 @@ func main() {
 	cfg := manager.DefaultConfig()
 	cfg.CollectEvery = *collect
 	cfg.HealthEvery = *health
+	cfg.CollectRetries = *retries
+	cfg.CollectRetryBackoff = *backoff
 	cfg.Metrics = reg
 	mgr := manager.New(host, cfg)
 	if *storeDir != "" {
@@ -99,6 +104,15 @@ func main() {
 			log.Fatalf("opening -store: %v", err)
 		}
 		defer store.Close()
+		// Quarantined data means the manifest and the disk disagree about
+		// a previous campaign's records. Refusing to run is the only safe
+		// move: continuing would publish a dataset with a silent hole.
+		if q := store.Quarantined(); len(q) > 0 {
+			for _, e := range q {
+				log.Printf("-store %s: quarantined: shard %s seq %d: %s", *storeDir, e.Shard, e.Seq, e.Reason)
+			}
+			log.Fatalf("-store %s: %d quarantined segment(s), first in shard %s; inspect the store's _quarantine directory before measuring", *storeDir, len(q), q[0].Shard)
+		}
 		mgr.SetStore(store)
 		log.Printf("spilling collected records to %s", *storeDir)
 	}
@@ -138,6 +152,10 @@ func main() {
 	assignments := manager.SameServer(server, files, len(links))
 	host.Post(func() {
 		for i, l := range links {
+			// The link-level policy bounds each exchange (deadline + one
+			// re-ask for idempotent requests); the manager's retry budget
+			// handles whole failed rounds above it.
+			l.SetPolicy(control.Policy{Timeout: *collectTO, Attempts: 2})
 			mgr.Add(l, assignments[i])
 		}
 		mgr.Start()

@@ -59,15 +59,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("measure: ")
 	var (
-		scale     = flag.Float64("scale", 0.1, "arrival intensity scale; multiplies the spec's own scale (1.0 = paper magnitudes)")
-		campaign  = flag.String("campaign", "both", "campaign to run: distributed, greedy or both")
-		outDir    = flag.String("out", "", "directory for CSV series (optional)")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		jsonl     = flag.Bool("jsonl", false, "also dump the anonymized dataset as JSONL into -out")
-		servers   = flag.Int("servers", 1, "directory servers for the distributed campaign (1 = paper setup)")
-		storeDir  = flag.String("store", "", "spill records to a segmented on-disk logstore under this directory (per-campaign subdirectory)")
-		stream    = flag.Bool("stream", false, "finalize through the streaming record pipeline: the dataset flows straight into the columnar frame, never materializing records (scenario runs only)")
-		exportDir = flag.String("export", "", "stream the anonymized dataset into an on-disk logstore under this directory for later analysis (per-scenario subdirectory; implies -stream, scenario runs only)")
+		scale       = flag.Float64("scale", 0.1, "arrival intensity scale; multiplies the spec's own scale (1.0 = paper magnitudes)")
+		campaign    = flag.String("campaign", "both", "campaign to run: distributed, greedy or both")
+		outDir      = flag.String("out", "", "directory for CSV series (optional)")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		jsonl       = flag.Bool("jsonl", false, "also dump the anonymized dataset as JSONL into -out")
+		servers     = flag.Int("servers", 1, "directory servers for the distributed campaign (1 = paper setup)")
+		storeDir    = flag.String("store", "", "spill records to a segmented on-disk logstore under this directory (per-campaign subdirectory)")
+		stream      = flag.Bool("stream", false, "finalize through the streaming record pipeline: the dataset flows straight into the columnar frame, never materializing records (scenario runs only)")
+		exportDir   = flag.String("export", "", "stream the anonymized dataset into an on-disk logstore under this directory for later analysis (per-scenario subdirectory; implies -stream, scenario runs only)")
 		scenName    = flag.String("scenario", "", "run a registered scenario by name instead of -campaign")
 		scenFile    = flag.String("scenario-file", "", "run a campaign spec decoded from this JSON file")
 		listScens   = flag.Bool("list-scenarios", false, "print registered scenario names and exit")
@@ -237,6 +237,16 @@ func summarizeRun(res *repro.Result, records int, elapsed time.Duration) {
 	fmt.Printf("simulated %d events in %v; %d records, %d distinct peers\n",
 		res.Events, elapsed.Round(time.Millisecond),
 		records, res.Dataset.DistinctPeers)
+	// Degraded campaigns say so on stdout: the gap audit is part of the
+	// dataset's provenance, not a detail buried in a metrics file.
+	if len(res.CollectionGaps) > 0 || res.DroppedRecords > 0 {
+		gaps := 0
+		for _, n := range res.CollectionGaps {
+			gaps += n
+		}
+		fmt.Printf("degraded: collection gaps: %d round(s) across %d honeypot(s); dropped records: %d\n",
+			gaps, len(res.CollectionGaps), res.DroppedRecords)
+	}
 	fmt.Printf("wall %v; %.0f records/s finalized\n", elapsed.Round(time.Millisecond), perSec)
 	if res.Aborted {
 		fmt.Printf("campaign ABORTED at %s (sim time); the dataset covers only records collected before the abort\n",

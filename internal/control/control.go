@@ -6,6 +6,35 @@
 // envelopes inside eDonkey SERVER-MESSAGE frames on a dedicated port, so
 // the exact same control plane runs over the simulated network and over
 // real TCP (cmd/hpmanager driving cmd/honeypotd).
+//
+// # Failure semantics
+//
+// A collection campaign runs for weeks over links that flap; the control
+// plane therefore distinguishes three failure shapes and gives each a
+// typed identity:
+//
+//   - Remote refusals. An agent that cannot serve a request answers with
+//     Envelope.Error (human-readable) and, for conditions callers branch
+//     on, Envelope.Code; the Link surfaces both as a *RemoteError. Only
+//     the code is contract: IsNoSource checks it first and falls back to
+//     message matching solely for agents predating the field.
+//   - Dead links. When the connection drops, every pending callback fails
+//     with ErrLinkClosed, and so does every later request on that Link.
+//     ErrLinkClosed matches transport.ErrClosed under errors.Is, so
+//     callers watching either sentinel agree.
+//   - Silence. With a Policy set (SetPolicy), each request attempt runs
+//     under a deadline; on expiry the Link re-issues idempotent requests
+//     (everything but the destructive take-records drain) with jittered
+//     exponential backoff, and after the attempt budget fails the
+//     callback with an error wrapping ErrTimeout. Stale replies to an
+//     expired attempt are dropped by sequence number, so a retry can
+//     never double-apply. The zero Policy — no deadline, one attempt —
+//     is the pre-policy behavior and keeps fault-free runs byte-stable:
+//     jitter is drawn from the host's random stream only on error paths.
+//
+// The manager layers its own degradation on top: a honeypot whose
+// collection round exhausts this budget is skipped and audited, not
+// retried forever (see internal/manager).
 package control
 
 import (
@@ -14,6 +43,7 @@ import (
 	"fmt"
 	"net/netip"
 	"strings"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/ed2k"
@@ -24,15 +54,54 @@ import (
 	"repro/internal/wire"
 )
 
-// errNoSource is reported (as a string across the wire) when the
+// errNoSource is reported (as CodeNoSource across the wire) when the
 // honeypot has no durable record source; the manager falls back to
 // take-records on seeing it.
 var errNoSource = errors.New("control: honeypot has no record source")
 
+// Error codes carried in Envelope.Code. Codes, not message text, are the
+// machine-readable contract for conditions callers branch on.
+const (
+	// CodeNoSource marks a take-records-since request against an agent
+	// with no durable record source.
+	CodeNoSource = "no-source"
+)
+
+// RemoteError is a refusal that crossed the control plane: the remote
+// agent answered, but with an error envelope.
+type RemoteError struct {
+	Code string // machine-readable code, "" for uncoded errors
+	Msg  string // human-readable message from the remote
+}
+
+func (e *RemoteError) Error() string { return "control: " + e.Msg }
+
+// ErrTimeout is wrapped by errors a request reports when every attempt
+// of its policy budget expired without an answer.
+var ErrTimeout = errors.New("control: request timed out")
+
+// linkClosedError gives ErrLinkClosed an identity of its own while still
+// matching transport.ErrClosed, which callers historically tested for.
+type linkClosedError struct{}
+
+func (linkClosedError) Error() string        { return "control: link closed" }
+func (linkClosedError) Is(target error) bool { return target == transport.ErrClosed }
+
+// ErrLinkClosed is reported by every pending and subsequent request
+// callback once the link's connection is gone.
+var ErrLinkClosed error = linkClosedError{}
+
 // IsNoSource recognizes the no-record-source condition, including after
-// the error crossed the control plane as a string. Other collection
-// errors are transient and must not demote a honeypot to the drain path.
+// the error crossed the control plane. The typed Envelope.Code is
+// authoritative; the message-text fallback covers agents predating the
+// code field and is kept for one release. Other collection errors are
+// transient and must not demote a honeypot to the drain path.
 func IsNoSource(err error) bool {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Code == CodeNoSource ||
+			(re.Code == "" && strings.Contains(re.Msg, "no record source"))
+	}
 	return err != nil && strings.Contains(err.Error(), "no record source")
 }
 
@@ -60,6 +129,7 @@ type Envelope struct {
 	Seq     uint64          `json:"seq"`
 	Type    string          `json:"type"`
 	Error   string          `json:"error,omitempty"`
+	Code    string          `json:"code,omitempty"` // machine-readable error code
 	Payload json.RawMessage `json:"payload,omitempty"`
 }
 
@@ -191,6 +261,9 @@ func (a *Agent) handle(req Envelope) Envelope {
 	resp := Envelope{Seq: req.Seq, Type: TypeResponse}
 	fail := func(err error) Envelope {
 		resp.Error = err.Error()
+		if errors.Is(err, errNoSource) {
+			resp.Code = CodeNoSource
+		}
 		return resp
 	}
 	switch req.Type {
@@ -256,6 +329,30 @@ func (a *Agent) handle(req Envelope) Envelope {
 // ---------------------------------------------------------------------------
 // Link (manager side).
 
+// Policy bounds how long a Link waits for answers. The zero value — no
+// deadline, a single attempt — reproduces the pre-policy behavior and
+// is what fault-free simulations run under.
+type Policy struct {
+	// Timeout is the per-attempt deadline. 0 waits forever.
+	Timeout time.Duration
+	// Attempts is the total attempt budget per request; values below 1
+	// mean one attempt. Only idempotent request types are re-issued:
+	// the destructive take-records drain always gets a single attempt.
+	Attempts int
+	// Backoff is the delay before the second attempt, doubling per
+	// retry with jitter (half to full value). 0 means 2s.
+	Backoff time.Duration
+	// BackoffMax caps the doubled backoff. 0 means 30s.
+	BackoffMax time.Duration
+}
+
+// pendingReq is an in-flight request: its callback and, under a policy
+// deadline, the timer that expires the attempt.
+type pendingReq struct {
+	cb    func(Envelope, error)
+	timer transport.Timer
+}
+
 // Link is the manager's connection to one honeypot agent.
 type Link struct {
 	host    transport.Host
@@ -263,7 +360,8 @@ type Link struct {
 	addr    netip.AddrPort
 	conn    transport.Conn
 	seq     uint64
-	pending map[uint64]func(Envelope, error)
+	pending map[uint64]*pendingReq
+	policy  Policy
 	closed  bool
 }
 
@@ -275,7 +373,7 @@ func Dial(host transport.Host, id string, addr netip.AddrPort, done func(*Link, 
 			done(nil, err)
 			return
 		}
-		l := &Link{host: host, id: id, addr: addr, conn: conn, pending: make(map[uint64]func(Envelope, error))}
+		l := &Link{host: host, id: id, addr: addr, conn: conn, pending: make(map[uint64]*pendingReq)}
 		conn.SetHooks(transport.ConnHooks{
 			OnMessage: l.onMessage,
 			OnClose:   l.onClose,
@@ -293,7 +391,12 @@ func (l *Link) Addr() netip.AddrPort { return l.addr }
 // Closed reports whether the link died.
 func (l *Link) Closed() bool { return l.closed }
 
-// Close tears the link down; pending requests fail.
+// SetPolicy installs the link's deadline/retry policy. Call it on the
+// manager's executor before issuing requests; in-flight attempts keep
+// the policy they started under.
+func (l *Link) SetPolicy(p Policy) { l.policy = p }
+
+// Close tears the link down; pending requests fail with ErrLinkClosed.
 func (l *Link) Close() {
 	if !l.closed {
 		l.conn.Close()
@@ -306,9 +409,12 @@ func (l *Link) onClose(error) {
 		return
 	}
 	l.closed = true
-	for seq, cb := range l.pending {
+	for seq, p := range l.pending {
 		delete(l.pending, seq)
-		cb(Envelope{}, transport.ErrClosed)
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+		p.cb(Envelope{}, ErrLinkClosed)
 	}
 }
 
@@ -317,31 +423,93 @@ func (l *Link) onMessage(m wire.Message) {
 	if err != nil {
 		return // ignore garbage responses
 	}
-	cb, ok := l.pending[env.Seq]
+	p, ok := l.pending[env.Seq]
 	if !ok {
-		return
+		return // expired attempt's late answer; the retry owns the request now
 	}
 	delete(l.pending, env.Seq)
-	cb(env, nil)
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	p.cb(env, nil)
 }
 
 func (l *Link) request(typ string, payload any, cb func(Envelope, error)) {
-	if l.closed {
-		cb(Envelope{}, transport.ErrClosed)
-		return
-	}
-	l.seq++
-	env := Envelope{Seq: l.seq, Type: typ}
+	var body json.RawMessage
 	if payload != nil {
 		b, err := json.Marshal(payload)
 		if err != nil {
 			cb(Envelope{}, err)
 			return
 		}
-		env.Payload = b
+		body = b
 	}
-	l.pending[env.Seq] = cb
+	l.send(typ, body, 1, cb)
+}
+
+// send issues one attempt of a request. Under a policy deadline the
+// attempt is armed with an expiry timer; see expire for what happens
+// when it fires.
+func (l *Link) send(typ string, body json.RawMessage, attempt int, cb func(Envelope, error)) {
+	if l.closed {
+		cb(Envelope{}, ErrLinkClosed)
+		return
+	}
+	l.seq++
+	env := Envelope{Seq: l.seq, Type: typ, Payload: body}
+	p := &pendingReq{cb: cb}
+	if l.policy.Timeout > 0 {
+		seq := env.Seq
+		p.timer = l.host.After(l.policy.Timeout, func() {
+			l.expire(seq, typ, body, attempt, cb)
+		})
+	}
+	l.pending[env.Seq] = p
 	l.conn.Send(marshalEnvelope(env))
+}
+
+// expire handles a per-attempt deadline firing: the attempt is
+// abandoned (its seq removed, so a late answer is dropped) and, if the
+// budget allows and the request is idempotent, re-issued after a
+// jittered exponential backoff. take-records is a destructive drain —
+// a lost answer may have drained the buffer — so it never retries.
+func (l *Link) expire(seq uint64, typ string, body json.RawMessage, attempt int, cb func(Envelope, error)) {
+	if _, ok := l.pending[seq]; !ok {
+		return // answered or failed before the timer ran
+	}
+	delete(l.pending, seq)
+	if attempt < l.policy.Attempts && typ != TypeTakeRecords && !l.closed {
+		l.host.After(l.retryDelay(attempt), func() {
+			l.send(typ, body, attempt+1, cb)
+		})
+		return
+	}
+	cb(Envelope{}, fmt.Errorf("control: %s to %s: no answer after %d attempt(s): %w",
+		typ, l.id, attempt, ErrTimeout))
+}
+
+// retryDelay doubles the policy backoff per retry (capped) and jitters
+// it into [d/2, d]. Random draws happen only here, on an error path, so
+// fault-free runs consume the host's random stream identically with or
+// without a policy.
+func (l *Link) retryDelay(attempt int) time.Duration {
+	base := l.policy.Backoff
+	if base <= 0 {
+		base = 2 * time.Second
+	}
+	max := l.policy.BackoffMax
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := int64(d) / 2
+	return time.Duration(half + l.host.Rand().Int63n(half+1))
 }
 
 // Status polls the honeypot's status.
@@ -352,7 +520,7 @@ func (l *Link) Status(cb func(honeypot.Status, error)) {
 			return
 		}
 		if env.Error != "" {
-			cb(honeypot.Status{}, fmt.Errorf("control: %s", env.Error))
+			cb(honeypot.Status{}, &RemoteError{Code: env.Code, Msg: env.Error})
 			return
 		}
 		var st honeypot.Status
@@ -392,7 +560,7 @@ func (l *Link) TakeRecordsSince(since logstore.Checkpoint, max int, cb func([]lo
 			return
 		}
 		if env.Error != "" {
-			cb(nil, since, fmt.Errorf("control: %s", env.Error))
+			cb(nil, since, &RemoteError{Code: env.Code, Msg: env.Error})
 			return
 		}
 		var sr SinceResponse
@@ -412,7 +580,7 @@ func (l *Link) TakeRecords(cb func([]logging.Record, error)) {
 			return
 		}
 		if env.Error != "" {
-			cb(nil, fmt.Errorf("control: %s", env.Error))
+			cb(nil, &RemoteError{Code: env.Code, Msg: env.Error})
 			return
 		}
 		var rr RecordsResponse
@@ -429,7 +597,7 @@ func respErr(env Envelope, err error) error {
 		return err
 	}
 	if env.Error != "" {
-		return fmt.Errorf("control: %s", env.Error)
+		return &RemoteError{Code: env.Code, Msg: env.Error}
 	}
 	return nil
 }

@@ -1,0 +1,241 @@
+package control
+
+import (
+	"encoding/json"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/honeypot"
+	"repro/internal/logging"
+	"repro/internal/logstore"
+	"repro/internal/netsim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Tests for the package's failure semantics: typed remote errors, the
+// ErrLinkClosed identity, and the deadline/retry policy.
+
+func TestNoSourceCrossesWireAsTypedCode(t *testing.T) {
+	w := newWorldWithSink(t, nil, nil) // agent without a record source
+	var gotErr error = errNotCalled
+	w.link.TakeRecordsSince(logstore.Checkpoint{}, 0, func(_ []logging.Record, _ logstore.Checkpoint, err error) {
+		gotErr = err
+	})
+	w.settle()
+	if gotErr == nil || gotErr == errNotCalled {
+		t.Fatalf("take-records-since without source: err = %v", gotErr)
+	}
+	var re *RemoteError
+	if !errors.As(gotErr, &re) {
+		t.Fatalf("error is %T, want *RemoteError", gotErr)
+	}
+	if re.Code != CodeNoSource {
+		t.Errorf("code = %q, want %q", re.Code, CodeNoSource)
+	}
+	if !IsNoSource(gotErr) {
+		t.Error("IsNoSource misses the typed code")
+	}
+}
+
+func TestIsNoSourceFallbacks(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		// Typed code: authoritative.
+		{&RemoteError{Code: CodeNoSource, Msg: "whatever"}, true},
+		// Uncoded remote from an agent predating the field: text fallback.
+		{&RemoteError{Msg: "honeypot has no record source"}, true},
+		// A code is present and says something else: text must not win.
+		{&RemoteError{Code: "other", Msg: "no record source"}, false},
+		// Plain local error, legacy text match.
+		{errNoSource, true},
+		{errors.New("control: dial refused"), false},
+		{nil, false},
+	}
+	for i, c := range cases {
+		if got := IsNoSource(c.err); got != c.want {
+			t.Errorf("case %d (%v): IsNoSource = %v, want %v", i, c.err, got, c.want)
+		}
+	}
+}
+
+func TestCloseFailsPendingWithErrLinkClosed(t *testing.T) {
+	w := newWorld(t)
+	var gotErr error = errNotCalled
+	w.link.Status(func(_ honeypot.Status, err error) { gotErr = err })
+	w.link.Close() // before the response can arrive
+	if !errors.Is(gotErr, ErrLinkClosed) {
+		t.Fatalf("pending callback got %v, want ErrLinkClosed", gotErr)
+	}
+	// Compatibility: the historical sentinel still matches.
+	if !errors.Is(gotErr, transport.ErrClosed) {
+		t.Error("ErrLinkClosed no longer matches transport.ErrClosed")
+	}
+	// Requests after close fail the same way, immediately.
+	gotErr = errNotCalled
+	w.link.Status(func(_ honeypot.Status, err error) { gotErr = err })
+	if !errors.Is(gotErr, ErrLinkClosed) {
+		t.Fatalf("post-close request got %v, want ErrLinkClosed", gotErr)
+	}
+}
+
+// flakyAgent is a control responder that swallows the first drop
+// requests of each type and answers the rest, for exercising the
+// deadline/retry machinery without a honeypot.
+type flakyAgent struct {
+	drop int
+	seen int
+}
+
+func (f *flakyAgent) accept(conn transport.Conn) {
+	conn.SetHooks(transport.ConnHooks{
+		OnMessage: func(m wire.Message) {
+			env, err := unmarshalEnvelope(m)
+			if err != nil {
+				return
+			}
+			f.seen++
+			if f.seen <= f.drop {
+				return // silence: let the deadline do its work
+			}
+			b, _ := json.Marshal(honeypot.Status{ID: "flaky"})
+			conn.Send(marshalEnvelope(Envelope{Seq: env.Seq, Type: TypeResponse, Payload: b}))
+		},
+	})
+}
+
+// flakyWorld wires a Link to a flakyAgent under the given policy.
+func flakyWorld(t *testing.T, drop int, p Policy) (*des.Loop, *flakyAgent, *Link) {
+	t.Helper()
+	loop := des.NewLoop(t0, 7)
+	nw := netsim.New(loop, netsim.DefaultConfig())
+	fa := &flakyAgent{drop: drop}
+	agentHost := nw.NewHost("agent")
+	if _, err := agentHost.Listen(DefaultPort, wire.ServerSpace, fa.accept); err != nil {
+		t.Fatal(err)
+	}
+	var link *Link
+	Dial(nw.NewHost("manager"), "flaky", netip.AddrPortFrom(agentHost.Addr(), DefaultPort), func(l *Link, err error) {
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		link = l
+	})
+	loop.RunUntil(loop.Now().Add(time.Minute))
+	if link == nil {
+		t.Fatal("no link")
+	}
+	link.SetPolicy(p)
+	return loop, fa, link
+}
+
+func TestRequestRetriesAfterTimeout(t *testing.T) {
+	loop, fa, link := flakyWorld(t, 2, Policy{
+		Timeout: 2 * time.Second, Attempts: 3, Backoff: time.Second, BackoffMax: 4 * time.Second,
+	})
+	var gotErr error = errNotCalled
+	var st honeypot.Status
+	link.Status(func(s honeypot.Status, err error) { st, gotErr = s, err })
+	loop.RunUntil(loop.Now().Add(5 * time.Minute))
+	if gotErr != nil {
+		t.Fatalf("status after retries: %v", gotErr)
+	}
+	if st.ID != "flaky" {
+		t.Errorf("status ID %q", st.ID)
+	}
+	if fa.seen != 3 {
+		t.Errorf("agent saw %d requests, want 3 (two dropped, one answered)", fa.seen)
+	}
+}
+
+func TestRequestTimeoutExhaustsBudget(t *testing.T) {
+	loop, fa, link := flakyWorld(t, 1<<30, Policy{
+		Timeout: 2 * time.Second, Attempts: 2, Backoff: time.Second,
+	})
+	var gotErr error = errNotCalled
+	link.Status(func(_ honeypot.Status, err error) { gotErr = err })
+	loop.RunUntil(loop.Now().Add(5 * time.Minute))
+	if !errors.Is(gotErr, ErrTimeout) {
+		t.Fatalf("exhausted budget got %v, want ErrTimeout", gotErr)
+	}
+	if fa.seen != 2 {
+		t.Errorf("agent saw %d requests, want the full budget of 2", fa.seen)
+	}
+}
+
+func TestTakeRecordsNeverRetries(t *testing.T) {
+	// take-records drains destructively: a lost answer may have emptied
+	// the buffer, so re-issuing it could lose records. One attempt only.
+	loop, fa, link := flakyWorld(t, 1<<30, Policy{
+		Timeout: 2 * time.Second, Attempts: 3, Backoff: time.Second,
+	})
+	var gotErr error = errNotCalled
+	link.TakeRecords(func(_ []logging.Record, err error) { gotErr = err })
+	loop.RunUntil(loop.Now().Add(5 * time.Minute))
+	if !errors.Is(gotErr, ErrTimeout) {
+		t.Fatalf("silent drain got %v, want ErrTimeout", gotErr)
+	}
+	if fa.seen != 1 {
+		t.Errorf("agent saw %d drain requests, want exactly 1", fa.seen)
+	}
+}
+
+func TestLateReplyAfterExpiryIsDropped(t *testing.T) {
+	// An answer that arrives after its attempt expired must not reach
+	// the callback (the retry owns the request now) and must not confuse
+	// the retry's bookkeeping.
+	loop := des.NewLoop(t0, 7)
+	nw := netsim.New(loop, netsim.DefaultConfig())
+	agentHost := nw.NewHost("agent")
+	seen := 0
+	_, err := agentHost.Listen(DefaultPort, wire.ServerSpace, func(conn transport.Conn) {
+		conn.SetHooks(transport.ConnHooks{
+			OnMessage: func(m wire.Message) {
+				env, uerr := unmarshalEnvelope(m)
+				if uerr != nil {
+					return
+				}
+				seen++
+				delay := time.Duration(0)
+				if seen == 1 {
+					delay = 10 * time.Second // past the 2s deadline
+				}
+				b, _ := json.Marshal(honeypot.Status{ID: "late"})
+				agentHost.After(delay, func() {
+					conn.Send(marshalEnvelope(Envelope{Seq: env.Seq, Type: TypeResponse, Payload: b}))
+				})
+			},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var link *Link
+	Dial(nw.NewHost("manager"), "late", netip.AddrPortFrom(agentHost.Addr(), DefaultPort), func(l *Link, derr error) {
+		link = l
+	})
+	loop.RunUntil(loop.Now().Add(time.Minute))
+	if link == nil {
+		t.Fatal("no link")
+	}
+	link.SetPolicy(Policy{Timeout: 2 * time.Second, Attempts: 3, Backoff: time.Second})
+	calls := 0
+	var gotErr error
+	link.Status(func(_ honeypot.Status, err error) { calls++; gotErr = err })
+	loop.RunUntil(loop.Now().Add(5 * time.Minute))
+	if calls != 1 {
+		t.Fatalf("callback ran %d times, want exactly once", calls)
+	}
+	if gotErr != nil {
+		t.Fatalf("retried status: %v", gotErr)
+	}
+	if seen != 2 {
+		t.Errorf("agent saw %d requests, want 2 (expired + retry)", seen)
+	}
+}

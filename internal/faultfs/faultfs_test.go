@@ -1,0 +1,201 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS{}
+	if err := fsys.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "sub", "f")
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fsys.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "hello" {
+		t.Fatalf("got %q", b)
+	}
+	if err := fsys.Rename(path, path+".2"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fsys.ReadDir(filepath.Join(dir, "sub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "f.2" {
+		t.Fatalf("dir entries: %v", ents)
+	}
+	rf, err := fsys.Open(path + ".2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rf)
+	rf.Close()
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+}
+
+func TestCrashAfterCountsAndKills(t *testing.T) {
+	dir := t.TempDir()
+	run := func(inj *Crasher) error {
+		fsys := Wrap(OS{}, inj)
+		f, err := fsys.OpenFile(filepath.Join(dir, "f"), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644) // op 1 (create)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := f.Write([]byte("aaaa")); err != nil { // op 2
+			return err
+		}
+		if err := f.Sync(); err != nil { // op 3
+			return err
+		}
+		return nil
+	}
+	// Counter mode: no crash, three mutating ops seen.
+	counter := CrashAfter(0, 1)
+	if err := run(counter); err != nil {
+		t.Fatal(err)
+	}
+	if counter.Crashed() {
+		t.Fatal("counter mode must never crash")
+	}
+	if counter.Ops() != 3 {
+		t.Fatalf("ops = %d, want 3", counter.Ops())
+	}
+	// Kill at each op: everything from that op on fails with ErrCrashed.
+	for n := int64(1); n <= 3; n++ {
+		inj := CrashAfter(n, 42)
+		err := run(inj)
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("kill-point %d: err = %v", n, err)
+		}
+		if !inj.Crashed() {
+			t.Fatalf("kill-point %d: not crashed", n)
+		}
+		// Post-crash, even reads fail until "reboot".
+		fsys := Wrap(OS{}, inj)
+		if _, err := fsys.ReadFile(filepath.Join(dir, "f")); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("post-crash read: err = %v", err)
+		}
+	}
+}
+
+func TestCrashTearsWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn")
+	// Seed chosen so the torn write persists a strict prefix; whatever
+	// the tear, the persisted size must be <= the payload.
+	inj := CrashAfter(2, 7)
+	fsys := Wrap(OS{}, inj)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789")
+	n, err := f.Write(payload) // op 2: crash, torn
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v", err)
+	}
+	st, serr := os.Stat(path)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if int64(n) != st.Size() || st.Size() > int64(len(payload)) {
+		t.Fatalf("reported %d persisted, file has %d", n, st.Size())
+	}
+	// Determinism: same seed, same tear.
+	inj2 := CrashAfter(2, 7)
+	flt := inj2.Fault(Op{Kind: OpCreate, Path: path})
+	if flt != nil {
+		t.Fatal("op 1 must pass")
+	}
+	flt = inj2.Fault(Op{Kind: OpWrite, Path: path, N: len(payload)})
+	if flt == nil || flt.Tear != n {
+		t.Fatalf("replayed tear = %+v, want %d", flt, n)
+	}
+}
+
+func TestSwitchDenyAllow(t *testing.T) {
+	dir := t.TempDir()
+	sw := NewSwitch()
+	fsys := Wrap(OS{}, sw)
+	good := filepath.Join(dir, "good", "f")
+	bad := filepath.Join(dir, "bad", "f")
+	for _, p := range []string{good, bad} {
+		if err := fsys.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sw.Deny(string(filepath.Separator) + "bad" + string(filepath.Separator))
+	if err := fsys.WriteFile(bad, []byte("x"), 0o644); !errors.Is(err, ErrInjected) {
+		t.Fatalf("denied write: err = %v", err)
+	}
+	if err := fsys.WriteFile(good, []byte("x"), 0o644); err != nil {
+		t.Fatalf("undenied path must work: %v", err)
+	}
+	// Reads pass through even on denied paths.
+	if err := fsys.WriteFile(bad, nil, 0o644); !errors.Is(err, ErrInjected) {
+		t.Fatal("still denied")
+	}
+	if _, err := fsys.ReadDir(filepath.Join(dir, "bad")); err != nil {
+		t.Fatalf("read on denied path: %v", err)
+	}
+	sw.Allow(string(filepath.Separator) + "bad" + string(filepath.Separator))
+	if err := fsys.WriteFile(bad, []byte("x"), 0o644); err != nil {
+		t.Fatalf("after Allow: %v", err)
+	}
+}
+
+func TestFlakyDeterministic(t *testing.T) {
+	sample := func(seed int64) []bool {
+		inj := NewFlaky(seed, 0.3)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = inj.Fault(Op{Kind: OpWrite, Path: "p", N: 8}) != nil
+		}
+		return out
+	}
+	a, b := sample(5), sample(5)
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("rate 0.3 produced %d/%d failures", fails, len(a))
+	}
+	// Reads never fail.
+	inj := NewFlaky(5, 1.0)
+	if inj.Fault(Op{Kind: OpReadFile, Path: "p"}) != nil {
+		t.Fatal("flaky must not fail reads")
+	}
+}

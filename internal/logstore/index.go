@@ -7,6 +7,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+
+	"repro/internal/faultfs"
 )
 
 // Index sidecars persist a sealed segment's SegmentInfo as one small JSON
@@ -16,29 +18,29 @@ import (
 // after a crash between seal and sidecar write) is rebuilt by scanning.
 
 // writeIndex persists info next to its segment, atomically via rename.
-func writeIndex(dir string, info SegmentInfo) error {
+func writeIndex(fsys faultfs.FS, dir string, info SegmentInfo) error {
 	b, err := json.Marshal(info)
 	if err != nil {
 		return err
 	}
 	tmp := filepath.Join(dir, idxName(info.Seq)+".tmp")
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+	if err := fsys.WriteFile(tmp, b, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(dir, idxName(info.Seq)))
+	return fsys.Rename(tmp, filepath.Join(dir, idxName(info.Seq)))
 }
 
 // loadIndex reads a sealed segment's sidecar and validates it against the
 // segment's size; on any mismatch it falls back to scanning the segment
 // (and repairs the sidecar). Rebuilds and recovery truncations report
 // through m.
-func loadIndex(dir string, seq uint64, m storeMetrics) (SegmentInfo, error) {
+func loadIndex(fsys faultfs.FS, dir string, seq uint64, m storeMetrics) (SegmentInfo, error) {
 	segPath := filepath.Join(dir, segName(seq))
-	st, err := os.Stat(segPath)
+	st, err := fsys.Stat(segPath)
 	if err != nil {
 		return SegmentInfo{}, err
 	}
-	b, err := os.ReadFile(filepath.Join(dir, idxName(seq)))
+	b, err := fsys.ReadFile(filepath.Join(dir, idxName(seq)))
 	if err == nil {
 		var info SegmentInfo
 		if jerr := json.Unmarshal(b, &info); jerr == nil && info.Seq == seq && info.Bytes == st.Size() {
@@ -49,7 +51,7 @@ func loadIndex(dir string, seq uint64, m storeMetrics) (SegmentInfo, error) {
 	}
 	// Missing or stale: rebuild from the segment itself.
 	m.rebuilds.Inc()
-	info, good, err := scanSegment(segPath, seq)
+	info, good, err := scanSegment(fsys, segPath, seq)
 	if err != nil {
 		return SegmentInfo{}, fmt.Errorf("logstore: rebuilding index of %s: %w", segPath, err)
 	}
@@ -57,14 +59,28 @@ func loadIndex(dir string, seq uint64, m storeMetrics) (SegmentInfo, error) {
 		// A sealed segment normally has no torn tail (only the active one
 		// can), but a crash can still cut a sealed file short of its last
 		// flush. Truncate to the intact prefix so the sidecar stays valid.
-		if terr := os.Truncate(segPath, good); terr != nil {
+		if terr := truncateFile(fsys, segPath, good); terr != nil {
 			return SegmentInfo{}, terr
 		}
 		m.truncations.Inc()
 	}
 	info.Bytes = good
-	if werr := writeIndex(dir, info); werr != nil {
+	if werr := writeIndex(fsys, dir, info); werr != nil {
 		return SegmentInfo{}, werr
 	}
 	return info, nil
+}
+
+// truncateFile is path-level truncation through the VFS (which only
+// exposes truncation on an open File).
+func truncateFile(fsys faultfs.FS, path string, size int64) error {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

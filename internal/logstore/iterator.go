@@ -141,7 +141,7 @@ func (c *shardCursor) next() (logging.Record, error) {
 			if c.seg >= len(c.segs) {
 				return logging.Record{}, io.EOF
 			}
-			r, err := openSegmentReader(filepath.Join(c.sh.dir, segName(c.segs[c.seg].Seq)), 0, c.pool, c.sh.m)
+			r, err := openSegmentReader(c.sh.fs, filepath.Join(c.sh.dir, segName(c.segs[c.seg].Seq)), 0, c.pool, c.sh.m)
 			if errors.Is(err, io.EOF) {
 				c.seg++
 				continue

@@ -29,14 +29,15 @@
 package logstore
 
 import (
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/obs"
 )
 
@@ -65,11 +66,18 @@ type Options struct {
 	// Counters are resolved once at open time, so the hot paths stay
 	// allocation-free; nil disables telemetry at one-branch cost.
 	Metrics *obs.Registry
+	// FS is the filesystem the store runs on (nil = the real one,
+	// faultfs.OS). Tests and fault-schedule scenarios wrap it with
+	// faultfs injectors to model crashes, torn writes and disk outages.
+	FS faultfs.FS
 }
 
 func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS{}
 	}
 	return o
 }
@@ -92,36 +100,98 @@ func (c Checkpoint) Before(d Checkpoint) bool {
 type Store struct {
 	dir string
 	opt Options
+	fs  faultfs.FS
+	m   storeMetrics
 
 	mu     sync.Mutex
 	shards map[string]*Shard
+	quar   []Quarantine // data refused at open; see Quarantined
+
+	manMu sync.Mutex // guards man and the MANIFEST file
+	man   *manifestData
 
 	flushStop chan struct{} // closes the background flusher, if any
 	flushDone chan struct{}
 }
 
 // Open opens (or creates) a store rooted at dir. Existing shards are
-// recovered: each one's last segment is scanned and any torn tail
-// truncated, so appends resume cleanly after a crash.
+// recovered against the store manifest: each shard's sealed list and
+// tail come from the manifest, the tail segment is scanned and any torn
+// part truncated so appends resume cleanly, and segments the manifest
+// does not account for are quarantined (see Quarantined). A store
+// predating the manifest adopts every segment it finds and writes one.
 func Open(dir string, opt Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	opt = opt.withDefaults()
+	fsys := opt.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("logstore: %w", err)
 	}
-	s := &Store{dir: dir, opt: opt.withDefaults(), shards: make(map[string]*Shard)}
-	entries, err := os.ReadDir(dir)
+	s := &Store{dir: dir, opt: opt, fs: fsys, m: newStoreMetrics(opt.Metrics), shards: make(map[string]*Shard)}
+	man, err := readManifest(fsys, dir)
+	if err != nil {
+		if !errors.Is(err, errManifestCorrupt) {
+			return nil, err
+		}
+		// A corrupt manifest is itself a crash artifact (torn replace):
+		// rebuild it from the directory instead of refusing to open.
+		s.m.manifestRebuilds.Inc()
+		man = nil
+	}
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("logstore: %w", err)
 	}
 	for _, e := range entries {
-		if !e.IsDir() {
+		if !e.IsDir() || e.Name() == quarantineDir {
 			continue
 		}
-		sh, err := openShard(filepath.Join(dir, e.Name()), e.Name(), s.opt)
+		name := e.Name()
+		var ms *manifestShard
+		if man != nil {
+			entry, ok := man.Shards[name]
+			if !ok {
+				// A directory the manifest never heard of cannot join the
+				// campaign; move it aside wholesale.
+				q, err := quarantineShardDir(fsys, dir, name)
+				if err != nil {
+					return nil, err
+				}
+				s.m.quarantines.Inc()
+				s.quar = append(s.quar, q)
+				continue
+			}
+			ms = &entry
+		}
+		sh, quar, err := openShard(fsys, filepath.Join(dir, name), name, s.opt, ms)
 		if err != nil {
 			return nil, err
 		}
 		sh.store = s
-		s.shards[e.Name()] = sh
+		s.shards[name] = sh
+		s.quar = append(s.quar, quar...)
+	}
+	if man != nil {
+		for name, entry := range man.Shards {
+			if _, ok := s.shards[name]; ok {
+				continue
+			}
+			// The manifest promised a shard the disk lost. An empty entry
+			// (tail 1, nothing sealed) is the benign crash window of
+			// manifest-first shard creation; anything else is a gap.
+			if len(entry.Sealed) > 0 || entry.Tail > 1 {
+				s.m.quarantines.Inc()
+				s.quar = append(s.quar, Quarantine{Shard: name, Reason: "shard directory missing"})
+			}
+		}
+	}
+	// Persist the reconciled view: what the shards actually recovered is
+	// the new truth.
+	s.man = &manifestData{Shards: make(map[string]manifestShard, len(s.shards))}
+	for name, sh := range s.shards {
+		s.man.Shards[name] = manifestShard{Sealed: append([]SegmentInfo(nil), sh.sealed...), Tail: sh.active.Seq}
+	}
+	if err := writeManifest(fsys, dir, s.man); err != nil {
+		return nil, err
 	}
 	if s.opt.FlushEvery > 0 {
 		s.flushStop = make(chan struct{})
@@ -152,7 +222,8 @@ func (s *Store) Dir() string { return s.dir }
 // Shard returns the named shard, creating it if needed. Shard names map
 // to directories, so they must not contain path separators.
 func (s *Store) Shard(name string) (*Shard, error) {
-	if name == "" || strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+	if name == "" || strings.ContainsAny(name, "/\\") || name == "." || name == ".." ||
+		name == quarantineDir || name == manifestName {
 		return nil, fmt.Errorf("logstore: invalid shard name %q", name)
 	}
 	s.mu.Lock()
@@ -160,7 +231,12 @@ func (s *Store) Shard(name string) (*Shard, error) {
 	if sh, ok := s.shards[name]; ok {
 		return sh, nil
 	}
-	sh, err := openShard(filepath.Join(s.dir, name), name, s.opt)
+	// Manifest first, directory second: see noteShard on why this order
+	// makes the crash window benign.
+	if err := s.noteShard(name); err != nil {
+		return nil, err
+	}
+	sh, _, err := openShard(s.fs, filepath.Join(s.dir, name), name, s.opt, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/ed2k"
+	"repro/internal/faultfs"
 	"repro/internal/logging"
 )
 
@@ -436,7 +437,7 @@ func TestBackgroundFlusherBoundsCrashLoss(t *testing.T) {
 	path := filepath.Join(dir, "hp-00", segName(1))
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		info, _, err := scanSegment(path, 1)
+		info, _, err := scanSegment(faultfs.OS{}, path, 1)
 		if err == nil && info.Records == 5 {
 			break
 		}

@@ -1,0 +1,231 @@
+package logstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/obs"
+)
+
+// The manifest recovery matrix: each test plants one specific crash or
+// corruption artifact in a closed store and asserts the reopen resolves
+// it — adopting, rebuilding, truncating or quarantining — without ever
+// surfacing a record the artifact could have invented.
+
+func TestZeroLengthTailSegment(t *testing.T) {
+	// A crash right after startSegment created the tail but before the
+	// magic landed leaves a zero-byte file. The reopen must rewrite the
+	// header and resume appends; sealed records survive untouched.
+	dir := t.TempDir()
+	writeShard(t, dir, 30)
+	path := lastSegPath(t, dir, "hp-00")
+	if err := os.Truncate(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, _ := st.Shard("hp-00")
+	sealed := 0
+	for _, si := range sh.sealed {
+		sealed += int(si.Records)
+	}
+	if n := int(sh.Count()); n != sealed {
+		t.Fatalf("recovered %d records, want %d (sealed only)", n, sealed)
+	}
+	if q := st.Quarantined(); len(q) != 0 {
+		t.Fatalf("zero-length tail quarantined: %+v", q)
+	}
+	st.Close()
+	reopenAndCount(t, dir, sealed)
+}
+
+func TestTruncatedIndexSidecarRebuilt(t *testing.T) {
+	// A sidecar cut mid-JSON (crash during the pre-rename write, or a
+	// torn legacy store) must not poison recovery: the legacy adoption
+	// path rescans the segment and repairs the sidecar.
+	dir := t.TempDir()
+	writeShard(t, dir, 30)
+	seqs, err := listSegments(faultfs.OS{}, filepath.Join(dir, "hp-00"))
+	if err != nil || len(seqs) < 3 {
+		t.Fatalf("want several segments, got %d (%v)", len(seqs), err)
+	}
+	idx := filepath.Join(dir, "hp-00", idxName(seqs[0]))
+	b, err := os.ReadFile(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(idx, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the manifest so the reopen takes the sidecar-reading path.
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	opt := smallOpts()
+	opt.Metrics = reg
+	st, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if n := int(st.TotalRecords()); n != 30 {
+		t.Fatalf("recovered %d records, want 30", n)
+	}
+	if got := reg.Counter("logstore.index.rebuilds").Load(); got == 0 {
+		t.Error("truncated sidecar did not count as an index rebuild")
+	}
+	// The repaired sidecar must now parse as long as the original.
+	fixed, err := os.ReadFile(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) <= len(b)/2 {
+		t.Error("sidecar was not rewritten")
+	}
+}
+
+func TestManifestDeletedLegacyAdoption(t *testing.T) {
+	// A pre-manifest store (or an operator rm) has no MANIFEST: the open
+	// adopts every segment it finds and writes one.
+	dir := t.TempDir()
+	writeShard(t, dir, 40)
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := int(st.TotalRecords()); n != 40 {
+		t.Fatalf("adopted %d records, want 40", n)
+	}
+	if q := st.Quarantined(); len(q) != 0 {
+		t.Fatalf("legacy adoption quarantined: %+v", q)
+	}
+	st.Close()
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatalf("manifest not rewritten after adoption: %v", err)
+	}
+	reopenAndCount(t, dir, 40)
+}
+
+func TestManifestCorruptRebuilt(t *testing.T) {
+	// A torn manifest replace (bad CRC) is a crash artifact, not a fatal
+	// condition: the open rebuilds it from the directory.
+	dir := t.TempDir()
+	writeShard(t, dir, 40)
+	path := filepath.Join(dir, manifestName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	opt := smallOpts()
+	opt.Metrics = reg
+	st, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("open with corrupt manifest: %v", err)
+	}
+	defer st.Close()
+	if n := int(st.TotalRecords()); n != 40 {
+		t.Fatalf("rebuilt store holds %d records, want 40", n)
+	}
+	if q := st.Quarantined(); len(q) != 0 {
+		t.Fatalf("rebuild quarantined: %+v", q)
+	}
+	if got := reg.Counter("logstore.manifest.rebuilds").Load(); got != 1 {
+		t.Errorf("manifest rebuilds = %d, want 1", got)
+	}
+}
+
+func TestSealedSegmentMissingQuarantine(t *testing.T) {
+	// The manifest promised a sealed segment the disk lost: the gap is
+	// reported (audited), the remainder stays readable.
+	dir := t.TempDir()
+	writeShard(t, dir, 40)
+	seqs, err := listSegments(faultfs.OS{}, filepath.Join(dir, "hp-00"))
+	if err != nil || len(seqs) < 3 {
+		t.Fatalf("want several segments, got %d (%v)", len(seqs), err)
+	}
+	victim := seqs[1]
+	if err := os.Remove(filepath.Join(dir, "hp-00", segName(victim))); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatalf("open with missing sealed segment: %v", err)
+	}
+	defer st.Close()
+	q := st.Quarantined()
+	if len(q) != 1 || q[0].Shard != "hp-00" || q[0].Seq != victim {
+		t.Fatalf("quarantine = %+v, want one entry for hp-00/%d", q, victim)
+	}
+	if !strings.Contains(q[0].Reason, "missing") {
+		t.Errorf("reason %q does not name the missing segment", q[0].Reason)
+	}
+	// The surviving records still stream in order.
+	it, err := st.Iterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, it)
+	if len(got) == 0 || len(got) >= 40 {
+		t.Fatalf("remainder streams %d records, want a proper nonzero subset of 40", len(got))
+	}
+	last := -1
+	for _, r := range got {
+		if int(r.PeerPort) <= last {
+			t.Fatalf("remainder out of order at port %d after %d", r.PeerPort, last)
+		}
+		last = int(r.PeerPort)
+	}
+}
+
+func TestUnknownShardDirQuarantined(t *testing.T) {
+	// A directory the manifest never heard of (half-created shard of a
+	// dying process, an operator copy) is moved aside wholesale.
+	dir := t.TempDir()
+	writeShard(t, dir, 20)
+	rogue := filepath.Join(dir, "hp-rogue")
+	if err := os.MkdirAll(rogue, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "hp-00", segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(rogue, segName(1)), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatalf("open with rogue shard dir: %v", err)
+	}
+	defer st.Close()
+	q := st.Quarantined()
+	if len(q) != 1 || q[0].Shard != "hp-rogue" {
+		t.Fatalf("quarantine = %+v, want one entry for hp-rogue", q)
+	}
+	if _, err := os.Stat(rogue); !os.IsNotExist(err) {
+		t.Error("rogue directory still present in the store")
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, "hp-rogue", segName(1))); err != nil {
+		t.Errorf("rogue segment not in quarantine: %v", err)
+	}
+	if names := st.ShardNames(); len(names) != 1 || names[0] != "hp-00" {
+		t.Fatalf("shards after quarantine = %v, want [hp-00]", names)
+	}
+	if n := int(st.TotalRecords()); n != 20 {
+		t.Fatalf("store holds %d records, want 20", n)
+	}
+}

@@ -15,6 +15,12 @@ type storeMetrics struct {
 	truncations *obs.Counter // logstore.recovery.truncations
 	scanRecords *obs.Counter // logstore.scan.records
 	scanBytes   *obs.Counter // logstore.scan.bytes
+
+	manifestRebuilds *obs.Counter // logstore.manifest.rebuilds
+	quarantines      *obs.Counter // logstore.quarantines
+	healAttempts     *obs.Counter // logstore.heal.attempts
+	heals            *obs.Counter // logstore.heal.successes
+	dropped          *obs.Counter // logstore.dropped.records
 }
 
 // newStoreMetrics resolves the store's counters; a nil registry yields
@@ -31,5 +37,11 @@ func newStoreMetrics(r *obs.Registry) storeMetrics {
 		truncations: r.Counter("logstore.recovery.truncations"),
 		scanRecords: r.Counter("logstore.scan.records"),
 		scanBytes:   r.Counter("logstore.scan.bytes"),
+
+		manifestRebuilds: r.Counter("logstore.manifest.rebuilds"),
+		quarantines:      r.Counter("logstore.quarantines"),
+		healAttempts:     r.Counter("logstore.heal.attempts"),
+		heals:            r.Counter("logstore.heal.successes"),
+		dropped:          r.Counter("logstore.dropped.records"),
 	}
 }

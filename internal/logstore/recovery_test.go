@@ -6,12 +6,14 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/faultfs"
 )
 
 // lastSegPath returns the active segment file of a single-shard store.
 func lastSegPath(t *testing.T, dir, shard string) string {
 	t.Helper()
-	seqs, err := listSegments(filepath.Join(dir, shard))
+	seqs, err := listSegments(faultfs.OS{}, filepath.Join(dir, shard))
 	if err != nil || len(seqs) == 0 {
 		t.Fatalf("listing segments: %v (%d)", err, len(seqs))
 	}
@@ -84,7 +86,7 @@ func TestRecoveryTornTailTruncated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, good, err := scanSegment(refPath, 1)
+	info, good, err := scanSegment(faultfs.OS{}, refPath, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +109,7 @@ func TestRecoveryTornTailTruncated(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Count intact records in the truncated file.
-		intact, _, err := scanSegment(path, 1)
+		intact, _, err := scanSegment(faultfs.OS{}, path, 1)
 		if err != nil && !errors.Is(err, errCorrupt) {
 			t.Fatalf("cut %d: scan: %v", cut, err)
 		}
@@ -127,7 +129,7 @@ func TestRecoveryCorruptTailFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, good, err := scanSegment(path, 1)
+	info, good, err := scanSegment(faultfs.OS{}, path, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +137,7 @@ func TestRecoveryCorruptTailFrame(t *testing.T) {
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	after, _, err := scanSegment(path, 1)
+	after, _, err := scanSegment(faultfs.OS{}, path, 1)
 	if !errors.Is(err, errCorrupt) {
 		t.Fatalf("scan of corrupt tail: %v", err)
 	}
@@ -208,10 +210,10 @@ func TestScanCleanVsCorrupt(t *testing.T) {
 	dir := t.TempDir()
 	writeShard(t, dir, 10)
 	path := lastSegPath(t, dir, "hp-00")
-	if _, _, err := scanSegment(path, 1); err != nil {
+	if _, _, err := scanSegment(faultfs.OS{}, path, 1); err != nil {
 		t.Errorf("clean segment scans with error: %v", err)
 	}
-	r, err := openSegmentReader(path, 0, nil, storeMetrics{})
+	r, err := openSegmentReader(faultfs.OS{}, path, 0, nil, storeMetrics{})
 	if err != nil {
 		t.Fatal(err)
 	}

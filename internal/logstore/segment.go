@@ -7,9 +7,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/intern"
 	"repro/internal/logging"
 )
@@ -47,7 +47,7 @@ var errCorrupt = errors.New("logstore: corrupt segment frame")
 // buffer is reused across records, and when a pool is set the
 // low-cardinality string columns are interned through it.
 type segmentReader struct {
-	f    *os.File
+	f    faultfs.File
 	br   *bufio.Reader
 	off  int64 // offset of the next unread frame
 	hdr  [frameOverhead]byte
@@ -60,8 +60,8 @@ type segmentReader struct {
 // "start of records", i.e. just past the header, with the magic checked).
 // A non-nil pool — typically shared across the segments and shards of
 // one scan — deduplicates the honeypot/server/peer-name strings.
-func openSegmentReader(path string, off int64, pool *intern.Pool, m storeMetrics) (*segmentReader, error) {
-	f, err := os.Open(path)
+func openSegmentReader(fsys faultfs.FS, path string, off int64, pool *intern.Pool, m storeMetrics) (*segmentReader, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -135,9 +135,9 @@ func (r *segmentReader) Close() error { return r.f.Close() }
 // plus the offset just past the last intact frame. A torn tail (partial
 // header or body at the very end) stops the scan without error; corrupt
 // frames mid-file surface as errCorrupt.
-func scanSegment(path string, seq uint64) (SegmentInfo, int64, error) {
+func scanSegment(fsys faultfs.FS, path string, seq uint64) (SegmentInfo, int64, error) {
 	info := SegmentInfo{Seq: seq}
-	r, err := openSegmentReader(path, 0, intern.NewPool(), storeMetrics{})
+	r, err := openSegmentReader(fsys, path, 0, intern.NewPool(), storeMetrics{})
 	if errors.Is(err, io.EOF) {
 		return info, 0, nil // shorter than the magic: empty
 	}

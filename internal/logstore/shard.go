@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/faultfs"
 	"repro/internal/intern"
 	"repro/internal/logging"
 )
@@ -22,6 +23,7 @@ import (
 // implements logging.Sink, so a honeypot writes through it directly; all
 // methods are safe for concurrent use.
 type Shard struct {
+	fs    faultfs.FS
 	dir   string
 	name  string
 	opt   Options
@@ -31,45 +33,122 @@ type Shard struct {
 	mu     sync.Mutex
 	sealed []SegmentInfo // all segments before the active one
 	active SegmentInfo   // live index of the tail segment
-	f      *os.File      // active segment, positioned at its end
+	f      faultfs.File  // active segment, positioned at its end
 	w      *bufio.Writer
 	buf    []byte // frame scratch: [8-byte header][encoded record]
 	closed bool
 	err    error // sticky I/O error (logging.Sink has no error return)
+
+	// Self-healing state: a sticky error is retried in place (rescan the
+	// tail, truncate the torn part, resume) so a transient disk fault
+	// costs records, not the rest of the campaign.
+	failed  uint64 // appends failed since the last heal attempt
+	healAt  uint64 // attempt the next heal after this many failures
+	dropped uint64 // records this shard failed to persist
 }
 
 // openShard opens or creates the shard directory, recovering the active
-// segment's torn tail if the last run crashed mid-append.
-func openShard(dir, name string, opt Options) (*Shard, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("logstore: %w", err)
+// segment's torn tail if the last run crashed mid-append. With a
+// manifest entry, the manifest is the authority: segments it does not
+// list are quarantined (returned for the caller to surface), sealed
+// segments it lists but the disk lost are reported the same way. With
+// man == nil every segment found on disk is adopted (legacy stores,
+// brand-new shards).
+func openShard(fsys faultfs.FS, dir, name string, opt Options, man *manifestShard) (*Shard, []Quarantine, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("logstore: %w", err)
 	}
-	sh := &Shard{dir: dir, name: name, opt: opt, m: newStoreMetrics(opt.Metrics)}
+	sh := &Shard{fs: fsys, dir: dir, name: name, opt: opt, m: newStoreMetrics(opt.Metrics), healAt: 1}
 
-	seqs, err := listSegments(dir)
+	seqs, err := listSegments(fsys, dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if len(seqs) == 0 {
-		return sh, sh.startSegment(1)
+	if man == nil {
+		if len(seqs) == 0 {
+			return sh, nil, sh.startSegment(1)
+		}
+		for _, seq := range seqs[:len(seqs)-1] {
+			info, err := loadIndex(fsys, dir, seq, sh.m)
+			if err != nil {
+				return nil, nil, err
+			}
+			sh.sealed = append(sh.sealed, info)
+		}
+		_, err := sh.openTail(seqs[len(seqs)-1])
+		return sh, nil, err
 	}
-	for _, seq := range seqs[:len(seqs)-1] {
-		info, err := loadIndex(dir, seq, sh.m)
+
+	have := make(map[uint64]bool, len(seqs))
+	for _, seq := range seqs {
+		have[seq] = true
+	}
+	sealedSeqs := make([]uint64, 0, len(man.Sealed)+1)
+	for _, si := range man.Sealed {
+		sealedSeqs = append(sealedSeqs, si.Seq)
+	}
+	tail := man.Tail
+	if tail == 0 {
+		tail = 1
+	}
+	if have[tail+1] {
+		// Crash between a rotation's new-segment create and its manifest
+		// note: the successor already exists on disk, so the manifest's
+		// tail is really sealed and the successor is the live tail.
+		sealedSeqs = append(sealedSeqs, tail)
+		tail++
+	}
+	var quar []Quarantine
+	known := make(map[uint64]bool, len(sealedSeqs)+1)
+	for _, seq := range sealedSeqs {
+		known[seq] = true
+		if !have[seq] {
+			// The manifest promised a sealed segment the disk lost: its
+			// records are gone — surface the gap instead of hiding it.
+			sh.m.quarantines.Inc()
+			quar = append(quar, Quarantine{Shard: name, Seq: seq, Reason: "sealed segment missing from disk"})
+			continue
+		}
+		info, err := loadIndex(fsys, dir, seq, sh.m)
 		if err != nil {
-			return nil, err
+			return nil, quar, err
 		}
 		sh.sealed = append(sh.sealed, info)
 	}
-
-	// Recover the tail segment: scan it, truncate anything torn, reopen
-	// for appending at the last intact frame.
-	last := seqs[len(seqs)-1]
-	path := filepath.Join(dir, segName(last))
-	info, good, err := scanSegment(path, last)
-	if err != nil && !errors.Is(err, errCorrupt) {
-		return nil, fmt.Errorf("logstore: recovering %s: %w", path, err)
+	known[tail] = true
+	for _, seq := range seqs {
+		if known[seq] {
+			continue
+		}
+		// A segment the manifest never heard of (half-finished rotation of
+		// a dying process, an operator copy, cross-wired shards): move it
+		// aside rather than let it skew the campaign.
+		q, err := quarantineSegment(fsys, dir, name, seq, "segment not in manifest")
+		if err != nil {
+			return nil, quar, err
+		}
+		sh.m.quarantines.Inc()
+		quar = append(quar, q)
 	}
-	if st, serr := os.Stat(path); serr == nil && st.Size() != good {
+	if !have[tail] {
+		// The manifest named a tail that never reached the disk (crash
+		// between the manifest note and the create): start it now.
+		return sh, quar, sh.startSegment(tail)
+	}
+	_, err = sh.openTail(tail)
+	return sh, quar, err
+}
+
+// openTail recovers the tail segment: scan it, truncate anything torn,
+// reopen for appending at the last intact frame. Caller holds mu (or is
+// the constructor).
+func (sh *Shard) openTail(seq uint64) (SegmentInfo, error) {
+	path := filepath.Join(sh.dir, segName(seq))
+	info, good, err := scanSegment(sh.fs, path, seq)
+	if err != nil && !errors.Is(err, errCorrupt) {
+		return info, fmt.Errorf("logstore: recovering %s: %w", path, err)
+	}
+	if st, serr := sh.fs.Stat(path); serr == nil && st.Size() != good {
 		// The tail held torn or corrupt bytes the truncation below will
 		// drop — the crash-artifact case the recovery path exists for.
 		sh.m.truncations.Inc()
@@ -77,39 +156,39 @@ func openShard(dir, name string, opt Options) (*Shard, error) {
 	// A corrupt frame in the tail segment is a crash artifact (partially
 	// persisted append): recover by truncating at the last intact frame,
 	// exactly like a short tail.
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	f, err := sh.fs.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
-		return nil, err
+		return info, err
 	}
 	if good == 0 {
 		// The crash even tore the header; rewrite it.
 		if err := f.Truncate(0); err != nil {
 			f.Close()
-			return nil, err
+			return info, err
 		}
-		if _, err := f.WriteString(segMagic); err != nil {
+		if _, err := f.Write([]byte(segMagic)); err != nil {
 			f.Close()
-			return nil, err
+			return info, err
 		}
 		good = segHeaderSize
 	} else if err := f.Truncate(good); err != nil {
 		f.Close()
-		return nil, err
+		return info, err
 	}
 	if _, err := f.Seek(good, io.SeekStart); err != nil {
 		f.Close()
-		return nil, err
+		return info, err
 	}
 	info.Bytes = good
 	sh.active = info
 	sh.f = f
 	sh.w = bufio.NewWriterSize(f, segBufSize)
-	return sh, nil
+	return info, nil
 }
 
 // listSegments returns the shard's segment sequence numbers in order.
-func listSegments(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys faultfs.FS, dir string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("logstore: %w", err)
 	}
@@ -133,11 +212,16 @@ func listSegments(dir string) ([]uint64, error) {
 // (or is the constructor).
 func (sh *Shard) startSegment(seq uint64) error {
 	path := filepath.Join(sh.dir, segName(seq))
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := sh.fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if errors.Is(err, os.ErrExist) {
+		// Leftover of a crashed or healed previous attempt to start this
+		// segment (its magic write tore): recreate it in place.
+		f, err = sh.fs.OpenFile(path, os.O_RDWR|os.O_TRUNC, 0o644)
+	}
 	if err != nil {
 		return fmt.Errorf("logstore: %w", err)
 	}
-	if _, err := f.WriteString(segMagic); err != nil {
+	if _, err := f.Write([]byte(segMagic)); err != nil {
 		f.Close()
 		return err
 	}
@@ -172,7 +256,27 @@ func (sh *Shard) AppendRecord(r logging.Record) error {
 		return fmt.Errorf("logstore: shard %s is closed", sh.name)
 	}
 	if sh.err != nil {
-		return sh.err
+		// Try to heal in place: the fault may have passed. Heal attempts
+		// back off exponentially in failed-append counts so a dead disk
+		// costs one cheap counter bump per record, not a rescan.
+		sh.failed++
+		if sh.failed < sh.healAt {
+			sh.dropped++
+			sh.m.dropped.Inc()
+			return sh.err
+		}
+		sh.failed = 0
+		sh.m.healAttempts.Inc()
+		if err := sh.healLocked(); err != nil {
+			if sh.healAt < 1024 {
+				sh.healAt *= 2
+			}
+			sh.dropped++
+			sh.m.dropped.Inc()
+			return sh.err
+		}
+		sh.m.heals.Inc()
+		sh.healAt = 1
 	}
 	// Build the whole frame in one scratch buffer: header placeholder,
 	// then the record body, then backfill length and CRC.
@@ -184,6 +288,8 @@ func (sh *Shard) AppendRecord(r logging.Record) error {
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
 	if _, err := sh.w.Write(frame); err != nil {
 		sh.err = err
+		sh.dropped++
+		sh.m.dropped.Inc()
 		return err
 	}
 	sh.m.appends.Inc()
@@ -213,12 +319,83 @@ func (sh *Shard) rotateLocked() error {
 	if err := sh.f.Close(); err != nil {
 		return err
 	}
-	if err := writeIndex(sh.dir, sh.active); err != nil {
+	if err := writeIndex(sh.fs, sh.dir, sh.active); err != nil {
+		return err
+	}
+	prev := sh.active
+	if err := sh.startSegment(prev.Seq + 1); err != nil {
 		return err
 	}
 	sh.m.rotations.Inc()
-	sh.sealed = append(sh.sealed, sh.active)
-	return sh.startSegment(sh.active.Seq + 1)
+	sh.sealed = append(sh.sealed, prev)
+	if sh.store != nil {
+		// The manifest seals the rotation: recovery trusts it over the
+		// directory, so the note must land before appends continue.
+		if err := sh.store.noteSealed(sh.name, prev, sh.active.Seq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// healLocked tries to clear a sticky I/O error in place: the fault may
+// have been transient (disk full, pulled mount, injected outage), so
+// close the wounded tail, rescan it, truncate whatever tore and resume
+// appending. Records acked into the write buffer but never persisted
+// are gone; they join the dropped count, which Result/finalize surface
+// as the campaign's audited gap. Caller holds mu.
+func (sh *Shard) healLocked() error {
+	if sh.f != nil {
+		sh.f.Close() // best effort; the handle may be wounded
+	}
+	sh.f, sh.w = nil, nil
+	before := sh.active
+	info, err := sh.openTail(before.Seq)
+	if err != nil {
+		return err
+	}
+	if before.Records > info.Records {
+		lost := before.Records - info.Records
+		sh.dropped += lost
+		sh.m.dropped.Add(lost)
+	}
+	if sh.store != nil {
+		// A failed rotation may have left the manifest note unwritten;
+		// healing is complete only once the manifest is current again.
+		if err := sh.store.rewriteManifest(); err != nil {
+			return err
+		}
+	}
+	sh.err = nil
+	return nil
+}
+
+// Heal attempts to clear a sticky I/O error immediately — the hook a
+// supervisor (or the scenario engine's disk-restore action) calls when
+// it believes the fault has passed. Without a sticky error it is a
+// no-op.
+func (sh *Shard) Heal() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.err == nil || sh.closed {
+		return nil
+	}
+	sh.m.healAttempts.Inc()
+	if err := sh.healLocked(); err != nil {
+		return err
+	}
+	sh.m.heals.Inc()
+	sh.failed, sh.healAt = 0, 1
+	return nil
+}
+
+// Dropped returns how many records this shard failed to persist: failed
+// appends during sticky-error windows plus buffered records a heal's
+// truncation could not save.
+func (sh *Shard) Dropped() uint64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.dropped
 }
 
 // Err returns the sticky I/O error, if any append failed.
@@ -255,8 +432,8 @@ func (sh *Shard) Sync() error {
 	if err := sh.flushLocked(); err != nil {
 		return err
 	}
-	if sh.closed {
-		return nil
+	if sh.closed || sh.f == nil {
+		return sh.err
 	}
 	return sh.f.Sync()
 }
@@ -385,7 +562,7 @@ func (sh *Shard) ReadSince(cp Checkpoint, max int) ([]logging.Record, Checkpoint
 // (bytes appended after the snapshot wait for the next call). It returns
 // the offset just past the last record consumed.
 func (sh *Shard) readSegment(si SegmentInfo, off int64, limit int, pool *intern.Pool, out *[]logging.Record) (int64, error) {
-	r, err := openSegmentReader(filepath.Join(sh.dir, segName(si.Seq)), off, pool, sh.m)
+	r, err := openSegmentReader(sh.fs, filepath.Join(sh.dir, segName(si.Seq)), off, pool, sh.m)
 	if errors.Is(err, io.EOF) {
 		return off, nil
 	}

@@ -162,6 +162,16 @@ type Config struct {
 	// finalize.<stage>.nanos, inclusive of upstream stages). Nil disables
 	// instrumentation entirely — the pipeline is not even wrapped.
 	Metrics *obs.Registry
+	// CollectRetries is how many extra attempts a failed per-honeypot
+	// collection gets within one round before the round gives up on that
+	// honeypot (counting it in MissedRounds). 0 degrades immediately —
+	// the pre-retry behavior.
+	CollectRetries int
+	// CollectRetryBackoff is the delay before the first collection
+	// retry, doubling per attempt (capped at one minute) and jittered
+	// into [d/2, d]. 0 means 2s. Jitter is drawn only when a retry
+	// actually happens, so fault-free campaigns stay deterministic.
+	CollectRetryBackoff time.Duration
 }
 
 // DefaultConfig returns the cadence used by the campaigns.
@@ -180,6 +190,11 @@ type HoneypotState struct {
 	// Checkpoint is the incremental-collection ack: everything before it
 	// has been gathered and must never be transferred again.
 	Checkpoint logstore.Checkpoint
+	// MissedRounds counts collection rounds this honeypot sat out after
+	// its retry budget ran dry — the per-honeypot gap audit of a
+	// degraded campaign. Records kept by a durable source are not lost,
+	// only late: the next successful round picks up from Checkpoint.
+	MissedRounds int
 
 	// noIncremental is set when a take-records-since probe failed (the
 	// honeypot has no record source); collection falls back to the drain
@@ -217,9 +232,12 @@ type Manager struct {
 
 // mgrMetrics is the manager's pre-resolved metric set (zero = disabled).
 type mgrMetrics struct {
-	collectRounds  *obs.Counter   // manager.collect.rounds
-	collectRecords *obs.Counter   // manager.collect.records (transferred)
-	finalizeDur    *obs.Histogram // manager.finalize.duration (pipeline build + pass 1)
+	collectRounds   *obs.Counter   // manager.collect.rounds
+	collectRecords  *obs.Counter   // manager.collect.records (transferred)
+	collectRetries  *obs.Counter   // manager.collect.retries (re-attempts)
+	collectTimeouts *obs.Counter   // manager.collect.timeouts (attempts lost to silence)
+	collectDegraded *obs.Counter   // manager.collect.degraded (honeypot-rounds given up)
+	finalizeDur     *obs.Histogram // manager.finalize.duration (pipeline build + pass 1)
 }
 
 func newMgrMetrics(r *obs.Registry) mgrMetrics {
@@ -227,9 +245,12 @@ func newMgrMetrics(r *obs.Registry) mgrMetrics {
 		return mgrMetrics{}
 	}
 	return mgrMetrics{
-		collectRounds:  r.Counter("manager.collect.rounds"),
-		collectRecords: r.Counter("manager.collect.records"),
-		finalizeDur:    r.Histogram("manager.finalize.duration", obs.DurationBuckets),
+		collectRounds:   r.Counter("manager.collect.rounds"),
+		collectRecords:  r.Counter("manager.collect.records"),
+		collectRetries:  r.Counter("manager.collect.retries"),
+		collectTimeouts: r.Counter("manager.collect.timeouts"),
+		collectDegraded: r.Counter("manager.collect.degraded"),
+		finalizeDur:     r.Histogram("manager.finalize.duration", obs.DurationBuckets),
 	}
 }
 
@@ -377,59 +398,105 @@ func (m *Manager) collectOne(st *HoneypotState, finish func()) {
 			}
 		}
 	}
+	m.tryCollect(st, 0, finish)
+}
+
+// tryCollect runs one collection attempt for st and, on failure, either
+// schedules a retry (within the config budget) or books the round as
+// missed. A degraded round is audited, not fatal: a durable source
+// re-serves everything after the checkpoint next round, so the gap is
+// latency, not loss.
+func (m *Manager) tryCollect(st *HoneypotState, attempt int, finish func()) {
+	done := func(err error) {
+		if err == nil {
+			finish()
+			return
+		}
+		st.Healthy = false
+		if errors.Is(err, control.ErrTimeout) {
+			m.met.collectTimeouts.Inc()
+		}
+		if attempt < m.cfg.CollectRetries {
+			m.met.collectRetries.Inc()
+			m.host.After(m.retryDelay(attempt), func() {
+				m.tryCollect(st, attempt+1, finish)
+			})
+			return
+		}
+		st.MissedRounds++
+		m.met.collectDegraded.Inc()
+		finish()
+	}
 	if ih, ok := st.Handle.(IncrementalHandle); ok && !st.noIncremental {
-		m.collectIncremental(st, ih, finish)
+		m.collectIncremental(st, ih, done)
 		return
 	}
-	m.collectDrain(st, finish)
+	m.collectDrain(st, done)
+}
+
+// retryDelay doubles the configured backoff per attempt (capped at one
+// minute) and jitters it into [d/2, d]. Only failing rounds draw from
+// the host's random stream.
+func (m *Manager) retryDelay(attempt int) time.Duration {
+	base := m.cfg.CollectRetryBackoff
+	if base <= 0 {
+		base = 2 * time.Second
+	}
+	const max = time.Minute
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := int64(d) / 2
+	return time.Duration(half + m.host.Rand().Int63n(half+1))
 }
 
 // collectDrain is the legacy path: drain the honeypot's whole buffer.
-func (m *Manager) collectDrain(st *HoneypotState, finish func()) {
+func (m *Manager) collectDrain(st *HoneypotState, done func(error)) {
 	st.Handle.TakeRecords(func(recs []logging.Record, err error) {
 		if err != nil {
-			st.Healthy = false
-		} else if err := m.ingest(st, recs); err != nil {
-			st.Healthy = false
+			done(err)
+			return
 		}
-		finish()
+		done(m.ingest(st, recs))
 	})
 }
 
 // collectIncremental pulls batches after the acked checkpoint until a
 // short batch signals the frontier.
-func (m *Manager) collectIncremental(st *HoneypotState, ih IncrementalHandle, finish func()) {
+func (m *Manager) collectIncremental(st *HoneypotState, ih IncrementalHandle, done func(error)) {
 	ih.TakeRecordsSince(st.Checkpoint, collectBatch, func(recs []logging.Record, next logstore.Checkpoint, err error) {
 		if control.IsNoSource(err) {
 			// The honeypot has no durable record source: drain its memory
 			// buffer instead, this round and onwards.
 			st.noIncremental = true
-			m.collectDrain(st, finish)
+			m.collectDrain(st, done)
 			return
 		}
 		if err != nil {
-			// Transient (dead link, I/O hiccup): mark unhealthy and retry
-			// incrementally next round — falling back to the drain path
-			// would silently stop collecting from a store-backed honeypot
+			// Transient (dead link, I/O hiccup): report and retry
+			// incrementally — falling back to the drain path would
+			// silently stop collecting from a store-backed honeypot
 			// forever, since its drain is always empty.
-			st.Healthy = false
-			finish()
+			done(err)
 			return
 		}
 		if err := m.ingest(st, recs); err != nil {
 			// The batch was not persisted: do NOT ack it. Advancing the
 			// checkpoint here would drop it from the dataset forever,
 			// since the honeypot never re-serves acked records.
-			st.Healthy = false
-			finish()
+			done(err)
 			return
 		}
 		st.Checkpoint = next
 		if len(recs) >= collectBatch {
-			m.collectIncremental(st, ih, finish)
+			m.collectIncremental(st, ih, done)
 			return
 		}
-		finish()
+		done(nil)
 	})
 }
 

@@ -136,6 +136,7 @@ type Host struct {
 	net       *Network
 	addr      netip.Addr
 	up        bool
+	linkDown  bool // uplink severed (host alive, unreachable)
 	rng       *rand.Rand
 	listeners map[uint16]*listener
 	conns     map[*conn]struct{}
@@ -155,6 +156,39 @@ func (h *Host) Rand() *rand.Rand { return h.rng }
 
 // Up reports whether the host is running.
 func (h *Host) Up() bool { return h.up }
+
+// LinkDown reports whether the host's uplink is severed.
+func (h *Host) LinkDown() bool { return h.linkDown }
+
+// SetLinkDown severs (or restores) the host's uplink without touching
+// the process: established connections die — both sides observe a
+// failure — but listeners, timers and all host state survive, and on
+// restore new dials go through again. This models a flapping network
+// link, where Crash models a dying machine.
+func (h *Host) SetLinkDown(down bool) {
+	if h.linkDown == down {
+		return
+	}
+	h.linkDown = down
+	if !down {
+		return
+	}
+	for c := range h.conns {
+		c.closed = true
+		local, peer, lat := c, c.peer, c.latency
+		// The far side sees the break after one latency; the local side
+		// notices on its next tick (its TCP stack reports the reset).
+		h.net.loop.After(lat, func() {
+			peer.remoteClosed(transport.ErrHostDown)
+		})
+		h.net.loop.After(0, func() {
+			if local.hooks.OnClose != nil {
+				local.hooks.OnClose(transport.ErrHostDown)
+			}
+		})
+	}
+	h.conns = make(map[*conn]struct{})
+}
 
 type simTimer struct{ ev des.Timer }
 
@@ -226,9 +260,17 @@ func (h *Host) Dial(remote netip.AddrPort, space wire.Space, done func(transport
 	}
 	lat := h.net.connLatency()
 	localPort := h.ephemeralPort()
+	if h.linkDown {
+		h.net.loop.After(lat, func() {
+			if h.up {
+				done(nil, transport.ErrHostDown)
+			}
+		})
+		return
+	}
 	h.net.loop.After(lat, func() {
 		target, ok := h.net.hosts[remote.Addr()]
-		if !ok || !target.up {
+		if !ok || !target.up || target.linkDown {
 			h.net.loop.After(lat, func() {
 				if h.up {
 					done(nil, transport.ErrHostDown)
@@ -281,8 +323,9 @@ func (h *Host) Crash() {
 	h.listeners = make(map[uint16]*listener)
 }
 
-// Restart brings a crashed host back up with no listeners or connections.
-func (h *Host) Restart() { h.up = true }
+// Restart brings a crashed host back up with no listeners or connections
+// (and its uplink restored).
+func (h *Host) Restart() { h.up = true; h.linkDown = false }
 
 type conn struct {
 	host     *Host

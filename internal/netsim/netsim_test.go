@@ -418,3 +418,61 @@ func BenchmarkMessageDelivery(b *testing.B) {
 	}
 	loop.Run()
 }
+
+func TestLinkFlap(t *testing.T) {
+	loop, nw := newNet(t, DefaultConfig())
+	srv := nw.NewHost("server")
+	cli := nw.NewHost("client")
+
+	var srvClosed, cliClosed error
+	srv.Listen(4661, wire.ServerSpace, func(c transport.Conn) {
+		c.SetHooks(transport.ConnHooks{OnClose: func(err error) { srvClosed = err }})
+	})
+	cli.Dial(netipAddrPortFrom(srv.Addr(), 4661), wire.ServerSpace, func(c transport.Conn, err error) {
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		c.SetHooks(transport.ConnHooks{OnClose: func(err error) { cliClosed = err }})
+		cli.After(time.Second, func() { srv.SetLinkDown(true) })
+	})
+	loop.Run()
+
+	// Both ends observe the break as a failure, not a graceful close.
+	if !errors.Is(srvClosed, transport.ErrHostDown) {
+		t.Errorf("server side saw %v, want ErrHostDown", srvClosed)
+	}
+	if !errors.Is(cliClosed, transport.ErrHostDown) {
+		t.Errorf("client side saw %v, want ErrHostDown", cliClosed)
+	}
+	if !srv.Up() || !srv.LinkDown() {
+		t.Fatalf("link-down host: up=%v linkDown=%v, want true/true", srv.Up(), srv.LinkDown())
+	}
+
+	// Unreachable in both directions while down.
+	var inErr, outErr error = errors.New("not called"), errors.New("not called")
+	cli.Dial(netipAddrPortFrom(srv.Addr(), 4661), wire.ServerSpace, func(_ transport.Conn, err error) { inErr = err })
+	srv.Dial(netipAddrPortFrom(cli.Addr(), 4661), wire.ServerSpace, func(_ transport.Conn, err error) { outErr = err })
+	loop.Run()
+	if !errors.Is(inErr, transport.ErrHostDown) {
+		t.Errorf("dial toward severed host: %v, want ErrHostDown", inErr)
+	}
+	if !errors.Is(outErr, transport.ErrHostDown) {
+		t.Errorf("dial from severed host: %v, want ErrHostDown", outErr)
+	}
+
+	// Restore: the listener survived the flap, dials go through again.
+	srv.SetLinkDown(false)
+	dialed := false
+	cli.Dial(netipAddrPortFrom(srv.Addr(), 4661), wire.ServerSpace, func(c transport.Conn, err error) {
+		if err != nil {
+			t.Errorf("dial after restore: %v", err)
+			return
+		}
+		dialed = true
+	})
+	loop.Run()
+	if !dialed {
+		t.Fatal("no connection after link restore")
+	}
+}

@@ -3,14 +3,17 @@ package scenario
 import (
 	"fmt"
 	"net/netip"
+	"path/filepath"
 	"sort"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/catalog"
 	"repro/internal/client"
+	"repro/internal/control"
 	"repro/internal/des"
 	"repro/internal/ed2k"
+	"repro/internal/faultfs"
 	"repro/internal/honeypot"
 	"repro/internal/logging"
 	"repro/internal/logstore"
@@ -54,6 +57,16 @@ type Result struct {
 	HoneypotStats map[string]honeypot.Stats
 	// Relaunches counts fault-driven honeypot relaunches by ID.
 	Relaunches map[string]int
+	// CollectionGaps counts collection rounds the manager gave up on,
+	// by honeypot ID — the audit trail of every degraded round (link
+	// flaps, storage faults). Honeypots with no gaps are absent. With a
+	// durable source the records arrive late, not never; in-memory
+	// campaigns may genuinely lose what a crash took with it.
+	CollectionGaps map[string]int
+	// DroppedRecords counts records the spill store failed to persist
+	// (disk-fault windows): appends that errored plus buffered records
+	// a heal's truncation could not save. Zero for in-memory campaigns.
+	DroppedRecords uint64
 	// Faults is the executed fault log, in order.
 	Faults []FaultEvent
 	// Events is the number of simulation events executed.
@@ -106,8 +119,9 @@ func (r *Result) Meta() analysis.CampaignMeta {
 type FaultEvent struct {
 	// At is when the action was applied (virtual time).
 	At time.Time
-	// Kind is "server-outage", "server-restart", "honeypot-crash" or
-	// "honeypot-relaunch".
+	// Kind is "server-outage", "server-restart", "honeypot-crash",
+	// "honeypot-relaunch", "link-down", "link-up", "disk-fault" or
+	// "disk-restore".
 	Kind string
 	// Target is the server name or honeypot ID.
 	Target string
@@ -133,6 +147,7 @@ type world struct {
 	ids   []string
 	info  []launched
 	store *logstore.Store // non-nil in spill-to-disk mode
+	fsw   *faultfs.Switch // non-nil when the spec schedules disk faults
 	cat   *catalog.Catalog
 
 	faultLog []FaultEvent
@@ -264,6 +279,8 @@ func buildWorld(spec Spec, opts RunOptions) (*world, error) {
 	if spec.Collection.Every > 0 {
 		mcfg.CollectEvery = time.Duration(spec.Collection.Every)
 	}
+	mcfg.CollectRetries = spec.Collection.Retries
+	mcfg.CollectRetryBackoff = time.Duration(spec.Collection.RetryBackoff)
 	mcfg.Metrics = opts.Metrics
 	w.mgr = manager.New(nw.NewHost("manager"), mcfg)
 	return w, nil
@@ -273,7 +290,18 @@ func buildWorld(spec Spec, opts RunOptions) (*world, error) {
 // afterwards write through shards of a store at dir, and the manager
 // streams the store at finalize instead of holding logs in memory.
 func (w *world) attachStore(dir string) error {
-	store, err := logstore.Open(dir, logstore.Options{Metrics: w.opts.Metrics})
+	opt := logstore.Options{Metrics: w.opts.Metrics}
+	for _, f := range w.spec.Faults {
+		// Disk faults in the schedule: run the store on an injectable
+		// filesystem whose Switch the disk-fault actions flip. Fault-free
+		// specs keep the plain OS path, byte for byte.
+		if f.Kind == FaultDiskIOError {
+			w.fsw = faultfs.NewSwitch()
+			opt.FS = faultfs.Wrap(faultfs.OS{}, w.fsw)
+			break
+		}
+	}
+	store, err := logstore.Open(dir, opt)
 	if err != nil {
 		return fmt.Errorf("scenario: opening store: %w", err)
 	}
@@ -324,11 +352,7 @@ func (w *world) addHoneypot(cfg honeypot.Config, files []client.SharedFile, on n
 	if err := hp.Client().Listen(); err != nil {
 		return nil, fmt.Errorf("scenario: honeypot %s: %w", cfg.ID, err)
 	}
-	handle := manager.NewLocalHandle(cfg.ID, hp, w.mgr.Host())
-	if shard != nil {
-		handle = manager.NewLocalHandleWithStore(cfg.ID, hp, shard, w.mgr.Host())
-	}
-	w.mgr.Add(handle, manager.Assignment{
+	w.mgr.Add(w.newHandle(cfg.ID, hp, shard), manager.Assignment{
 		Server: on,
 		Files:  files,
 	})
@@ -337,6 +361,93 @@ func (w *world) addHoneypot(cfg honeypot.Config, files []client.SharedFile, on n
 	w.info = append(w.info, launched{cfg: cfg, files: files, server: on, shard: shard})
 	return hp, nil
 }
+
+// newHandle builds the manager-side handle for fleet member id: plain
+// local, store-backed when a shard exists, and wrapped in a flakyHandle
+// when the schedule flaps this honeypot's link. Launch and relaunch
+// share it, so a relaunched honeypot keeps identical failure semantics.
+func (w *world) newHandle(id string, hp *honeypot.Honeypot, shard *logstore.Shard) manager.Handle {
+	var handle manager.Handle = manager.NewLocalHandle(id, hp, w.mgr.Host())
+	if shard != nil {
+		handle = manager.NewLocalHandleWithStore(id, hp, shard, w.mgr.Host())
+	}
+	for _, f := range w.spec.Faults {
+		if f.Kind == FaultLinkFlap && f.Honeypot == id {
+			return &flakyHandle{inner: handle, host: hp.Client().Host().(*netsim.Host)}
+		}
+	}
+	return handle
+}
+
+// flakyHandle makes the in-process control shortcut honest about the
+// network: netsim partitions cut peer traffic, but a LocalHandle call
+// never crosses a wire, so without this wrapper the manager would keep
+// collecting from a honeypot nobody can reach. While the host's link is
+// down every exchange fails with a timeout, exactly as a control.Link
+// behind a dead WAN path would after its retry budget.
+type flakyHandle struct {
+	inner manager.Handle
+	host  *netsim.Host
+}
+
+func (f *flakyHandle) down() error {
+	if f.host.LinkDown() {
+		return fmt.Errorf("scenario: %s: link down: %w", f.inner.ID(), control.ErrTimeout)
+	}
+	return nil
+}
+
+// ID implements manager.Handle.
+func (f *flakyHandle) ID() string { return f.inner.ID() }
+
+// Status implements manager.Handle.
+func (f *flakyHandle) Status(cb func(honeypot.Status, error)) {
+	if err := f.down(); err != nil {
+		cb(honeypot.Status{}, err)
+		return
+	}
+	f.inner.Status(cb)
+}
+
+// Advertise implements manager.Handle.
+func (f *flakyHandle) Advertise(files []client.SharedFile, cb func(error)) {
+	if err := f.down(); err != nil {
+		cb(err)
+		return
+	}
+	f.inner.Advertise(files, cb)
+}
+
+// ConnectServer implements manager.Handle.
+func (f *flakyHandle) ConnectServer(server netip.AddrPort, cb func(error)) {
+	if err := f.down(); err != nil {
+		cb(err)
+		return
+	}
+	f.inner.ConnectServer(server, cb)
+}
+
+// TakeRecords implements manager.Handle. A failed drain leaves the
+// honeypot's buffer untouched — the records wait out the flap.
+func (f *flakyHandle) TakeRecords(cb func([]logging.Record, error)) {
+	if err := f.down(); err != nil {
+		cb(nil, err)
+		return
+	}
+	f.inner.TakeRecords(cb)
+}
+
+// Shard implements manager.StoreBackedHandle by delegation (nil when
+// the inner handle is not store-backed).
+func (f *flakyHandle) Shard() *logstore.Shard {
+	if sb, ok := f.inner.(manager.StoreBackedHandle); ok {
+		return sb.Shard()
+	}
+	return nil
+}
+
+// Close implements manager.Handle.
+func (f *flakyHandle) Close() { f.inner.Close() }
 
 // action is one timeline entry: start a workload, crash something,
 // restart something.
@@ -383,6 +494,16 @@ func (w *world) timeline(spec Spec, env *Env, pops []*peersim.Population) ([]act
 			actions = append(actions,
 				action{at: time.Duration(f.At), run: func() error { return w.crashHoneypot(f.Honeypot) }},
 				action{at: time.Duration(f.At) + time.Duration(f.Downtime), run: func() error { return w.relaunchHoneypot(f.Honeypot) }},
+			)
+		case FaultLinkFlap:
+			actions = append(actions,
+				action{at: time.Duration(f.At), run: func() error { return w.setLink(f.Honeypot, true) }},
+				action{at: time.Duration(f.At) + time.Duration(f.Downtime), run: func() error { return w.setLink(f.Honeypot, false) }},
+			)
+		case FaultDiskIOError:
+			actions = append(actions,
+				action{at: time.Duration(f.At), run: func() error { return w.setDiskFault(f.Honeypot, true) }},
+				action{at: time.Duration(f.At) + time.Duration(f.Downtime), run: func() error { return w.setDiskFault(f.Honeypot, false) }},
 			)
 		}
 	}
@@ -499,13 +620,57 @@ func (w *world) relaunchHoneypot(id string) error {
 	if err := hp.Client().Listen(); err != nil {
 		return fmt.Errorf("scenario: fault: relaunching honeypot %s: %w", id, err)
 	}
-	handle := manager.NewLocalHandle(id, hp, w.mgr.Host())
-	if info.shard != nil {
-		handle = manager.NewLocalHandleWithStore(id, hp, info.shard, w.mgr.Host())
-	}
 	w.hps[i] = hp
-	w.mgr.ReplaceHandle(id, handle)
+	w.mgr.ReplaceHandle(id, w.newHandle(id, hp, info.shard))
 	w.faultLog = append(w.faultLog, FaultEvent{At: w.loop.Now(), Kind: "honeypot-relaunch", Target: id})
+	return nil
+}
+
+// setLink partitions one honeypot from the network (down=true) or
+// restores it. The host keeps running — unlike a crash, its buffered
+// records and listeners survive; only the wire is gone. The honeypot's
+// flakyHandle watches the same flag, so the manager's collection
+// exchanges degrade in lockstep with the peer traffic.
+func (w *world) setLink(id string, down bool) error {
+	i := w.fleetIndex(id)
+	if i < 0 {
+		return fmt.Errorf("scenario: fault: unknown honeypot %q", id)
+	}
+	w.hps[i].Client().Host().(*netsim.Host).SetLinkDown(down)
+	kind := "link-up"
+	if down {
+		kind = "link-down"
+	}
+	w.faultLog = append(w.faultLog, FaultEvent{At: w.loop.Now(), Kind: kind, Target: id})
+	return nil
+}
+
+// setDiskFault breaks (broken=true) or restores every mutating
+// filesystem operation under one honeypot's shard directory. The
+// restore also heals the shard immediately — the supervisor's move —
+// so the tail reopens and appends resume without waiting for the
+// shard's own backoff.
+func (w *world) setDiskFault(id string, broken bool) error {
+	i := w.fleetIndex(id)
+	if i < 0 {
+		return fmt.Errorf("scenario: fault: unknown honeypot %q", id)
+	}
+	if w.fsw == nil || w.store == nil {
+		return fmt.Errorf("scenario: fault: disk-io-error for %s without a spill store", id)
+	}
+	prefix := filepath.Join(w.store.Dir(), id) + string(filepath.Separator)
+	if broken {
+		w.fsw.Deny(prefix)
+		w.faultLog = append(w.faultLog, FaultEvent{At: w.loop.Now(), Kind: "disk-fault", Target: id})
+		return nil
+	}
+	w.fsw.Allow(prefix)
+	if sh := w.info[i].shard; sh != nil {
+		if err := sh.Heal(); err != nil {
+			return fmt.Errorf("scenario: fault: healing %s after disk restore: %w", id, err)
+		}
+	}
+	w.faultLog = append(w.faultLog, FaultEvent{At: w.loop.Now(), Kind: "disk-restore", Target: id})
 	return nil
 }
 
@@ -661,10 +826,17 @@ func (w *world) finish(spec Spec, pops []*peersim.Population) (*Result, error) {
 			}
 			res.Relaunches[st.Handle.ID()] = st.Relaunches
 		}
+		if st.MissedRounds > 0 {
+			if res.CollectionGaps == nil {
+				res.CollectionGaps = make(map[string]int)
+			}
+			res.CollectionGaps[st.Handle.ID()] = st.MissedRounds
+		}
 	}
 	if w.store != nil {
 		res.StoreDir = w.store.Dir()
 		res.StoredRecords = w.store.TotalRecords()
+		res.DroppedRecords = w.store.DroppedRecords()
 		if err := w.closeStore(); err != nil {
 			return nil, fmt.Errorf("scenario: closing store: %w", err)
 		}

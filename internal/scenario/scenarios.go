@@ -14,6 +14,7 @@ func init() {
 	mustRegister("federation-mixed", FederationMixed)
 	mustRegister("churn-fleet", ChurnFleet)
 	mustRegister("flash-crowd", FlashCrowd)
+	mustRegister("flaky-links", FlakyLinks)
 }
 
 // AlternatingFleet builds n honeypots named hp-00.., half
@@ -177,6 +178,45 @@ func ChurnFleet() Spec {
 			{Kind: FaultHoneypotCrash, Honeypot: "hp-06", At: Duration(9*24*time.Hour + 6*time.Hour), Downtime: Duration(8 * time.Hour)},
 		},
 		Collection: Collection{Every: Duration(30 * time.Minute)},
+	}
+}
+
+// FlakyLinks measures through network partitions rather than crashes:
+// two fleet members repeatedly fall off the network for hours at a time
+// (a congested exchange point, a mis-pushed route) while their hosts —
+// and their buffered records — keep running. The manager's collection
+// rounds retry, then degrade and audit the gap; once a link returns,
+// the next round drains everything the flap delayed, so the dataset is
+// complete but its gap accounting is not empty.
+func FlakyLinks() Spec {
+	return Spec{
+		Name:     "flaky-links",
+		Seed:     17,
+		Days:     10,
+		Scale:    1.0,
+		Catalog:  catalog.DefaultConfig(),
+		Topology: Topology{Servers: 1},
+		Fleet:    AlternatingFleet(6, 1),
+		Workloads: []WorkloadSpec{{
+			Label:          "flaky-pop",
+			ArrivalsPerDay: 3000,
+			DecayPerDay:    0.99,
+			LibraryMean:    8,
+			LibraryRegion:  30_000,
+			Targets:        TargetsSpec{Kind: "static", Weights: []float64{0.45, 0.30, 0.15, 0.10}},
+		}},
+		Faults: FaultSchedule{
+			// Windows are hours long against 30-minute collection rounds:
+			// the retry budget cannot bridge them, so gaps must be audited.
+			{Kind: FaultLinkFlap, Honeypot: "hp-02", At: Duration(2 * 24 * time.Hour), Downtime: Duration(4 * time.Hour)},
+			{Kind: FaultLinkFlap, Honeypot: "hp-05", At: Duration(3*24*time.Hour + 12*time.Hour), Downtime: Duration(2 * time.Hour)},
+			{Kind: FaultLinkFlap, Honeypot: "hp-02", At: Duration(6 * 24 * time.Hour), Downtime: Duration(8 * time.Hour)},
+		},
+		Collection: Collection{
+			Every:        Duration(30 * time.Minute),
+			Retries:      2,
+			RetryBackoff: Duration(time.Minute),
+		},
 	}
 }
 

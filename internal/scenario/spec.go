@@ -201,11 +201,24 @@ const (
 	// FaultHoneypotCrash crashes honeypot Honeypot's host at At and
 	// relaunches it (same config, same shard) after Downtime.
 	FaultHoneypotCrash = "honeypot-crash"
+	// FaultLinkFlap partitions honeypot Honeypot from the network at At:
+	// the host keeps running (its records survive) but every connection
+	// dies, dials fail and the manager's collection exchanges time out
+	// until the link returns after Downtime. The degraded rounds show up
+	// as collection gaps in the Result.
+	FaultLinkFlap = "link-flap"
+	// FaultDiskIOError breaks honeypot Honeypot's shard storage at At:
+	// every mutating filesystem operation under its store directory
+	// fails until Downtime passes, when the engine restores the disk and
+	// heals the shard. Records appended during the outage are dropped
+	// and audited (Result.DroppedRecords). Requires Collection.StoreDir.
+	FaultDiskIOError = "disk-io-error"
 )
 
 // Fault is one scheduled failure.
 type Fault struct {
-	// Kind is FaultServerOutage or FaultHoneypotCrash.
+	// Kind is FaultServerOutage, FaultHoneypotCrash, FaultLinkFlap or
+	// FaultDiskIOError.
 	Kind string `json:"kind"`
 	// At is the failure time as an offset from campaign start.
 	At Duration `json:"at"`
@@ -222,6 +235,13 @@ type Fault struct {
 type Collection struct {
 	// Every is the log-collection period (0 = manager default, 1h).
 	Every Duration `json:"every,omitempty"`
+	// Retries is the manager's per-round retry budget when a honeypot's
+	// collection exchange fails (0 = degrade immediately: the round is
+	// recorded as a gap and the next period tries again).
+	Retries int `json:"retries,omitempty"`
+	// RetryBackoff is the base delay before a collection retry, doubling
+	// per attempt (0 = manager default, 2s).
+	RetryBackoff Duration `json:"retry_backoff,omitempty"`
 	// StoreDir enables spill-to-disk mode: honeypots write through
 	// logstore shards under this directory and the manager streams them
 	// back at finalize. Empty keeps the in-memory path.
@@ -291,6 +311,12 @@ func (s Spec) Validate() error {
 	}
 	if s.Collection.Every < 0 {
 		bad("collection.every", "must not be negative")
+	}
+	if s.Collection.Retries < 0 {
+		bad("collection.retries", "must not be negative")
+	}
+	if s.Collection.RetryBackoff < 0 {
+		bad("collection.retry_backoff", "must not be negative")
 	}
 	if s.Collection.ExportDir != "" && s.Collection.ExportDir == s.Collection.StoreDir {
 		bad("collection.export_dir", "must differ from collection.store_dir: the export holds the anonymized dataset, the store holds the raw spill")
@@ -377,9 +403,17 @@ func (s Spec) Validate() error {
 				bad(field("server"), "index %d outside federation of %d", f.Server, s.Topology.Servers)
 			}
 			target = fmt.Sprintf("server-%d", f.Server)
-		case FaultHoneypotCrash:
+		case FaultHoneypotCrash, FaultLinkFlap:
 			if !ids[f.Honeypot] {
 				bad(field("honeypot"), "no fleet member %q", f.Honeypot)
+			}
+			target = "honeypot-" + f.Honeypot
+		case FaultDiskIOError:
+			if !ids[f.Honeypot] {
+				bad(field("honeypot"), "no fleet member %q", f.Honeypot)
+			}
+			if s.Collection.StoreDir == "" {
+				bad(field("kind"), "disk-io-error needs collection.store_dir: only spill-to-disk campaigns have a disk to break")
 			}
 			target = "honeypot-" + f.Honeypot
 		default:

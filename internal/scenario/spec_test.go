@@ -77,6 +77,15 @@ func TestValidateFieldErrors(t *testing.T) {
 		{"workloads[0].targets.honeypot", func(s *Spec) { s.Workloads[0].Targets.Honeypot = "hp-zz" }},
 		{"faults[0].kind", func(s *Spec) { s.Faults[0].Kind = "meteor" }},
 		{"faults[0].honeypot", func(s *Spec) { s.Faults[0].Honeypot = "hp-zz" }},
+		{"faults[0].honeypot", func(s *Spec) { s.Faults[0].Kind = FaultLinkFlap; s.Faults[0].Honeypot = "hp-zz" }},
+		{"faults[0].honeypot", func(s *Spec) {
+			s.Faults[0].Kind = FaultDiskIOError
+			s.Faults[0].Honeypot = "hp-zz"
+			s.Collection.StoreDir = "store"
+		}},
+		{"faults[0].kind", func(s *Spec) { s.Faults[0].Kind = FaultDiskIOError }}, // no store_dir to break
+		{"collection.retries", func(s *Spec) { s.Collection.Retries = -1 }},
+		{"collection.retry_backoff", func(s *Spec) { s.Collection.RetryBackoff = Duration(-time.Second) }},
 		{"faults[0].server", func(s *Spec) {
 			s.Faults[0] = Fault{Kind: FaultServerOutage, Server: 5, At: Duration(time.Hour), Downtime: Duration(time.Hour)}
 		}},
