@@ -13,6 +13,7 @@
 //	measure -list-queries                    print the query registry and exit
 //	measure -scenario NAME -progress         live progress on stderr; Ctrl-C aborts cleanly
 //	measure -scenario NAME -metrics-file m.json  dump the run's telemetry registry
+//	measure -submit URL -scenario NAME       run the campaign on a measured daemon instead
 //
 // The -campaign path keeps the paper's two typed configs; -scenario and
 // -scenario-file run any declarative spec (federations, churn fleets,
@@ -77,6 +78,7 @@ func main() {
 		reportPath  = flag.String("report", "", "write the executed plan's results as JSON to this file (default: stdout)")
 		progress    = flag.Bool("progress", false, "print periodic campaign progress to stderr (sim time, events/s, records, fleet health); Ctrl-C aborts cleanly into a partial dataset (scenario runs only)")
 		metricsFile = flag.String("metrics-file", "", "write the run's full telemetry registry (engine, logstore, finalize pipeline) as JSON to this file (scenario runs only)")
+		submitURL   = flag.String("submit", "", "submit the campaign to a running measured daemon at this base URL instead of executing locally; tails its SSE progress and fetches the report (scenario runs only)")
 	)
 	flag.Parse()
 
@@ -120,6 +122,13 @@ func main() {
 		if *exportDir != "" {
 			spec.Collection.ExportDir = filepath.Join(*exportDir, spec.Name)
 		}
+		if *submitURL != "" {
+			if *storeDir != "" || *stream || *exportDir != "" || *outDir != "" || *jsonl || *progress || *metricsFile != "" {
+				log.Print("-store, -stream, -export, -out, -jsonl, -progress and -metrics-file ignored with -submit: the daemon owns collection output and progress streams over SSE")
+			}
+			submitRun(*submitURL, spec, loadPlan(*queries, *planFile, *seed), *reportPath)
+			return
+		}
 		opts := runOptions(*progress, *metricsFile)
 		if plan := loadPlan(*queries, *planFile, *seed); plan != nil {
 			if *outDir != "" || *jsonl {
@@ -132,8 +141,8 @@ func main() {
 		return
 	}
 
-	if *stream || *exportDir != "" || *queries != "" || *planFile != "" || *progress || *metricsFile != "" {
-		log.Fatal("-stream, -export, -queries, -plan-file, -progress and -metrics-file need a scenario run; use -scenario NAME (the paper's campaigns are registered as \"distributed\" and \"greedy\")")
+	if *stream || *exportDir != "" || *queries != "" || *planFile != "" || *progress || *metricsFile != "" || *submitURL != "" {
+		log.Fatal("-stream, -export, -queries, -plan-file, -progress, -metrics-file and -submit need a scenario run; use -scenario NAME (the paper's campaigns are registered as \"distributed\" and \"greedy\")")
 	}
 	runD := *campaign == "both" || *campaign == "distributed"
 	runG := *campaign == "both" || *campaign == "greedy"

@@ -31,6 +31,24 @@ func sampleMeta(start time.Time) CampaignMeta {
 	}
 }
 
+// TestNamesDeterministicOrder pins the listing contract the service
+// plane serves over GET /queries: sorted, identical across calls, and
+// insulated from caller mutation.
+func TestNamesDeterministicOrder(t *testing.T) {
+	first := Names()
+	if !slices.IsSorted(first) {
+		t.Fatalf("Names not sorted: %v", first)
+	}
+	clobbered := Names()
+	for i := range clobbered {
+		clobbered[i] = "clobbered"
+	}
+	second := Names()
+	if !slices.Equal(first, second) {
+		t.Errorf("Names changed across calls:\nfirst:  %v\nsecond: %v", first, second)
+	}
+}
+
 func TestQueryRegistry(t *testing.T) {
 	names := Names()
 	if !slices.IsSorted(names) {

@@ -4,8 +4,10 @@ package obs
 // JSON snapshot at /metrics, the process's expvar page (including the
 // registry, published as "metrics") at /debug/vars, and the standard
 // net/http/pprof profiling endpoints. cmd/honeypotd and cmd/hpmanager
-// expose it behind -debug-addr; the future service plane (cmd/measured)
-// mounts the same mux.
+// expose it behind -debug-addr as a second listener (ServeDebug); the
+// service plane (cmd/measured) attaches the same endpoints to its own
+// HTTP server (Attach) and serves each run's registry with a
+// MetricsHandler.
 
 import (
 	"expvar"
@@ -35,26 +37,40 @@ func publishExpvar(r *Registry) {
 	})
 }
 
-// DebugMux builds the debug endpoints for a registry:
+// Attach registers the debug endpoints on a caller-owned mux — the
+// mux-attach mode a daemon with its own HTTP server (cmd/measured) uses
+// instead of opening a second listener:
 //
 //	/metrics          registry snapshot as JSON
 //	/debug/vars       expvar page (registry published as "metrics")
 //	/debug/pprof/...  net/http/pprof profiling
-func DebugMux(r *Registry) *http.ServeMux {
+func Attach(mux *http.ServeMux, r *Registry) {
 	publishExpvar(r)
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		if err := r.WriteJSON(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
+	mux.HandleFunc("/metrics", MetricsHandler(r))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// MetricsHandler serves one registry's JSON snapshot — the /metrics
+// payload. A service with several registries (cmd/measured's per-run
+// telemetry) mounts one of these per registry on its own routes.
+func MetricsHandler(r *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}
+
+// DebugMux builds a fresh mux with the debug endpoints (see Attach).
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	Attach(mux, r)
 	return mux
 }
 
@@ -62,13 +78,20 @@ func DebugMux(r *Registry) *http.ServeMux {
 type DebugServer struct {
 	srv  *http.Server
 	addr net.Addr
+	once sync.Once
+	err  error
 }
 
 // Addr returns the listener's bound address (useful with ":0").
 func (d *DebugServer) Addr() net.Addr { return d.addr }
 
-// Close shuts the listener down.
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// Close shuts the listener down. It is idempotent: a supervisor and a
+// deferred cleanup can both Close without a double-close error — later
+// calls return the first call's result.
+func (d *DebugServer) Close() error {
+	d.once.Do(func() { d.err = d.srv.Close() })
+	return d.err
+}
 
 // ServeDebug starts a debug HTTP listener on addr (e.g. "127.0.0.1:6060"
 // or ":0" for an ephemeral port) serving DebugMux(r) in a background

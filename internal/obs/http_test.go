@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -66,6 +67,83 @@ func TestDebugServerEndpoints(t *testing.T) {
 	}
 	if !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ index unexpected:\n%s", body)
+	}
+}
+
+// TestDebugServerCloseIdempotent pins that a supervisor and a deferred
+// cleanup can both Close the listener: later calls return the first
+// call's result instead of a double-close error.
+func TestDebugServerCloseIdempotent(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestAttach pins the mux-attach mode: a daemon with its own HTTP
+// server (cmd/measured) mounts the debug surface on its mux instead of
+// opening a second listener, alongside its own routes.
+func TestAttach(t *testing.T) {
+	r := New()
+	r.Counter("attach.hits").Add(9)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/own-route", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "own")
+	})
+	Attach(mux, r)
+
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	code, body := get(t, addr, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["attach.hits"] != 9 {
+		t.Errorf("/metrics content wrong: %+v", snap)
+	}
+	if code, _ := get(t, addr, "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	if code, body := get(t, addr, "/debug/vars"); code != http.StatusOK || !strings.Contains(body, "attach.hits") {
+		t.Errorf("/debug/vars status %d, registry exported: %v", code, strings.Contains(body, "attach.hits"))
+	}
+	if code, body := get(t, addr, "/own-route"); code != http.StatusOK || body != "own" {
+		t.Errorf("caller's own route broken: %d %q", code, body)
+	}
+}
+
+// TestMetricsHandlerPerRegistry pins the per-run mode: several
+// registries served from one mux, each answering with its own snapshot.
+func TestMetricsHandlerPerRegistry(t *testing.T) {
+	r1, r2 := New(), New()
+	r1.Counter("run.one").Inc()
+	r2.Counter("run.two").Add(2)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/runs/one/metrics", MetricsHandler(r1))
+	mux.HandleFunc("/runs/two/metrics", MetricsHandler(r2))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	_, body1 := get(t, addr, "/runs/one/metrics")
+	_, body2 := get(t, addr, "/runs/two/metrics")
+	if !strings.Contains(body1, "run.one") || strings.Contains(body1, "run.two") {
+		t.Errorf("registry one leaked: %s", body1)
+	}
+	if !strings.Contains(body2, "run.two") || strings.Contains(body2, "run.one") {
+		t.Errorf("registry two leaked: %s", body2)
 	}
 }
 

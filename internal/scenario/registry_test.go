@@ -17,6 +17,25 @@ func TestRegistryHasBuiltins(t *testing.T) {
 	}
 }
 
+// TestNamesDeterministicOrder pins the listing contract the service
+// plane serves over GET /scenarios: sorted, identical across calls, and
+// insulated from caller mutation — a client scraping the registry twice
+// must see the same bytes.
+func TestNamesDeterministicOrder(t *testing.T) {
+	first := Names()
+	if !slices.IsSorted(first) {
+		t.Fatalf("Names not sorted: %v", first)
+	}
+	clobbered := Names()
+	for i := range clobbered {
+		clobbered[i] = "clobbered"
+	}
+	second := Names()
+	if !slices.Equal(first, second) {
+		t.Errorf("Names changed across calls:\nfirst:  %v\nsecond: %v", first, second)
+	}
+}
+
 func TestLookupUnknown(t *testing.T) {
 	if _, err := Lookup("no-such-campaign"); err == nil {
 		t.Fatal("unknown name accepted")

@@ -1,0 +1,231 @@
+package svc
+
+// Client is the Go face of the daemon's HTTP API — what cmd/measure's
+// -submit mode, the service tests and the CI smoke job speak. It covers
+// the whole surface: submit, inspect, abort, query, and an SSE tail
+// that parses the /runs/{id}/events stream back into ProgressEvents.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a running measured daemon.
+type Client struct {
+	// Base is the daemon's base URL ("http://127.0.0.1:8080").
+	Base string
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the daemon at base.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do sends one request and decodes a 2xx JSON body into out (skipped
+// when out is nil). Non-2xx responses decode the error body.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("svc: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("svc: reading response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("svc: decoding response: %w", err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into an error.
+func decodeError(status int, body []byte) error {
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Error != "" {
+		return fmt.Errorf("svc: %s (HTTP %d)", eb.Error, status)
+	}
+	return fmt.Errorf("svc: HTTP %d: %s", status, strings.TrimSpace(string(body)))
+}
+
+// Submit posts a campaign and returns the queued run.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (Run, error) {
+	var run Run
+	err := c.do(ctx, http.MethodPost, "/runs", req, &run)
+	return run, err
+}
+
+// Run fetches one run's current state.
+func (c *Client) Run(ctx context.Context, id string) (Run, error) {
+	var run Run
+	err := c.do(ctx, http.MethodGet, "/runs/"+id, nil, &run)
+	return run, err
+}
+
+// Runs lists every tracked run, oldest first.
+func (c *Client) Runs(ctx context.Context) ([]Run, error) {
+	var out struct {
+		Runs []Run `json:"runs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/runs", nil, &out)
+	return out.Runs, err
+}
+
+// Scenarios lists the daemon's registered scenario names.
+func (c *Client) Scenarios(ctx context.Context) ([]string, error) {
+	var out struct {
+		Scenarios []string `json:"scenarios"`
+	}
+	err := c.do(ctx, http.MethodGet, "/scenarios", nil, &out)
+	return out.Scenarios, err
+}
+
+// Queries lists the daemon's registered analysis query names.
+func (c *Client) Queries(ctx context.Context) ([]string, error) {
+	var out struct {
+		Queries []string `json:"queries"`
+	}
+	err := c.do(ctx, http.MethodGet, "/queries", nil, &out)
+	return out.Queries, err
+}
+
+// Abort asks the daemon to stop a queued/running campaign cleanly.
+func (c *Client) Abort(ctx context.Context, id string) (Run, error) {
+	var run Run
+	err := c.do(ctx, http.MethodDelete, "/runs/"+id, nil, &run)
+	return run, err
+}
+
+// Query executes a plan against a finished run and returns the raw
+// report bytes — cmd/measure's exact -report encoding, so callers can
+// write or diff them verbatim. A nil plan defers to the run's own plan
+// (else the full paper plan).
+func (c *Client) Query(ctx context.Context, id string, plan any) ([]byte, error) {
+	var rd io.Reader
+	if plan != nil {
+		data, err := json.Marshal(plan)
+		if err != nil {
+			return nil, fmt.Errorf("svc: encoding plan: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/runs/"+id+"/query", rd)
+	if err != nil {
+		return nil, err
+	}
+	if plan != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("svc: reading report: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeError(resp.StatusCode, data)
+	}
+	return data, nil
+}
+
+// Events tails a run's SSE stream, calling onProgress for each
+// "progress" event (a nil onProgress just waits), and returns the run
+// state carried by the terminal event. It returns when the run
+// finishes or ctx is canceled.
+func (c *Client) Events(ctx context.Context, id string, onProgress func(ProgressEvent)) (Run, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/runs/"+id+"/events", nil)
+	if err != nil {
+		return Run{}, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return Run{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(resp.Body)
+		return Run{}, decodeError(resp.StatusCode, data)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var event, data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Blank line dispatches the accumulated event.
+			if event == "" && data == "" {
+				continue
+			}
+			switch event {
+			case "progress":
+				var e ProgressEvent
+				if err := json.Unmarshal([]byte(data), &e); err != nil {
+					return Run{}, fmt.Errorf("svc: decoding progress event: %w", err)
+				}
+				if onProgress != nil {
+					onProgress(e)
+				}
+			case string(StateDone), string(StateFailed), string(StateAborted):
+				var run Run
+				if err := json.Unmarshal([]byte(data), &run); err != nil {
+					return Run{}, fmt.Errorf("svc: decoding terminal event: %w", err)
+				}
+				return run, nil
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return Run{}, ctx.Err()
+		}
+		return Run{}, fmt.Errorf("svc: event stream: %w", err)
+	}
+	return Run{}, fmt.Errorf("svc: event stream ended without a terminal event")
+}

@@ -1,0 +1,123 @@
+package svc
+
+// Notifier unit tests: the SSE hub's fan-out contract — sequence
+// numbering, drop-oldest backpressure, last-snapshot replay, and
+// idempotent close.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// snap builds a minimal engine snapshot h virtual hours into a one-day
+// campaign.
+func snap(h int) scenario.Progress {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	return scenario.Progress{
+		SimTime:    start.Add(time.Duration(h) * time.Hour),
+		SimElapsed: time.Duration(h) * time.Hour,
+		SimEnd:     start.Add(24 * time.Hour),
+		Events:     uint64(h) * 100,
+	}
+}
+
+func TestNotifierSequenceAndPercent(t *testing.T) {
+	n := NewNotifier()
+	ch, cancel := n.Subscribe()
+	defer cancel()
+
+	for h := 1; h <= 3; h++ {
+		n.Publish(snap(h))
+	}
+	for want := uint64(1); want <= 3; want++ {
+		e := <-ch
+		if e.Seq != want {
+			t.Fatalf("seq = %d, want %d", e.Seq, want)
+		}
+		if e.Percent < 0 || e.Percent > 100 {
+			t.Errorf("percent %g out of range", e.Percent)
+		}
+		if e.SimTotalS != (24 * time.Hour).Seconds() {
+			t.Errorf("total %gs, want the 24h campaign window", e.SimTotalS)
+		}
+	}
+}
+
+// TestNotifierDropOldest pins the backpressure rule: a subscriber that
+// never drains loses the oldest snapshots, keeps the newest, and the
+// surviving subsequence stays monotonic.
+func TestNotifierDropOldest(t *testing.T) {
+	n := NewNotifier()
+	ch, cancel := n.Subscribe()
+	defer cancel()
+
+	total := subscriberBuffer + 10
+	for i := 1; i <= total; i++ {
+		n.Publish(snap(i % 24))
+	}
+	n.Close()
+
+	var seqs []uint64
+	for e := range ch {
+		seqs = append(seqs, e.Seq)
+	}
+	if len(seqs) != subscriberBuffer {
+		t.Fatalf("drained %d events, want the buffer's %d", len(seqs), subscriberBuffer)
+	}
+	if seqs[0] != uint64(total-subscriberBuffer+1) {
+		t.Errorf("oldest surviving seq = %d, want %d (drop-oldest)", seqs[0], total-subscriberBuffer+1)
+	}
+	if last := seqs[len(seqs)-1]; last != uint64(total) {
+		t.Errorf("newest seq = %d, want %d (never drop the newest)", last, total)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("seqs not monotonic: %v", seqs)
+		}
+	}
+}
+
+// TestNotifierReplayAndClose pins late-subscriber replay and the closed
+// notifier's behavior.
+func TestNotifierReplayAndClose(t *testing.T) {
+	n := NewNotifier()
+	n.Publish(snap(5))
+
+	ch, cancel := n.Subscribe()
+	defer cancel()
+	e := <-ch
+	if e.Seq != 1 {
+		t.Fatalf("late subscriber replayed seq %d, want 1", e.Seq)
+	}
+
+	n.Close()
+	n.Close() // idempotent
+	if _, ok := <-ch; ok {
+		t.Error("subscriber channel not closed by Close")
+	}
+
+	// Subscribing after close still replays the last snapshot, then ends.
+	ch2, cancel2 := n.Subscribe()
+	defer cancel2()
+	if e, ok := <-ch2; !ok || e.Seq != 1 {
+		t.Errorf("post-close subscribe: got (%+v, %v), want the replayed snapshot", e, ok)
+	}
+	if _, ok := <-ch2; ok {
+		t.Error("post-close subscription not terminated")
+	}
+
+	// Publishing after close is a no-op, not a panic.
+	n.Publish(snap(6))
+}
+
+// TestNotifierCancelIdempotent pins that cancel can race Close.
+func TestNotifierCancelIdempotent(t *testing.T) {
+	n := NewNotifier()
+	_, cancel := n.Subscribe()
+	cancel()
+	cancel()
+	n.Close()
+	cancel()
+}
