@@ -575,17 +575,82 @@ func BenchmarkInstrumentationOverhead(b *testing.B) {
 }
 
 // BenchmarkCoInterestGraph measures the §V future-work analysis on a
-// campaign dataset.
+// campaign dataset, serial versus row-range-parallel (the results are
+// pinned identical by TestRowParallelQueriesMatchSerial).
 func BenchmarkCoInterestGraph(b *testing.B) {
 	greedy(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	var st analysis.InterestStats
-	for i := 0; i < b.N; i++ {
-		st = greedyFrame.InterestGraph().Stats()
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			analysis.SetRowWorkers(workers)
+			defer analysis.SetRowWorkers(0)
+			b.ReportAllocs()
+			var st analysis.InterestStats
+			for i := 0; i < b.N; i++ {
+				st = greedyFrame.InterestGraph().Stats()
+			}
+			b.ReportMetric(float64(st.Edges), "edges")
+			b.ReportMetric(float64(st.LargestComponent), "largest_component")
+		}
 	}
-	b.ReportMetric(float64(st.Edges), "edges")
-	b.ReportMetric(float64(st.LargestComponent), "largest_component")
+	b.Run("serial", run(1))
+	b.Run("parallel", run(runtime.GOMAXPROCS(0)))
+}
+
+// BenchmarkPeerSetBuild measures the Fig 10-12 peer-set construction
+// (the input to the subset-union estimates), serial versus
+// row-range-parallel.
+func BenchmarkPeerSetBuild(b *testing.B) {
+	dres, _ := distributed(b)
+	_, grep := greedy(b)
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			analysis.SetRowWorkers(workers)
+			defer analysis.SetRowWorkers(0)
+			b.ReportAllocs()
+			var hpUni, fileUni int
+			for i := 0; i < b.N; i++ {
+				_, hpUni = distFrame.HoneypotPeerSets(dres.HoneypotIDs)
+				_, fileUni = greedyFrame.FilePeerSets(grep.PopularFiles)
+			}
+			b.ReportMetric(float64(hpUni), "hp_universe")
+			b.ReportMetric(float64(fileUni), "file_universe")
+		}
+	}
+	b.Run("serial", run(1))
+	b.Run("parallel", run(runtime.GOMAXPROCS(0)))
+}
+
+// BenchmarkCampaignSchedulers runs the same small campaign under both
+// event schedulers — the timing wheel that is now the default and the
+// binary-heap oracle it replaced — and reports simulated events/s. The
+// datasets are pinned bit-identical by TestSchedulerDatasetEquivalence;
+// this benchmark tracks the wall-clock gap.
+func BenchmarkCampaignSchedulers(b *testing.B) {
+	spec, err := repro.ScenarioSpec("distributed")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Scale = 0.004
+	spec.Days = 6
+	spec.Catalog = catalog.Config{NumFiles: 3_000, Vocabulary: 500, PopularityExp: 0.9, Seed: 1}
+	spec.Workloads[0].LibraryRegion = 1_000
+
+	run := func(kind des.SchedulerKind) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				res, err := repro.RunSpecWith(spec, repro.RunOptions{Scheduler: kind})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = res.Events
+			}
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		}
+	}
+	b.Run("wheel", run(des.SchedulerWheel))
+	b.Run("heap", run(des.SchedulerHeap))
 }
 
 // ---------------------------------------------------------------------------

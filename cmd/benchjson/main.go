@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON object, so CI's benchmark artifacts diff
+// cleanly across PRs: BENCH_<date>.txt stays the human-readable record,
+// BENCH_<date>.json the tool-readable one.
+//
+//	go test -bench . -benchmem ./... | benchjson > BENCH.json
+//
+// Each benchmark becomes one entry keyed by its name (the -<procs>
+// suffix stripped), carrying iterations plus every reported metric:
+// ns/op, B/op, allocs/op and custom b.ReportMetric units such as
+// events/s or records/s. Repeated names (e.g. concatenated runs)
+// keep the last occurrence. Non-benchmark lines pass through silently.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark's parsed measurements. Metrics maps the
+// reported unit (e.g. "ns/op", "B/op", "events/s") to its value.
+type BenchResult struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// stripProcs removes the trailing -<GOMAXPROCS> that `go test` appends
+// to benchmark names, keeping sub-benchmark paths intact.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parseBench reads benchmark text output and collects the results in
+// encounter order (names returns that order with duplicates removed,
+// last value winning).
+func parseBench(r io.Reader) (map[string]BenchResult, []string, error) {
+	out := map[string]BenchResult{}
+	var names []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := BenchResult{Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		name := stripProcs(m[1])
+		if _, seen := out[name]; !seen {
+			names = append(names, name)
+		}
+		out[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return out, names, nil
+}
+
+func main() {
+	results, _, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	// Sorted keys: encoding/json does this for maps anyway, but sort
+	// explicitly so the contract is in the tool, not the library.
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make(map[string]BenchResult, len(results))
+	for _, k := range keys {
+		ordered[k] = results[k]
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ordered); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -256,7 +256,14 @@ func summarizeRun(res *repro.Result, records int, elapsed time.Duration) {
 		fmt.Printf("degraded: collection gaps: %d round(s) across %d honeypot(s); dropped records: %d\n",
 			gaps, len(res.CollectionGaps), res.DroppedRecords)
 	}
-	fmt.Printf("wall %v; %.0f records/s finalized\n", elapsed.Round(time.Millisecond), perSec)
+	// Engine throughput comes from the loop's own counters: Executed
+	// equals res.Events, but Stats is the scheduler's authoritative view.
+	eventsPerSec := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		eventsPerSec = float64(res.Engine.Executed) / s
+	}
+	fmt.Printf("wall %v; %.0f events/s simulated, %.0f records/s finalized\n",
+		elapsed.Round(time.Millisecond), eventsPerSec, perSec)
 	if res.Aborted {
 		fmt.Printf("campaign ABORTED at %s (sim time); the dataset covers only records collected before the abort\n",
 			res.AbortedAt.Format("2006-01-02 15:04"))
@@ -427,8 +434,12 @@ func runPlan(spec repro.Spec, plan analysis.Plan, reportPath string, opts repro.
 	if s := elapsed.Seconds(); s > 0 {
 		perSec = float64(records) / s
 	}
-	log.Printf("scenario %s: simulated %d events in %v; %d records (%.0f records/s), %d distinct peers",
-		spec.Name, res.Events, elapsed.Round(time.Millisecond),
+	eventsPerSec := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		eventsPerSec = float64(res.Engine.Executed) / s
+	}
+	log.Printf("scenario %s: simulated %d events in %v (%.0f events/s); %d records (%.0f records/s), %d distinct peers",
+		spec.Name, res.Events, elapsed.Round(time.Millisecond), eventsPerSec,
 		records, perSec, res.Dataset.DistinctPeers)
 	if res.Aborted {
 		log.Printf("campaign ABORTED at %s (sim time); the report covers only records collected before the abort",

@@ -71,38 +71,78 @@ func BuildInterestGraph(recs []logging.Record) *InterestGraph {
 // columnar frame, returning the same graph as BuildInterestGraph over
 // the source records. Edges are deduplicated with an epoch-stamped array
 // over peer symbols, and both adjacency maps are assembled from one
-// counting sort each instead of nested hash maps.
+// counting sort each instead of nested hash maps. The two heavy phases
+// — per-file edge construction and per-peer adjacency assembly — split
+// across contiguous symbol ranges balanced by query volume; every
+// worker owns its symbols outright and the per-range outputs are
+// concatenated in symbol order, so the edge list, both adjacency maps
+// and every sorted slice are identical at any worker count.
 func (f *Frame) InterestGraph() *InterestGraph {
 	grouped, off, cnt := f.queryPairs()
 	nPeers := f.peerTab.Len()
-	mark := make([]int32, nPeers)
-	for i := range mark {
-		mark[i] = -1
-	}
+	nFiles := f.fileTab.Len()
 	g := &InterestGraph{
 		PeerFiles: map[string][]ed2k.Hash{},
 		FilePeers: map[ed2k.Hash][]string{},
 	}
+
+	// Phase 1: dedupe each file's querying peers and emit its edges.
 	type edge struct{ peer, file uint32 }
-	var edges []edge
-	perPeer := make([]int32, nPeers)
-	for sym, c := range cnt {
-		if c == 0 {
-			continue
-		}
-		var ps []string
-		for _, p := range grouped[off[sym] : off[sym]+c] {
-			if mark[p] != int32(sym) {
-				mark[p] = int32(sym)
-				ps = append(ps, f.peerTab.Value(p))
-				edges = append(edges, edge{peer: p, file: uint32(sym)})
-				perPeer[p]++
-			}
-		}
-		sort.Strings(ps)
-		g.FilePeers[f.fileTab.Value(uint32(sym))] = ps
+	type fileAdj struct {
+		sym uint32
+		ps  []string
 	}
-	// Counting sort of the deduplicated edges by peer symbol.
+	workers := resolveWorkers(len(grouped))
+	fileCuts := volumeCuts(off, len(grouped), nFiles, workers)
+	localEdges := make([][]edge, workers)
+	localAdj := make([][]fileAdj, workers)
+	localPerPeer := make([][]int32, workers)
+	parallelCuts(fileCuts, func(c, lo, hi int) {
+		mark := make([]int32, nPeers)
+		for i := range mark {
+			mark[i] = -1
+		}
+		perPeer := make([]int32, nPeers)
+		var edges []edge
+		var adjs []fileAdj
+		for sym := lo; sym < hi; sym++ {
+			n := cnt[sym]
+			if n == 0 {
+				continue
+			}
+			var ps []string
+			for _, p := range grouped[off[sym] : off[sym]+n] {
+				if mark[p] != int32(sym) {
+					mark[p] = int32(sym)
+					ps = append(ps, f.peerTab.Value(p))
+					edges = append(edges, edge{peer: p, file: uint32(sym)})
+					perPeer[p]++
+				}
+			}
+			sort.Strings(ps)
+			adjs = append(adjs, fileAdj{sym: uint32(sym), ps: ps})
+		}
+		localEdges[c], localAdj[c], localPerPeer[c] = edges, adjs, perPeer
+	})
+	perPeer := localPerPeer[0]
+	nEdges := len(localEdges[0])
+	for _, lp := range localPerPeer[1:] {
+		for p, n := range lp {
+			perPeer[p] += n
+		}
+	}
+	for _, le := range localEdges[1:] {
+		nEdges += len(le)
+	}
+	for _, la := range localAdj {
+		for _, a := range la {
+			g.FilePeers[f.fileTab.Value(a.sym)] = a.ps
+		}
+	}
+
+	// Counting sort of the deduplicated edges by peer symbol. The local
+	// edge lists concatenate in file-symbol order — the serial emission
+	// order — so the grouped files-by-peer layout is unchanged.
 	peerOff := make([]int32, nPeers)
 	run := int32(0)
 	for p, c := range perPeer {
@@ -110,28 +150,52 @@ func (f *Frame) InterestGraph() *InterestGraph {
 		run += c
 	}
 	fill := append([]int32(nil), peerOff...)
-	filesByPeer := make([]uint32, len(edges))
-	for _, e := range edges {
-		filesByPeer[fill[e.peer]] = e.file
-		fill[e.peer]++
-	}
-	fileStr := make([]string, f.fileTab.Len()) // hex forms, computed once per file
-	for p, c := range perPeer {
-		if c == 0 {
-			continue
+	filesByPeer := make([]uint32, nEdges)
+	for _, le := range localEdges {
+		for _, e := range le {
+			filesByPeer[fill[e.peer]] = e.file
+			fill[e.peer]++
 		}
-		syms := filesByPeer[peerOff[p] : peerOff[p]+int32(c)]
-		for _, s := range syms {
-			if fileStr[s] == "" {
-				fileStr[s] = f.fileTab.Value(s).String()
+	}
+
+	// Phase 2: per-peer adjacency assembly. The hex forms are
+	// precomputed for every queried file up front — the serial lazy
+	// memoization would be a data race across peer ranges.
+	fileStr := make([]string, nFiles)
+	parallelChunks(nFiles, resolveWorkers(nFiles), func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			if cnt[s] > 0 {
+				fileStr[s] = f.fileTab.Value(uint32(s)).String()
 			}
 		}
-		sort.Slice(syms, func(a, b int) bool { return fileStr[syms[a]] < fileStr[syms[b]] })
-		fs := make([]ed2k.Hash, len(syms))
-		for i, s := range syms {
-			fs[i] = f.fileTab.Value(s)
+	})
+	type peerAdj struct {
+		p  uint32
+		fs []ed2k.Hash
+	}
+	peerCuts := volumeCuts(peerOff, nEdges, nPeers, workers)
+	localPeers := make([][]peerAdj, workers)
+	parallelCuts(peerCuts, func(c, lo, hi int) {
+		var adjs []peerAdj
+		for p := lo; p < hi; p++ {
+			n := perPeer[p]
+			if n == 0 {
+				continue
+			}
+			syms := filesByPeer[peerOff[p] : peerOff[p]+n]
+			sort.Slice(syms, func(a, b int) bool { return fileStr[syms[a]] < fileStr[syms[b]] })
+			fs := make([]ed2k.Hash, len(syms))
+			for i, s := range syms {
+				fs[i] = f.fileTab.Value(s)
+			}
+			adjs = append(adjs, peerAdj{p: uint32(p), fs: fs})
 		}
-		g.PeerFiles[f.peerTab.Value(uint32(p))] = fs
+		localPeers[c] = adjs
+	})
+	for _, la := range localPeers {
+		for _, a := range la {
+			g.PeerFiles[f.peerTab.Value(a.p)] = a.fs
+		}
 	}
 	return g
 }

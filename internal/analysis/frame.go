@@ -14,6 +14,7 @@ package analysis
 
 import (
 	"math"
+	"math/bits"
 	"slices"
 	"sort"
 	"strconv"
@@ -400,6 +401,7 @@ type peerSetCollector struct {
 	bits    []uint64 // units × words, nil in map mode
 	sets    [][]int32
 	fallbak []map[int32]bool
+	merged  bool // a merge invalidated sets; finish rebuilds from bits
 }
 
 // bitsetWordLimit bounds the dense path's total footprint — units ×
@@ -436,12 +438,56 @@ func (c *peerSetCollector) observe(unit int, n int64) {
 	m[int32(n)] = true
 }
 
+// merge folds another collector of identical shape into this one: the
+// per-unit distinct sets become unions. Used by the row-parallel
+// builds; the merged sets surface only through finish, which emits
+// them sorted, so merge order cannot influence results.
+func (c *peerSetCollector) merge(o *peerSetCollector) {
+	if c.bits != nil {
+		for i, w := range o.bits {
+			c.bits[i] |= w
+		}
+		c.merged = true
+		return
+	}
+	for u, m := range o.fallbak {
+		if m == nil {
+			continue
+		}
+		dst := c.fallbak[u]
+		if dst == nil {
+			c.fallbak[u] = m
+			continue
+		}
+		for n := range m {
+			dst[n] = true
+		}
+	}
+}
+
 func (c *peerSetCollector) finish() [][]int32 {
 	if c.bits == nil {
 		for u, m := range c.fallbak {
 			s := make([]int32, 0, len(m))
 			for n := range m {
 				s = append(s, n)
+			}
+			c.sets[u] = s
+		}
+	} else if c.merged {
+		// The per-unit discovery lists only cover this collector's own
+		// observations; re-enumerate the merged bitsets instead. Bits
+		// come out ascending, i.e. already in the sorted order the
+		// serial path reaches below.
+		for u := 0; u < c.units; u++ {
+			s := c.sets[u][:0]
+			base := u * c.words
+			for w := 0; w < c.words; w++ {
+				word := c.bits[base+w]
+				for word != 0 {
+					s = append(s, int32(w*64+bits.TrailingZeros64(word)))
+					word &= word - 1
+				}
 			}
 			c.sets[u] = s
 		}
@@ -455,10 +501,37 @@ func (c *peerSetCollector) finish() [][]int32 {
 	return c.sets
 }
 
+// numBounds merges per-chunk (max, min) scans of the matching peer
+// numbers — the shape both peer-set builds share. max/min commute, so
+// chunking cannot change the result.
+type numBounds struct {
+	maxID, minN int64
+}
+
+func newNumBounds() numBounds { return numBounds{maxID: -1, minN: math.MaxInt64} }
+
+func (b *numBounds) observe(n int64) {
+	if n > b.maxID {
+		b.maxID = n
+	}
+	if n < b.minN {
+		b.minN = n
+	}
+}
+
+func (b *numBounds) merge(o numBounds) {
+	if o.maxID > b.maxID {
+		b.maxID = o.maxID
+	}
+	if o.minN < b.minN {
+		b.minN = o.minN
+	}
+}
+
 // HoneypotPeerSets builds Fig 10's per-honeypot distinct peer-number
 // sets from the frame. Peer identifiers are parsed once per distinct
-// peer (cached on the frame), and distinctness is tracked in one bitset
-// per honeypot.
+// peer (cached on the frame), distinctness is tracked in one bitset per
+// honeypot, and both scans split across row ranges.
 func (f *Frame) HoneypotPeerSets(honeypotIDs []string) (sets [][]int32, universe int) {
 	pos := make([]int32, f.hpTab.Len())
 	for i := range pos {
@@ -470,40 +543,51 @@ func (f *Frame) HoneypotPeerSets(honeypotIDs []string) (sets [][]int32, universe
 		}
 	}
 	nums := f.peerNumbers()
-	maxID, minN := int64(-1), int64(math.MaxInt64)
-	for i, p := range f.peers {
-		if p == NoPeer || pos[f.hps[i]] < 0 {
-			continue
-		}
-		n := nums[p]
-		if n == noNum {
-			continue
-		}
-		if n > maxID {
-			maxID = n
-		}
-		if n < minN {
-			minN = n
-		}
-	}
-	c := newPeerSetCollector(len(honeypotIDs), maxID, minN)
-	for i, p := range f.peers {
+	match := func(i int) (int, int64, bool) {
+		p := f.peers[i]
 		if p == NoPeer {
-			continue
+			return 0, 0, false
 		}
 		hi := pos[f.hps[i]]
 		if hi < 0 {
-			continue
+			return 0, 0, false
 		}
-		if n := nums[p]; n != noNum {
-			c.observe(int(hi), n)
+		n := nums[p]
+		if n == noNum {
+			return 0, 0, false
 		}
+		return int(hi), n, true
 	}
-	return c.finish(), int(maxID) + 1
+	n := len(f.peers)
+	workers := resolveWorkers(n)
+	chunkBnds := make([]numBounds, workers)
+	parallelChunks(n, workers, func(c, lo, hi int) {
+		b := newNumBounds()
+		for i := lo; i < hi; i++ {
+			if _, num, ok := match(i); ok {
+				b.observe(num)
+			}
+		}
+		chunkBnds[c] = b
+	})
+	bnds := newNumBounds()
+	for _, b := range chunkBnds {
+		bnds.merge(b)
+	}
+	out := collectPeerSets(n, len(honeypotIDs), bnds.maxID, bnds.minN,
+		func(c *peerSetCollector, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if unit, num, ok := match(i); ok {
+					c.observe(unit, num)
+				}
+			}
+		})
+	return out, int(bnds.maxID) + 1
 }
 
 // FilePeerSets builds Figs 11-12's per-file distinct peer-number sets
-// from the frame (START-UPLOAD / REQUEST-PART records only).
+// from the frame (START-UPLOAD / REQUEST-PART records only), with both
+// the bounds scan and the collection split across row ranges.
 func (f *Frame) FilePeerSets(files []ed2k.Hash) (sets [][]int32, universe int) {
 	pos := make([]int32, f.fileTab.Len())
 	for i := range pos {
@@ -515,7 +599,6 @@ func (f *Frame) FilePeerSets(files []ed2k.Hash) (sets [][]int32, universe int) {
 		}
 	}
 	nums := f.peerNumbers()
-	maxID, minN := int64(-1), int64(math.MaxInt64)
 	match := func(i int) (int, int64, bool) {
 		k := logging.Kind(f.kinds[i])
 		if k != logging.KindStartUpload && k != logging.KindRequestPart {
@@ -531,23 +614,31 @@ func (f *Frame) FilePeerSets(files []ed2k.Hash) (sets [][]int32, universe int) {
 		}
 		return int(fi), n, true
 	}
-	for i := range f.kinds {
-		if _, n, ok := match(i); ok {
-			if n > maxID {
-				maxID = n
-			}
-			if n < minN {
-				minN = n
+	n := len(f.kinds)
+	workers := resolveWorkers(n)
+	chunkBnds := make([]numBounds, workers)
+	parallelChunks(n, workers, func(c, lo, hi int) {
+		b := newNumBounds()
+		for i := lo; i < hi; i++ {
+			if _, num, ok := match(i); ok {
+				b.observe(num)
 			}
 		}
+		chunkBnds[c] = b
+	})
+	bnds := newNumBounds()
+	for _, b := range chunkBnds {
+		bnds.merge(b)
 	}
-	c := newPeerSetCollector(len(files), maxID, minN)
-	for i := range f.kinds {
-		if fi, n, ok := match(i); ok {
-			c.observe(fi, n)
-		}
-	}
-	return c.finish(), int(maxID) + 1
+	out := collectPeerSets(n, len(files), bnds.maxID, bnds.minN,
+		func(c *peerSetCollector, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if unit, num, ok := match(i); ok {
+					c.observe(unit, num)
+				}
+			}
+		})
+	return out, int(bnds.maxID) + 1
 }
 
 // queryIndex is the file-grouped view of the query records, cached on
@@ -591,28 +682,45 @@ func (f *Frame) buildQueryPairs() {
 		}
 		return true
 	}
-	total := int32(0)
-	for i := range f.kinds {
-		if match(i) {
-			cnt[f.files[i]]++
-			total++
+	// Row-parallel counting sort: per-chunk counts, then one exclusive
+	// prefix pass that turns each chunk's counts into its write bases —
+	// chunk c's rows for a file land right after chunk c-1's, so the
+	// grouped array is bit-identical to a serial row scan at any worker
+	// count.
+	n := len(f.kinds)
+	workers := resolveWorkers(n)
+	chunkCnt := make([][]int32, workers)
+	parallelChunks(n, workers, func(c, lo, hi int) {
+		local := make([]int32, nFiles)
+		for i := lo; i < hi; i++ {
+			if match(i) {
+				local[f.files[i]]++
+			}
 		}
-	}
+		chunkCnt[c] = local
+	})
 	off := make([]int32, nFiles)
 	run := int32(0)
-	for i, c := range cnt {
-		off[i] = run
-		run += c
-	}
-	fill := append([]int32(nil), off...)
-	grouped := make([]uint32, total)
-	for i := range f.kinds {
-		if match(i) {
-			fs := f.files[i]
-			grouped[fill[fs]] = f.peers[i]
-			fill[fs]++
+	for s := 0; s < nFiles; s++ {
+		off[s] = run
+		for c := 0; c < workers; c++ {
+			v := chunkCnt[c][s]
+			chunkCnt[c][s] = run // becomes chunk c's write base for file s
+			run += v
 		}
+		cnt[s] = run - off[s]
 	}
+	grouped := make([]uint32, run)
+	parallelChunks(n, workers, func(c, lo, hi int) {
+		fill := chunkCnt[c]
+		for i := lo; i < hi; i++ {
+			if match(i) {
+				fs := f.files[i]
+				grouped[fill[fs]] = f.peers[i]
+				fill[fs]++
+			}
+		}
+	})
 	f.pairs = &queryIndex{peers: grouped, off: off, cnt: cnt}
 }
 

@@ -2,13 +2,19 @@
 // virtual clock. It is the execution substrate of the simulated network:
 // month-long measurement campaigns run as an ordered sequence of events in
 // seconds of CPU time, and identical seeds replay identical histories.
+//
+// Two schedulers implement the same (when, seq) total order: a
+// hierarchical timing wheel (the default hot path) and the original
+// binary heap, retained as the equivalence oracle behind Options or the
+// REPRO_DES_SCHEDULER environment knob. Histories are bit-identical
+// under either; see docs/PERFORMANCE.md for the argument.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"os"
 	"time"
 )
 
@@ -21,7 +27,7 @@ type event struct {
 	seq      uint64
 	fn       func()
 	canceled bool
-	index    int    // heap position, -1 when popped
+	index    int    // heap position, -1 when popped (heap scheduler only)
 	gen      uint32 // bumped on recycle; stale Timers no longer match
 }
 
@@ -50,44 +56,64 @@ func (t Timer) Canceled() bool {
 	return t.e != nil && t.e.gen == t.gen && t.e.canceled
 }
 
-type eventQueue []*event
+// scheduler is the pending-event store behind the loop. Both
+// implementations pop events in identical (when, seq) order; they only
+// differ in how the order is maintained. Canceled events stay pending
+// until popped (the loop reaps them), so pending() counts them too.
+type scheduler interface {
+	schedule(e *event)
+	peek() *event // earliest pending event, nil when empty
+	pop() *event  // remove and return the earliest, nil when empty
+	pending() int
+	counters() (cascades, overflowScans uint64)
+}
 
-func (q eventQueue) Len() int { return len(q) }
+// SchedulerKind selects the pending-event store.
+type SchedulerKind string
 
-func (q eventQueue) Less(i, j int) bool {
-	if !q[i].when.Equal(q[j].when) {
-		return q[i].when.Before(q[j].when)
+const (
+	// SchedulerWheel is the hierarchical timing wheel: O(1) schedule,
+	// amortized O(bucket) pop. The default.
+	SchedulerWheel SchedulerKind = "wheel"
+	// SchedulerHeap is the original container/heap queue, retained as
+	// the equivalence oracle.
+	SchedulerHeap SchedulerKind = "heap"
+)
+
+// SchedulerEnv overrides the default scheduler for loops that don't set
+// Options.Scheduler explicitly ("wheel" or "heap"); unrecognized values
+// are ignored so an ops typo cannot crash a campaign.
+const SchedulerEnv = "REPRO_DES_SCHEDULER"
+
+// Options configures a loop beyond its clock and seed. The zero value
+// picks the default scheduler (the timing wheel, unless SchedulerEnv
+// says otherwise). Scheduler choice can never change a campaign's
+// history — only its speed.
+type Options struct {
+	Scheduler SchedulerKind
+}
+
+func resolveScheduler(k SchedulerKind) SchedulerKind {
+	switch k {
+	case SchedulerWheel, SchedulerHeap:
+		return k
+	case "":
+	default:
+		panic(fmt.Sprintf("des: unknown scheduler %q", k))
 	}
-	return q[i].seq < q[j].seq // FIFO among simultaneous events
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+	switch SchedulerKind(os.Getenv(SchedulerEnv)) {
+	case SchedulerHeap:
+		return SchedulerHeap
+	}
+	return SchedulerWheel
 }
 
 // Loop is a single-threaded discrete-event loop. All callbacks run on the
 // goroutine that calls Run/RunUntil/Step, so event handlers never race.
 type Loop struct {
 	now       time.Time
-	queue     eventQueue
+	sched     scheduler
+	kind      SchedulerKind
 	seq       uint64
 	seed      int64
 	rng       *rand.Rand
@@ -116,29 +142,55 @@ type Stats struct {
 	// yet reaped); MaxPending is its high-water mark.
 	Pending    int
 	MaxPending int
+	// Cascades counts timing-wheel bucket redistributions (an outer
+	// level's bucket spilling into the level below it); OverflowScans
+	// counts events re-examined during overflow drains. Both are zero
+	// under the heap scheduler — they measure wheel bookkeeping, not
+	// campaign history.
+	Cascades      uint64
+	OverflowScans uint64
 }
 
 // Stats snapshots the loop's counters without exposing its internals.
 func (l *Loop) Stats() Stats {
+	cascades, overflowScans := l.sched.counters()
 	return Stats{
-		Executed:   l.executed,
-		Scheduled:  l.seq,
-		Allocated:  l.allocated,
-		Recycled:   l.recycled,
-		Pending:    len(l.queue),
-		MaxPending: l.maxQueue,
+		Executed:      l.executed,
+		Scheduled:     l.seq,
+		Allocated:     l.allocated,
+		Recycled:      l.recycled,
+		Pending:       l.sched.pending(),
+		MaxPending:    l.maxQueue,
+		Cascades:      cascades,
+		OverflowScans: overflowScans,
 	}
 }
 
 // NewLoop returns a loop whose virtual clock starts at start and whose
-// random streams derive from seed.
+// random streams derive from seed, using the default scheduler.
 func NewLoop(start time.Time, seed int64) *Loop {
-	return &Loop{
+	return NewLoopOpts(start, seed, Options{})
+}
+
+// NewLoopOpts is NewLoop with explicit Options.
+func NewLoopOpts(start time.Time, seed int64, opts Options) *Loop {
+	kind := resolveScheduler(opts.Scheduler)
+	l := &Loop{
 		now:  start,
+		kind: kind,
 		seed: seed,
 		rng:  rand.New(rand.NewSource(seed)),
 	}
+	if kind == SchedulerHeap {
+		l.sched = &heapScheduler{}
+	} else {
+		l.sched = newWheelScheduler(start)
+	}
+	return l
 }
+
+// Scheduler reports which pending-event store this loop runs on.
+func (l *Loop) Scheduler() SchedulerKind { return l.kind }
 
 // Now returns the current virtual time.
 func (l *Loop) Now() time.Time { return l.now }
@@ -148,7 +200,7 @@ func (l *Loop) Executed() uint64 { return l.executed }
 
 // Pending returns the number of events still queued (including canceled
 // ones not yet reaped).
-func (l *Loop) Pending() int { return len(l.queue) }
+func (l *Loop) Pending() int { return l.sched.pending() }
 
 // Rand returns the loop's root random stream. Use NewRand for independent
 // per-component streams.
@@ -196,9 +248,9 @@ func (l *Loop) At(t time.Time, fn func()) Timer {
 		t = l.now
 	}
 	e := l.alloc(t, fn)
-	heap.Push(&l.queue, e)
-	if len(l.queue) > l.maxQueue {
-		l.maxQueue = len(l.queue)
+	l.sched.schedule(e)
+	if p := l.sched.pending(); p > l.maxQueue {
+		l.maxQueue = p
 	}
 	return Timer{e: e, gen: e.gen}
 }
@@ -211,11 +263,21 @@ func (l *Loop) After(d time.Duration, fn func()) Timer {
 	return l.At(l.now.Add(d), fn)
 }
 
-// Step executes the earliest pending event and advances the clock to it.
-// It returns false when the queue is empty.
-func (l *Loop) Step() bool {
-	for len(l.queue) > 0 {
-		e := heap.Pop(&l.queue).(*event)
+// runNext pops and executes the earliest pending event, advancing the
+// clock to it; canceled events are reaped and recycled along the way.
+// With bounded set, events past the deadline stay queued and unreaped.
+// It returns false when nothing (within bounds) is left to run. This is
+// the single pop/execute body shared by Step, Run and RunUntil.
+func (l *Loop) runNext(deadline time.Time, bounded bool) bool {
+	for {
+		e := l.sched.peek()
+		if e == nil {
+			return false
+		}
+		if bounded && e.when.After(deadline) {
+			return false
+		}
+		l.sched.pop()
 		if e.canceled {
 			l.recycle(e)
 			continue
@@ -227,7 +289,12 @@ func (l *Loop) Step() bool {
 		fn()
 		return true
 	}
-	return false
+}
+
+// Step executes the earliest pending event and advances the clock to it.
+// It returns false when the queue is empty.
+func (l *Loop) Step() bool {
+	return l.runNext(time.Time{}, false)
 }
 
 // Run executes events until the queue is empty.
@@ -239,21 +306,7 @@ func (l *Loop) Run() {
 // RunUntil executes every event scheduled at or before t, then sets the
 // clock to t. Events scheduled later remain queued.
 func (l *Loop) RunUntil(t time.Time) {
-	for len(l.queue) > 0 {
-		e := l.queue[0]
-		if e.when.After(t) {
-			break
-		}
-		heap.Pop(&l.queue)
-		if e.canceled {
-			l.recycle(e)
-			continue
-		}
-		l.now = e.when
-		l.executed++
-		fn := e.fn
-		l.recycle(e)
-		fn()
+	for l.runNext(t, true) {
 	}
 	if t.After(l.now) {
 		l.now = t

@@ -1,0 +1,69 @@
+package des
+
+import "container/heap"
+
+// eventQueue is the original binary-heap event store, ordered by
+// (when, seq). It survives as the heap scheduler: the equivalence
+// oracle that the timing wheel is pinned against (every registered
+// scenario's dataset must be bit-identical under either store).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].when.Equal(q[j].when) {
+		return q[i].when.Before(q[j].when)
+	}
+	return q[i].seq < q[j].seq // FIFO among simultaneous events
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// heapScheduler adapts eventQueue to the scheduler interface. Every
+// schedule and pop pays O(log n) sift cost plus the container/heap
+// interface boxing — the overhead the timing wheel eliminates.
+type heapScheduler struct {
+	q eventQueue
+}
+
+func (h *heapScheduler) schedule(e *event) {
+	heap.Push(&h.q, e)
+}
+
+func (h *heapScheduler) peek() *event {
+	if len(h.q) == 0 {
+		return nil
+	}
+	return h.q[0]
+}
+
+func (h *heapScheduler) pop() *event {
+	if len(h.q) == 0 {
+		return nil
+	}
+	return heap.Pop(&h.q).(*event)
+}
+
+func (h *heapScheduler) pending() int { return len(h.q) }
+
+func (h *heapScheduler) counters() (uint64, uint64) { return 0, 0 }

@@ -115,6 +115,12 @@ type RunOptions struct {
 	// counters for any spill or export store, and the finalize
 	// pipeline's per-stage counters.
 	Metrics *obs.Registry
+	// Scheduler selects the event loop's pending-event store (empty =
+	// the des default, normally the timing wheel). Like the rest of
+	// RunOptions it cannot change a campaign's dataset: both stores
+	// pop events in the identical (when, seq) order, pinned by the
+	// scheduler equivalence tests.
+	Scheduler des.SchedulerKind
 }
 
 // cadence returns the chunk size, defaulted.
@@ -135,6 +141,8 @@ type engineMetrics struct {
 	maxPending *obs.Gauge // engine.max_pending
 	allocated  *obs.Gauge // engine.events_allocated
 	recycled   *obs.Gauge // engine.events_recycled
+	cascades   *obs.Gauge // engine.cascades (timing-wheel bucket spills)
+	overflow   *obs.Gauge // engine.overflow_scans (wheel overflow rescans)
 	simSeconds *obs.Gauge // engine.sim_seconds (virtual time elapsed)
 	collected  *obs.Gauge // campaign.records_collected
 	fleetUp    *obs.Gauge // fleet.up
@@ -153,6 +161,8 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		maxPending: r.Gauge("engine.max_pending"),
 		allocated:  r.Gauge("engine.events_allocated"),
 		recycled:   r.Gauge("engine.events_recycled"),
+		cascades:   r.Gauge("engine.cascades"),
+		overflow:   r.Gauge("engine.overflow_scans"),
 		simSeconds: r.Gauge("engine.sim_seconds"),
 		collected:  r.Gauge("campaign.records_collected"),
 		fleetUp:    r.Gauge("fleet.up"),
@@ -203,6 +213,8 @@ func (w *world) observe(final bool) bool {
 	w.em.maxPending.Set(int64(es.MaxPending))
 	w.em.allocated.Set(int64(es.Allocated))
 	w.em.recycled.Set(int64(es.Recycled))
+	w.em.cascades.Set(int64(es.Cascades))
+	w.em.overflow.Set(int64(es.OverflowScans))
 	w.em.simSeconds.Set(int64(w.loop.Now().Sub(CampaignStart) / time.Second))
 
 	collected, up, down := 0, 0, 0

@@ -1,0 +1,112 @@
+package repro_test
+
+import (
+	"bytes"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro"
+	"repro/internal/des"
+)
+
+// runWithScheduler runs the spec under an explicit event-loop scheduler
+// and normalizes the repro.Result for cross-scheduler comparison: the wheel's
+// bookkeeping counters (cascades, overflow scans) are not history, and
+// per-run temp paths and the frame's internal cache state can't be
+// DeepEqualed directly.
+func runWithScheduler(t *testing.T, spec repro.Spec, kind des.SchedulerKind) *repro.Result {
+	t.Helper()
+	res, err := repro.RunSpecWith(spec, repro.RunOptions{Scheduler: kind})
+	if err != nil {
+		t.Fatalf("%s run: %v", kind, err)
+	}
+	res.Engine.Cascades, res.Engine.OverflowScans = 0, 0
+	res.StoreDir, res.ExportDir = "", ""
+	res.Frame = nil
+	return res
+}
+
+// dirBytes flattens a logstore directory into relative path → contents.
+func dirBytes(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		out[rel] = b
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk %s: %v", dir, err)
+	}
+	return out
+}
+
+// TestSchedulerDatasetEquivalence is the acceptance property of the
+// timing-wheel scheduler: on every registered scenario, in both
+// collection modes, a campaign run on the wheel must be bit-identical
+// to the same campaign run on the retained heap oracle — the full
+// repro.Result (dataset, component stats, fault log, event counts) under
+// DeepEqual, and in spill mode the logstore directory byte-for-byte.
+func TestSchedulerDatasetEquivalence(t *testing.T) {
+	for _, name := range repro.Scenarios() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			base, err := repro.ScenarioSpec(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base.Scale *= equivScale
+
+			t.Run("memory", func(t *testing.T) {
+				wheel := runWithScheduler(t, base, des.SchedulerWheel)
+				heap := runWithScheduler(t, base, des.SchedulerHeap)
+				if !reflect.DeepEqual(wheel, heap) {
+					t.Error("wheel and heap campaigns diverge (materialized mode)")
+				}
+			})
+			t.Run("store-stream", func(t *testing.T) {
+				run := func(kind des.SchedulerKind) (*repro.Result, map[string][]byte) {
+					spec := base
+					spec.Collection.StoreDir = filepath.Join(t.TempDir(), "spill-"+string(kind))
+					spec.Collection.Stream = true
+					res := runWithScheduler(t, spec, kind)
+					return res, dirBytes(t, spec.Collection.StoreDir)
+				}
+				wheel, wheelStore := run(des.SchedulerWheel)
+				heap, heapStore := run(des.SchedulerHeap)
+				if !reflect.DeepEqual(wheel, heap) {
+					t.Error("wheel and heap campaigns diverge (streamed mode)")
+				}
+				if len(wheelStore) == 0 {
+					t.Fatal("no spill files written")
+				}
+				if len(wheelStore) != len(heapStore) {
+					t.Fatalf("store layouts differ: %d vs %d files", len(wheelStore), len(heapStore))
+				}
+				for rel, b := range wheelStore {
+					hb, ok := heapStore[rel]
+					if !ok {
+						t.Errorf("store file %s missing under heap", rel)
+						continue
+					}
+					if !bytes.Equal(b, hb) {
+						t.Errorf("store file %s differs between schedulers", rel)
+					}
+				}
+			})
+		})
+	}
+}
