@@ -14,6 +14,9 @@
 //	measure -scenario NAME -progress         live progress on stderr; Ctrl-C aborts cleanly
 //	measure -scenario NAME -metrics-file m.json  dump the run's telemetry registry
 //	measure -submit URL -scenario NAME       run the campaign on a measured daemon instead
+//	measure -scenario NAME -calibrate        diff the run against the paper's observed
+//	                                         dataset; nonzero exit when out of tolerance
+//	measure -scenario NAME -calibrate -calibration-file obs.json  custom observed dataset
 //
 // The -campaign path keeps the paper's two typed configs; -scenario and
 // -scenario-file run any declarative spec (federations, churn fleets,
@@ -79,6 +82,8 @@ func main() {
 		progress    = flag.Bool("progress", false, "print periodic campaign progress to stderr (sim time, events/s, records, fleet health); Ctrl-C aborts cleanly into a partial dataset (scenario runs only)")
 		metricsFile = flag.String("metrics-file", "", "write the run's full telemetry registry (engine, logstore, finalize pipeline) as JSON to this file (scenario runs only)")
 		submitURL   = flag.String("submit", "", "submit the campaign to a running measured daemon at this base URL instead of executing locally; tails its SSE progress and fetches the report (scenario runs only)")
+		calibFlag   = flag.Bool("calibrate", false, "run the scenario and diff its artifacts against the paper's observed dataset, exiting nonzero on out-of-tolerance artifacts (scenario runs only)")
+		calibFile   = flag.String("calibration-file", "", "observed dataset (calibrate.Dataset JSON) to calibrate against instead of the built-in paper dataset (needs -calibrate)")
 	)
 	flag.Parse()
 
@@ -123,6 +128,9 @@ func main() {
 			spec.Collection.ExportDir = filepath.Join(*exportDir, spec.Name)
 		}
 		if *submitURL != "" {
+			if *calibFlag || *calibFile != "" {
+				log.Fatal("-calibrate is a local run mode; calibrate a daemon run with POST /runs/{id}/calibrate instead")
+			}
 			if *storeDir != "" || *stream || *exportDir != "" || *outDir != "" || *jsonl || *progress || *metricsFile != "" {
 				log.Print("-store, -stream, -export, -out, -jsonl, -progress and -metrics-file ignored with -submit: the daemon owns collection output and progress streams over SSE")
 			}
@@ -130,6 +138,19 @@ func main() {
 			return
 		}
 		opts := runOptions(*progress, *metricsFile)
+		if *calibFlag {
+			if *queries != "" || *planFile != "" {
+				log.Fatal("-calibrate runs the observed dataset's own queries; drop -queries/-plan-file")
+			}
+			if *outDir != "" || *jsonl {
+				log.Print("-out and -jsonl ignored: a calibration run emits only the report (use -report FILE)")
+			}
+			runCalibrate(spec, *calibFile, *reportPath, opts, *metricsFile)
+			return
+		}
+		if *calibFile != "" {
+			log.Fatal("-calibration-file needs -calibrate")
+		}
 		if plan := loadPlan(*queries, *planFile, *seed); plan != nil {
 			if *outDir != "" || *jsonl {
 				log.Print("-out and -jsonl ignored: a plan run emits only the selected queries as JSON (use -report FILE)")
@@ -141,8 +162,8 @@ func main() {
 		return
 	}
 
-	if *stream || *exportDir != "" || *queries != "" || *planFile != "" || *progress || *metricsFile != "" || *submitURL != "" {
-		log.Fatal("-stream, -export, -queries, -plan-file, -progress, -metrics-file and -submit need a scenario run; use -scenario NAME (the paper's campaigns are registered as \"distributed\" and \"greedy\")")
+	if *stream || *exportDir != "" || *queries != "" || *planFile != "" || *progress || *metricsFile != "" || *submitURL != "" || *calibFlag || *calibFile != "" {
+		log.Fatal("-stream, -export, -queries, -plan-file, -progress, -metrics-file, -submit and -calibrate need a scenario run; use -scenario NAME (the paper's campaigns are registered as \"distributed\" and \"greedy\")")
 	}
 	runD := *campaign == "both" || *campaign == "distributed"
 	runG := *campaign == "both" || *campaign == "greedy"

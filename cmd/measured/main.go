@@ -14,6 +14,12 @@
 //	curl -N localhost:8080/runs/flash-crowd-000001/events
 //	curl -X POST localhost:8080/runs/flash-crowd-000001/query
 //
+// Rerun it, or calibrate it against the paper's observed dataset
+// (see docs/CALIBRATION.md):
+//
+//	curl -X POST localhost:8080/runs/flash-crowd-000001/rerun
+//	curl -X POST localhost:8080/runs/distributed-000001/calibrate
+//
 // Or drive it end to end with cmd/measure:
 //
 //	measure -submit http://localhost:8080 -scenario flash-crowd -scale 0.1

@@ -37,6 +37,10 @@ type CampaignMeta struct {
 	// Advertised is the advertised file set, in spec order; its length
 	// is Table I's shared-file count and Figs 11-12 sample from it.
 	Advertised []ed2k.Hash `json:"advertised,omitempty"`
+	// Scale is the campaign's arrival-intensity scale (1.0 = paper
+	// magnitudes). Calibration uses it to scale-normalize expected
+	// counts; 0 (a meta persisted before the field existed) reads as 1.
+	Scale float64 `json:"scale,omitempty"`
 }
 
 // QueryOptions tunes one query's extraction. The zero value means

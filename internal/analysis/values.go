@@ -1,0 +1,128 @@
+package analysis
+
+// Artifact value extraction: a typed query result flattened into named
+// scalar metrics and float series, so callers that compare artifacts —
+// the calibration harness foremost — can address "table-i's
+// distinct_peers" or "peer-growth's new series" without a type switch
+// per artifact. Names are stable API: docs/CALIBRATION.md documents
+// them and observed datasets reference them by string.
+
+import (
+	"repro/internal/ed2k"
+	"repro/internal/stats"
+)
+
+// ArtifactScalars flattens one executed query's result into named
+// scalar metrics. The bool is false when the query is not in the set;
+// an artifact type with no scalar view yields an empty map.
+func ArtifactScalars(rs ReportSet, name string) (map[string]float64, bool) {
+	v, ok := rs.Value(name)
+	if !ok {
+		return nil, false
+	}
+	out := map[string]float64{}
+	switch a := v.(type) {
+	case TableI:
+		out["honeypots"] = float64(a.Honeypots)
+		out["duration_days"] = float64(a.DurationDays)
+		out["shared_files"] = float64(a.SharedFiles)
+		out["distinct_peers"] = float64(a.DistinctPeers)
+		out["distinct_files"] = float64(a.DistinctFiles)
+		out["space_bytes"] = float64(a.SpaceBytes)
+	case stats.GrowthCurve:
+		out["days"] = float64(len(a.Cumulative))
+		if n := len(a.Cumulative); n > 0 {
+			out["total"] = float64(a.Cumulative[n-1])
+		}
+	case []int: // hourly-hello
+		out["hours"] = float64(len(a))
+		total, peak := 0, 0
+		for _, x := range a {
+			total += x
+			if x > peak {
+				peak = x
+			}
+		}
+		out["total"] = float64(total)
+		out["peak"] = float64(peak)
+	case GroupSeries:
+		for g, xs := range a.Groups {
+			if len(xs) > 0 {
+				out["final:"+g] = float64(xs[len(xs)-1])
+			}
+		}
+	case stats.SubsetUnion:
+		out["sizes"] = float64(len(a.N))
+		if len(a.Avg) > 0 {
+			// first_avg skips Fig 10's n=0 row so "peers per one unit" means
+			// the same thing for honeypot and file subsets.
+			first := a.Avg[0]
+			if len(a.N) > 0 && a.N[0] == 0 && len(a.Avg) > 1 {
+				first = a.Avg[1]
+			}
+			out["first_avg"] = first
+			out["final_avg"] = a.Avg[len(a.Avg)-1]
+		}
+	case TopPeerInfo:
+		out["queries"] = float64(a.Queries)
+	case InterestStats:
+		out["peers"] = float64(a.Peers)
+		out["files"] = float64(a.Files)
+		out["edges"] = float64(a.Edges)
+		out["mean_files_per_peer"] = a.MeanFilesPerPeer
+		out["max_files_per_peer"] = float64(a.MaxFilesPerPeer)
+		out["mean_peers_per_file"] = a.MeanPeersPerFile
+		out["max_peers_per_file"] = float64(a.MaxPeersPerFile)
+		out["components"] = float64(a.Components)
+		out["largest_component"] = float64(a.LargestComponent)
+	case PeerSets:
+		out["sets"] = float64(len(a.Sets))
+		out["universe"] = float64(a.Universe)
+	case []ed2k.Hash:
+		out["count"] = float64(len(a))
+	case []FilePopularity:
+		out["count"] = float64(len(a))
+	}
+	return out, true
+}
+
+// ArtifactSeries flattens one executed query's result into named float
+// series. The bool is false when the query is not in the set; an
+// artifact type with no series view yields an empty map.
+func ArtifactSeries(rs ReportSet, name string) (map[string][]float64, bool) {
+	v, ok := rs.Value(name)
+	if !ok {
+		return nil, false
+	}
+	out := map[string][]float64{}
+	switch a := v.(type) {
+	case stats.GrowthCurve:
+		out["cumulative"] = intsToFloats(a.Cumulative)
+		out["new"] = intsToFloats(a.New)
+	case []int: // hourly-hello
+		out["hourly"] = intsToFloats(a)
+	case GroupSeries:
+		for g, xs := range a.Groups {
+			out[g] = intsToFloats(xs)
+		}
+	case stats.SubsetUnion:
+		out["avg"] = append([]float64(nil), a.Avg...)
+		out["min"] = intsToFloats(a.Min)
+		out["max"] = intsToFloats(a.Max)
+	case []FilePopularity:
+		peers := make([]float64, len(a))
+		for i := range a {
+			peers[i] = float64(a[i].Peers)
+		}
+		out["peers"] = peers
+	}
+	return out, true
+}
+
+func intsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

@@ -1,0 +1,310 @@
+package calibrate
+
+// The observed dataset: the paper's published artifact values and
+// figure shapes as data, keyed by campaign name and artifact query
+// name. Like analysis plans and campaign specs it round-trips through
+// JSON (ParseDataset rejects unknown fields and malformed
+// expectations), so a calibration target can live in a file next to
+// the spec it gates — cmd/measure -calibration-file.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"maps"
+	"slices"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// ErrUnknownCampaign: the dataset holds no expectations for the
+// campaign being calibrated.
+var ErrUnknownCampaign = errors.New("calibrate: no observed data for campaign")
+
+// Check kinds an Expectation can run. "value" and "min" compare a
+// scalar metric; the rest are figure-shape predicates over a series or
+// a pair of scalars.
+const (
+	// CheckValue: scalar Metric vs the (scale-normalized) Value under
+	// Tolerance.
+	CheckValue = "value"
+	// CheckMin: scalar Metric must be ≥ the (scale-normalized) Value.
+	CheckMin = "min"
+	// CheckNonDecreasing: Series never steps down by more than
+	// Tolerance.Rel of the previous point (0 = strictly monotone).
+	CheckNonDecreasing = "nondecreasing"
+	// CheckDecliningTrend: Series' tail-window mean ≤ Ratio × its
+	// head-window mean (default 0.75) — Fig 2's slowing growth.
+	CheckDecliningTrend = "declining-trend"
+	// CheckSteady: Series' coefficient of variation ≤ Ratio (default
+	// 0.5), after dropping Skip leading points — Fig 3's near-linear
+	// growth.
+	CheckSteady = "steady"
+	// CheckPeriodicDaily: Series' lag-24 autocorrelation ≥ Ratio
+	// (default 0.2) — Fig 4's diurnal cycle.
+	CheckPeriodicDaily = "periodic-daily"
+	// CheckRatioGE: scalar Metric ≥ Ratio × the scalar named by Ref
+	// ("query/metric") — group-series and subset-curve ordering.
+	CheckRatioGE = "ratio-ge"
+)
+
+// Scaling modes for value expectations.
+const (
+	// ScaleInvariant (the default): the observed value holds at any
+	// campaign scale (fleet size, duration, structural ratios).
+	ScaleInvariant = "invariant"
+	// ScaleLinear: the observed value scales with arrival intensity;
+	// the expectation (and its absolute allowance) is multiplied by the
+	// campaign's scale.
+	ScaleLinear = "linear"
+	// ScaleFull: the observed value only holds at scale ≈ 1 (non-linear
+	// couplings); reduced-scale runs skip the check.
+	ScaleFull = "full-scale"
+)
+
+// fullScaleSlack is how far from 1.0 a campaign's scale may sit and
+// still count as full scale for ScaleFull expectations.
+const fullScaleSlack = 0.01
+
+// Expectation is one observed fact about one campaign artifact: a
+// scalar value with a tolerance, or a figure-shape predicate.
+type Expectation struct {
+	// Query names the analysis query producing the artifact.
+	Query string `json:"query"`
+	// Metric names a scalar of the artifact (analysis.ArtifactScalars)
+	// for value/min/ratio-ge checks.
+	Metric string `json:"metric,omitempty"`
+	// Series names a series of the artifact (analysis.ArtifactSeries)
+	// for shape checks.
+	Series string `json:"series,omitempty"`
+	// Check selects the predicate (Check* constants).
+	Check string `json:"check"`
+	// Value is the observed scalar for value/min checks.
+	Value float64 `json:"value,omitempty"`
+	// Scaling is the value's scale behavior (Scale* constants; empty =
+	// invariant).
+	Scaling string `json:"scaling,omitempty"`
+	// Ref names the comparison scalar ("query/metric") for ratio-ge.
+	Ref string `json:"ref,omitempty"`
+	// Ratio parameterizes the shape checks (see the Check* docs).
+	Ratio float64 `json:"ratio,omitempty"`
+	// Skip drops this many leading series points before a shape check
+	// (the greedy campaign's day-one harvest ramp).
+	Skip int `json:"skip,omitempty"`
+	// Tol bounds value checks and the nondecreasing slack.
+	Tol Tolerance `json:"tolerance,omitzero"`
+	// Note records provenance: the paper sentence, figure or
+	// repro-calibration decision behind the expectation.
+	Note string `json:"note,omitempty"`
+}
+
+// label is the expectation's row identity in reports and error
+// messages: query/metric, query/series, or just the query.
+func (e Expectation) label() string {
+	switch {
+	case e.Metric != "":
+		return e.Query + "/" + e.Metric
+	case e.Series != "":
+		return e.Query + "/" + e.Series
+	}
+	return e.Query
+}
+
+// validate rejects structurally malformed expectations eagerly, so a
+// typoed dataset fails at parse time, not mid-diff.
+func (e Expectation) validate() error {
+	if e.Query == "" {
+		return fmt.Errorf("calibrate: expectation %q: missing query", e.label())
+	}
+	switch e.Check {
+	case CheckValue, CheckMin:
+		if e.Metric == "" {
+			return fmt.Errorf("calibrate: %s: %q check needs a metric", e.label(), e.Check)
+		}
+	case CheckNonDecreasing, CheckDecliningTrend, CheckSteady, CheckPeriodicDaily:
+		if e.Series == "" {
+			return fmt.Errorf("calibrate: %s: %q check needs a series", e.label(), e.Check)
+		}
+	case CheckRatioGE:
+		if e.Metric == "" || e.Ref == "" {
+			return fmt.Errorf("calibrate: %s: %q check needs a metric and a ref", e.label(), e.Check)
+		}
+		if _, _, err := splitRef(e.Ref); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("calibrate: %s: unknown check %q", e.label(), e.Check)
+	}
+	switch e.Scaling {
+	case "", ScaleInvariant, ScaleLinear, ScaleFull:
+	default:
+		return fmt.Errorf("calibrate: %s: unknown scaling %q", e.label(), e.Scaling)
+	}
+	return nil
+}
+
+// splitRef parses a "query/metric" reference.
+func splitRef(ref string) (query, metric string, err error) {
+	i := strings.LastIndexByte(ref, '/')
+	if i <= 0 || i == len(ref)-1 {
+		return "", "", fmt.Errorf("calibrate: ref %q is not query/metric", ref)
+	}
+	return ref[:i], ref[i+1:], nil
+}
+
+// CampaignObserved is one campaign's expectation list, in report order.
+type CampaignObserved struct {
+	Expect []Expectation `json:"expect"`
+}
+
+// Dataset is a versioned observed dataset keyed by campaign name.
+type Dataset struct {
+	// Version numbers the dataset's revision; reports carry it so a
+	// calibration result names the expectations it ran against.
+	Version int `json:"version"`
+	// Source says where the numbers come from.
+	Source string `json:"source,omitempty"`
+	// Campaigns keys expectation lists by campaign name (meta.Name).
+	Campaigns map[string]*CampaignObserved `json:"campaigns"`
+}
+
+// Validate checks every expectation (see Expectation.validate).
+func (ds *Dataset) Validate() error {
+	for _, name := range slices.Sorted(maps.Keys(ds.Campaigns)) {
+		for _, e := range ds.Campaigns[name].Expect {
+			if err := e.validate(); err != nil {
+				return fmt.Errorf("campaign %q: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ParseDataset decodes a dataset from JSON, rejecting unknown fields
+// (a typoed tolerance key must not silently vanish) and malformed
+// expectations.
+func ParseDataset(data []byte) (*Dataset, error) {
+	var ds Dataset
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ds); err != nil {
+		return nil, fmt.Errorf("calibrate: decoding dataset: %w", err)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return &ds, nil
+}
+
+// Plan builds the analysis plan covering exactly the queries the
+// dataset's expectations for one campaign reference (including ratio
+// refs), sorted — calibration never computes artifacts it will not
+// check. The seed matters for the subset estimators; calibration pins
+// it like repro.DefaultAnalyzeOptions.
+func (ds *Dataset) Plan(campaign string, opt analysis.QueryOptions) (analysis.Plan, error) {
+	c := ds.Campaigns[campaign]
+	if c == nil {
+		return analysis.Plan{}, fmt.Errorf("%w %q (dataset covers: %v)",
+			ErrUnknownCampaign, campaign, slices.Sorted(maps.Keys(ds.Campaigns)))
+	}
+	seen := map[string]bool{}
+	var names []string
+	add := func(q string) {
+		if q != "" && !seen[q] {
+			seen[q] = true
+			names = append(names, q)
+		}
+	}
+	for _, e := range c.Expect {
+		add(e.Query)
+		if e.Ref != "" {
+			if rq, _, err := splitRef(e.Ref); err == nil {
+				add(rq)
+			}
+		}
+	}
+	slices.Sort(names)
+	return analysis.NewPlan(opt, names...), nil
+}
+
+// PaperObserved is the built-in observed dataset for the paper's two
+// campaigns. The headline counts the paper states outright — 24
+// honeypots for 32 days sharing 4 files drawing more than 110,000
+// distinct peers; one greedy honeypot for 15 days accumulating 3,175
+// shared files — are encoded as paper-sourced; values the paper does
+// not report numerically (the distributed campaign's distinct-file
+// count, which in the reproduction saturates the simulated catalog's
+// library region) are repro calibration targets, and say so in their
+// notes. Figure shapes (growth slope, diurnal HELLO cycle, strategy-
+// group ordering, subset-curve monotonicity) are encoded as
+// scale-free predicates, which is what a reduced-scale CI run leans
+// on where counts do not extrapolate.
+func PaperObserved() *Dataset {
+	return &Dataset{
+		Version: 1,
+		Source:  "Allali, Latapy & Magnien, \"Measurement of eDonkey activity with distributed honeypots\" (IPDPS/HotP2P 2009), Table I and Figs 2-12",
+		Campaigns: map[string]*CampaignObserved{
+			"distributed": {Expect: []Expectation{
+				{Query: "table-i", Metric: "honeypots", Check: CheckValue, Value: 24,
+					Note: "Table I: 24 PlanetLab honeypots"},
+				{Query: "table-i", Metric: "duration_days", Check: CheckValue, Value: 32,
+					Note: "Table I: 32-day measurement"},
+				{Query: "table-i", Metric: "shared_files", Check: CheckValue, Value: 4,
+					Note: "Table I: 4 advertised bait files"},
+				{Query: "table-i", Metric: "distinct_peers", Check: CheckValue, Value: 110_000,
+					Scaling: ScaleLinear, Tol: Tolerance{Rel: 0.15},
+					Note: "Table I: more than 110 thousand distinct peers; arrivals scale linearly"},
+				{Query: "table-i", Metric: "distinct_files", Check: CheckValue, Value: 28_000,
+					Scaling: ScaleFull, Tol: Tolerance{Rel: 0.5},
+					Note: "repro calibration target: the simulated peer libraries saturate the catalog's popular region at full scale; not a paper-reported count"},
+				{Query: "peer-growth", Series: "cumulative", Check: CheckNonDecreasing,
+					Note: "Fig 2: cumulative distinct peers never decrease"},
+				{Query: "peer-growth", Series: "new", Check: CheckDecliningTrend, Ratio: 0.75,
+					Note: "Fig 2: daily new-peer counts decline as the campaign ages"},
+				{Query: "hourly-hello", Series: "hourly", Check: CheckPeriodicDaily, Ratio: 0.2,
+					Note: "Fig 4: HELLO arrivals follow a daily cycle"},
+				{Query: "hello-peers-by-group", Metric: "final:random-content", Check: CheckRatioGE,
+					Ref: "hello-peers-by-group/final:no-content", Ratio: 0.8,
+					Note: "Fig 5: both strategy groups see similar HELLO populations"},
+				{Query: "hello-peers-by-group", Metric: "final:no-content", Check: CheckRatioGE,
+					Ref: "hello-peers-by-group/final:random-content", Ratio: 0.8,
+					Note: "Fig 5: both strategy groups see similar HELLO populations"},
+				{Query: "start-upload-peers-by-group", Metric: "final:random-content", Check: CheckRatioGE,
+					Ref: "start-upload-peers-by-group/final:no-content", Ratio: 0.9,
+					Note: "Fig 6: content-bearing honeypots keep at least parity in START-UPLOAD peers"},
+				{Query: "request-parts-by-group", Metric: "final:random-content", Check: CheckRatioGE,
+					Ref: "request-parts-by-group/final:no-content", Ratio: 1.2,
+					Note: "Fig 7: honeypots advertising content draw clearly more REQUEST-PART traffic"},
+				{Query: "honeypot-subsets", Series: "avg", Check: CheckNonDecreasing, Tol: Tolerance{Rel: 0.02},
+					Note: "Fig 10: average union size grows with the subset size"},
+				{Query: "honeypot-subsets", Metric: "final_avg", Check: CheckRatioGE,
+					Ref: "table-i/distinct_peers", Ratio: 0.99,
+					Note: "Fig 10: the full fleet's union is the campaign's distinct-peer total"},
+			}},
+			"greedy": {Expect: []Expectation{
+				{Query: "table-i", Metric: "honeypots", Check: CheckValue, Value: 1,
+					Note: "Table I: a single greedy honeypot"},
+				{Query: "table-i", Metric: "duration_days", Check: CheckValue, Value: 15,
+					Note: "Table I: 15-day measurement"},
+				{Query: "table-i", Metric: "shared_files", Check: CheckValue, Value: 3_175,
+					Scaling: ScaleFull, Tol: Tolerance{Rel: 0.05},
+					Note: "Table I: 3,175 files accumulated by adopting queried names; the ramp is arrival-coupled, so only a full-scale run reaches it"},
+				{Query: "peer-growth", Series: "cumulative", Check: CheckNonDecreasing,
+					Note: "Fig 3: cumulative distinct peers never decrease"},
+				{Query: "peer-growth", Series: "new", Check: CheckSteady, Skip: 1, Ratio: 0.6,
+					Note: "Fig 3: near-linear growth after the day-one harvest ramp"},
+				{Query: "popular-file-subsets", Series: "avg", Check: CheckNonDecreasing, Tol: Tolerance{Rel: 0.02},
+					Note: "Fig 12: average union size grows with the file-subset size"},
+				{Query: "random-file-subsets", Series: "avg", Check: CheckNonDecreasing, Tol: Tolerance{Rel: 0.02},
+					Note: "Fig 11: average union size grows with the file-subset size"},
+				{Query: "popular-file-subsets", Metric: "first_avg", Check: CheckRatioGE,
+					Ref: "random-file-subsets/first_avg", Ratio: 0.9,
+					Note: "Figs 11-12 ordering: a popular file attracts at least as many peers as a random one"},
+				{Query: "co-interest", Metric: "mean_files_per_peer", Check: CheckMin, Value: 1.2,
+					Note: "repro calibration target (§V future work): peers query several files each, so the co-interest graph is dense"},
+			}},
+		},
+	}
+}

@@ -1,0 +1,53 @@
+package calibrate
+
+// Run: the one-call calibration loop — execute a campaign spec through
+// scenario.RunWith, Exec the paper plan (or exactly the dataset's
+// queries) against the resulting frame, and Diff. cmd/measure
+// -calibrate and the CI calibration gate are thin wrappers around it;
+// the service plane skips the execution half and Diffs a finished
+// run's cached frame instead (svc.Service.Calibrate).
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/scenario"
+)
+
+// Run executes spec, extracts the artifacts and diffs them against the
+// observed dataset (nil = the built-in paper dataset). A nil plan
+// derives the minimal plan covering the dataset's expectations for the
+// campaign — calibration never computes artifacts it will not check.
+// The scenario runs through the streaming finalize so the artifacts
+// derive from the columnar frame, exactly like a daemon-executed run.
+// It returns the report and the executed result (for summaries); the
+// report's Pass flag, not the error, carries the calibration verdict.
+func Run(spec scenario.Spec, plan *analysis.Plan, ds *Dataset, opts scenario.RunOptions) (Report, *scenario.Result, error) {
+	if ds == nil {
+		ds = PaperObserved()
+	}
+	if plan == nil {
+		// Subset estimators seeded like repro.DefaultAnalyzeOptions, so a
+		// calibration run's artifacts match a default analysis run's.
+		p, err := ds.Plan(spec.Name, analysis.QueryOptions{Seed: 1})
+		if err != nil {
+			return Report{}, nil, err
+		}
+		plan = &p
+	}
+	spec.Collection.Stream = true
+	res, err := scenario.RunWith(spec, opts)
+	if err != nil {
+		return Report{}, nil, err
+	}
+	meta := res.Meta()
+	rs, err := analysis.Exec(res.Frame, meta, *plan)
+	if err != nil {
+		return Report{}, res, fmt.Errorf("calibrate: executing plan: %w", err)
+	}
+	rep, err := Diff(meta.Name, meta.Scale, rs, ds)
+	if err != nil {
+		return Report{}, res, err
+	}
+	return rep, res, nil
+}

@@ -1,0 +1,143 @@
+package calibrate
+
+// Tolerance math: the typed per-metric tolerances value checks run
+// under, plus the series predicates (monotonicity, trend, periodicity)
+// the figure-shape expectations evaluate. Everything here is pure —
+// the unit tests pin the edge cases (zero observed, zero tolerance,
+// short series) without running a campaign.
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tolerance bounds an acceptable predicted-vs-observed deviation: the
+// check passes when |predicted − observed| ≤ max(Abs, Rel·|observed|).
+// The zero value demands exact equality.
+type Tolerance struct {
+	// Abs is the absolute allowance, in the metric's own unit.
+	Abs float64 `json:"abs,omitempty"`
+	// Rel is the relative allowance, as a fraction of |observed|.
+	Rel float64 `json:"rel,omitempty"`
+}
+
+// allowance is the largest acceptable |delta| for an observed value.
+// When observed is zero the relative term contributes nothing (a
+// relative tolerance on zero would demand exactness the caller did not
+// ask for — the zero-observed guard), leaving Abs alone.
+func (t Tolerance) allowance(observed float64) float64 {
+	allowed := t.Abs
+	if rel := t.Rel * math.Abs(observed); rel > allowed {
+		allowed = rel
+	}
+	return allowed
+}
+
+// scaled returns the tolerance with its absolute allowance multiplied
+// by factor — what a "linear" metric's tolerance becomes at a reduced
+// campaign scale (the relative allowance is dimensionless and passes
+// through).
+func (t Tolerance) scaled(factor float64) Tolerance {
+	t.Abs *= factor
+	return t
+}
+
+// Check compares a predicted value against an observed one under tol.
+// It returns nil when |predicted − observed| is within the allowance
+// and a descriptive error otherwise.
+func Check(predicted, observed float64, tol Tolerance) error {
+	delta := predicted - observed
+	if allowed := tol.allowance(observed); math.Abs(delta) > allowed {
+		return fmt.Errorf("predicted %g vs observed %g: |Δ| %g exceeds allowance %g",
+			predicted, observed, math.Abs(delta), allowed)
+	}
+	return nil
+}
+
+// maxDip returns the largest relative step-to-step decline of a series:
+// max over i of (x[i−1] − x[i]) / x[i−1], zero for a nondecreasing
+// series. A nonpositive predecessor makes any decline a full dip (1).
+func maxDip(xs []float64) float64 {
+	worst := 0.0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] >= xs[i-1] {
+			continue
+		}
+		dip := 1.0
+		if xs[i-1] > 0 {
+			dip = (xs[i-1] - xs[i]) / xs[i-1]
+		}
+		if dip > worst {
+			worst = dip
+		}
+	}
+	return worst
+}
+
+// trendRatio splits the series into head and tail windows of
+// max(3, len/6) points and returns mean(tail)/mean(head) — below 1 the
+// series declines over the campaign, above 1 it grows. A series too
+// short for two windows, or a nonpositive head mean, yields NaN.
+func trendRatio(xs []float64) float64 {
+	k := len(xs) / 6
+	if k < 3 {
+		k = 3
+	}
+	if len(xs) < 2*k {
+		return math.NaN()
+	}
+	head := mean(xs[:k])
+	if head <= 0 {
+		return math.NaN()
+	}
+	return mean(xs[len(xs)-k:]) / head
+}
+
+// coeffVar is the coefficient of variation (stddev/mean), NaN for an
+// empty series or a nonpositive mean.
+func coeffVar(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := mean(xs)
+	if m <= 0 {
+		return math.NaN()
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(xs))) / m
+}
+
+// autocorr is the lag-k autocorrelation of the series (Pearson form
+// around the global mean): near 1 for a signal repeating every k
+// samples, near 0 for noise. NaN when the series is shorter than 2k or
+// flat.
+func autocorr(xs []float64, lag int) float64 {
+	if lag <= 0 || len(xs) < 2*lag {
+		return math.NaN()
+	}
+	m := mean(xs)
+	var num, den float64
+	for i := range xs {
+		d := xs[i] - m
+		den += d * d
+		if i+lag < len(xs) {
+			num += d * (xs[i+lag] - m)
+		}
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -40,6 +40,9 @@ type Result struct {
 	// Start and Days delimit the measurement window.
 	Start time.Time
 	Days  int
+	// Scale is the spec's arrival-intensity scale (1.0 = paper
+	// magnitudes); calibration scale-normalizes expectations with it.
+	Scale float64
 	// HoneypotIDs lists the fleet in launch order.
 	HoneypotIDs []string
 	// GroupOf maps honeypot ID to its strategy name ("random-content" /
@@ -109,6 +112,7 @@ func (r *Result) Meta() analysis.CampaignMeta {
 		Name:        r.Name,
 		Start:       r.Start,
 		Days:        r.Days,
+		Scale:       r.Scale,
 		HoneypotIDs: r.HoneypotIDs,
 		GroupOf:     r.GroupOf,
 		Advertised:  adv,
@@ -791,6 +795,7 @@ func (w *world) finish(spec Spec, pops []*peersim.Population) (*Result, error) {
 		ExportedRecords: exported,
 		Start:           CampaignStart,
 		Days:            spec.Days,
+		Scale:           spec.Scale,
 		HoneypotIDs:     w.ids,
 		GroupOf:         groupOf,
 		ServerStats:     w.srvs[0].Stats(),

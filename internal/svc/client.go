@@ -2,8 +2,9 @@ package svc
 
 // Client is the Go face of the daemon's HTTP API — what cmd/measure's
 // -submit mode, the service tests and the CI smoke job speak. It covers
-// the whole surface: submit, inspect, abort, query, and an SSE tail
-// that parses the /runs/{id}/events stream back into ProgressEvents.
+// the whole surface: submit, inspect, abort, query, rerun, calibrate,
+// and an SSE tail that parses the /runs/{id}/events stream back into
+// ProgressEvents.
 
 import (
 	"bufio"
@@ -14,6 +15,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"repro/internal/calibrate"
 )
 
 // Client talks to a running measured daemon.
@@ -165,6 +168,27 @@ func (c *Client) Query(ctx context.Context, id string, plan any) ([]byte, error)
 		return nil, decodeError(resp.StatusCode, data)
 	}
 	return data, nil
+}
+
+// Rerun re-submits a persisted run's spec as a new run and returns the
+// newly queued run.
+func (c *Client) Rerun(ctx context.Context, id string) (Run, error) {
+	var run Run
+	err := c.do(ctx, http.MethodPost, "/runs/"+id+"/rerun", nil, &run)
+	return run, err
+}
+
+// Calibrate diffs a finished run against an observed dataset; a nil
+// dataset selects the daemon's built-in paper dataset. The report's
+// Pass flag carries the verdict.
+func (c *Client) Calibrate(ctx context.Context, id string, ds *calibrate.Dataset) (calibrate.Report, error) {
+	var rep calibrate.Report
+	var body any
+	if ds != nil {
+		body = ds
+	}
+	err := c.do(ctx, http.MethodPost, "/runs/"+id+"/calibrate", body, &rep)
+	return rep, err
 }
 
 // Events tails a run's SSE stream, calling onProgress for each

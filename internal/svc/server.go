@@ -14,6 +14,10 @@ package svc
 //	GET    /runs/{id}/events   SSE progress stream until terminal
 //	POST   /runs/{id}/query    execute an analysis.Plan (empty body =
 //	                           the run's plan, else the full paper plan)
+//	POST   /runs/{id}/rerun    re-submit the run's spec as a new run
+//	POST   /runs/{id}/calibrate diff the run's artifacts against an
+//	                           observed dataset (empty body = the
+//	                           built-in paper dataset)
 //	GET    /runs/{id}/metrics  the run's telemetry registry snapshot
 //	GET    /metrics            daemon-level registry (via obs.Attach)
 //	GET    /debug/vars|pprof/  expvar + pprof   (via obs.Attach)
@@ -30,6 +34,7 @@ import (
 	"net/http"
 
 	"repro/internal/analysis"
+	"repro/internal/calibrate"
 	"repro/internal/obs"
 	"repro/internal/scenario"
 )
@@ -98,6 +103,17 @@ func Handler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("POST /runs/{id}/query", func(w http.ResponseWriter, r *http.Request) {
 		handleQuery(s, w, r)
+	})
+	mux.HandleFunc("POST /runs/{id}/rerun", func(w http.ResponseWriter, r *http.Request) {
+		run, err := s.Rerun(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, run)
+	})
+	mux.HandleFunc("POST /runs/{id}/calibrate", func(w http.ResponseWriter, r *http.Request) {
+		handleCalibrate(s, w, r)
 	})
 	mux.HandleFunc("GET /runs/{id}/metrics", func(w http.ResponseWriter, r *http.Request) {
 		reg, err := s.Metrics(r.PathValue("id"))
@@ -188,6 +204,32 @@ func handleQuery(s *Service, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	w.Write(out)
+}
+
+// handleCalibrate diffs a finished run against an observed dataset: an
+// empty body selects the built-in paper dataset, else the body is a
+// calibrate.Dataset. The 200 response is the calibrate.Report — its
+// "pass" field, not the HTTP status, carries the verdict.
+func handleCalibrate(s *Service, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("reading request: %v", err)})
+		return
+	}
+	var ds *calibrate.Dataset
+	if len(body) > 0 {
+		if ds, err = calibrate.ParseDataset(body); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+			return
+		}
+	}
+	rep, err := s.Calibrate(id, ds)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 // handleEvents serves the SSE progress stream: "progress" events while

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/calibrate"
 	"repro/internal/logstore"
 	"repro/internal/obs"
 	"repro/internal/scenario"
@@ -355,6 +356,50 @@ func (s *Service) Query(id string, plan *analysis.Plan) (analysis.ReportSet, err
 		p = &pp
 	}
 	return analysis.Exec(frame, meta, *p)
+}
+
+// Rerun re-submits a persisted run's spec (and default plan) as a new
+// run — the building block for calibration sweeps over seeds. The
+// stored spec already carries the old run's collection paths; Submit's
+// rewrite re-pins them onto the new run's directory, so reruns never
+// touch the original dataset.
+func (s *Service) Rerun(id string) (Run, error) {
+	run, ok := s.store.Get(id)
+	if !ok {
+		return Run{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return s.Submit(run.Spec, run.Plan)
+}
+
+// Calibrate diffs a finished run's artifacts against an observed
+// dataset (nil = the built-in paper dataset), reusing the run's cached
+// frame — the service face of cmd/measure -calibrate. The run's
+// persisted campaign scale normalizes the expectations; a campaign the
+// dataset does not cover is calibrate.ErrUnknownCampaign.
+func (s *Service) Calibrate(id string, ds *calibrate.Dataset) (calibrate.Report, error) {
+	run, ok := s.store.Get(id)
+	if !ok {
+		return calibrate.Report{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if !run.Queryable() {
+		return calibrate.Report{}, fmt.Errorf("%w: run %q is %s", ErrNotQueryable, id, run.State)
+	}
+	frame, meta, err := s.frameFor(run)
+	if err != nil {
+		return calibrate.Report{}, err
+	}
+	if ds == nil {
+		ds = calibrate.PaperObserved()
+	}
+	plan, err := ds.Plan(meta.Name, analysis.QueryOptions{Seed: 1})
+	if err != nil {
+		return calibrate.Report{}, err
+	}
+	rs, err := analysis.Exec(frame, meta, plan)
+	if err != nil {
+		return calibrate.Report{}, err
+	}
+	return calibrate.Diff(meta.Name, meta.Scale, rs, ds)
 }
 
 // frameFor returns the run's cached frame, building it from the

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/calibrate"
 	"repro/internal/catalog"
 	"repro/internal/scenario"
 )
@@ -454,4 +455,98 @@ func equalStrings(a, b []string) bool {
 		}
 	}
 	return true
+}
+
+// TestRerun pins the rerun endpoint: re-submitting a finished run's
+// spec yields a new run whose report is byte-identical to the
+// original's — same spec, same seed, same artifacts.
+func TestRerun(t *testing.T) {
+	spec := testSpec("svc-rerun", 13, 60, 2)
+	plan := analysis.NewPlan(analysis.QueryOptions{Seed: 1}, "table-i", "peer-growth")
+
+	s, client := newTestService(t, Config{Workers: 1, WallEvery: -1})
+	ctx := context.Background()
+	orig, err := client.Submit(ctx, SubmitRequest{Spec: &spec, Plan: &plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, orig.ID)
+	origReport, err := client.Query(ctx, orig.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	again, err := client.Rerun(ctx, orig.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID == orig.ID {
+		t.Fatalf("rerun reused the run ID %q", orig.ID)
+	}
+	if fin := waitTerminal(t, s, again.ID); fin.State != StateDone {
+		t.Fatalf("rerun finished %s: %s", fin.State, fin.Error)
+	}
+	againReport, err := client.Query(ctx, again.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(origReport, againReport) {
+		t.Error("rerun report differs from the original run's")
+	}
+
+	if _, err := client.Rerun(ctx, "no-such-run"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("rerun of unknown run: got %v, want HTTP 404", err)
+	}
+}
+
+// TestCalibrateEndpoint pins POST /runs/{id}/calibrate: a dataset
+// covering the run's campaign diffs against the cached frame and the
+// report's Pass flag carries the verdict; an empty body selects the
+// built-in paper dataset, which does not cover a test campaign and so
+// surfaces ErrUnknownCampaign as a 400.
+func TestCalibrateEndpoint(t *testing.T) {
+	spec := testSpec("svc-cal", 19, 60, 2)
+	s, client := newTestService(t, Config{Workers: 1, WallEvery: -1})
+	ctx := context.Background()
+	run, err := client.Submit(ctx, SubmitRequest{Spec: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, run.ID)
+
+	ds := &calibrate.Dataset{Version: 4, Campaigns: map[string]*calibrate.CampaignObserved{
+		"svc-cal": {Expect: []calibrate.Expectation{
+			{Query: "table-i", Metric: "honeypots", Check: calibrate.CheckValue, Value: 2},
+			{Query: "peer-growth", Series: "cumulative", Check: calibrate.CheckNonDecreasing},
+		}},
+	}}
+	rep, err := client.Calibrate(ctx, run.ID, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || rep.Passed != 2 || rep.Campaign != "svc-cal" || rep.DatasetVersion != 4 {
+		t.Fatalf("calibration report %+v, want 2 passes for svc-cal v4", rep)
+	}
+
+	// An out-of-tolerance dataset still answers 200 — the verdict lives
+	// in the report, not the status.
+	bad := &calibrate.Dataset{Version: 5, Campaigns: map[string]*calibrate.CampaignObserved{
+		"svc-cal": {Expect: []calibrate.Expectation{
+			{Query: "table-i", Metric: "honeypots", Check: calibrate.CheckValue, Value: 99},
+		}},
+	}}
+	rep, err = client.Calibrate(ctx, run.ID, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || len(rep.Failing()) != 1 || rep.Failing()[0].Label() != "table-i/honeypots" {
+		t.Fatalf("doctored calibration = %+v, want one failure naming table-i/honeypots", rep)
+	}
+
+	if _, err := client.Calibrate(ctx, run.ID, nil); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Errorf("built-in dataset vs test campaign: got %v, want HTTP 400", err)
+	}
+	if _, err := client.Calibrate(ctx, "no-such-run", ds); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("calibrate of unknown run: got %v, want HTTP 404", err)
+	}
 }
